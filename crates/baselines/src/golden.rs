@@ -1,0 +1,267 @@
+//! The golden (exhaustive) matrix-based calibration baseline.
+
+use crate::Calibrator;
+use qufem_device::Device;
+use qufem_linalg::{Lu, Matrix};
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The paper's baseline calibration: characterize the full `2^m × 2^m`
+/// noise matrix by preparing every basis state (Eq. 3), then solve
+/// `M · P_ideal = P_measured` (Eq. 4).
+///
+/// Exact but exponential — the reference point for both the accuracy
+/// comparisons (Table 1's HS distance of 0) and the cost tables (Table 3's
+/// `O(2^n)` characterization column). Construction is bounded by
+/// `max_qubits` because the dense matrix and solve cost `4^m`.
+#[derive(Debug)]
+pub struct Golden {
+    max_qubits: usize,
+    matrix_source: MatrixSource,
+    circuits_executed: u64,
+    /// LU factorizations cached per measured set.
+    cache: RefCell<HashMap<QubitSet, CachedSystem>>,
+}
+
+#[derive(Debug)]
+struct CachedSystem {
+    lu: Lu,
+    matrix_bytes: usize,
+}
+
+#[derive(Debug)]
+enum MatrixSource {
+    /// Columns measured by exhaustively executing benchmarking circuits
+    /// (what the paper actually does; subject to shot noise).
+    Sampled { columns: HashMap<QubitSet, Matrix> },
+    /// Columns computed exactly from the simulator's ground truth (the
+    /// infinite-shot limit; useful as an oracle in tests).
+    Exact { matrices: HashMap<QubitSet, Matrix> },
+}
+
+impl Golden {
+    /// Characterizes the golden matrix for `measured` by executing all
+    /// `2^m` benchmarking circuits with `shots` shots each — the paper's
+    /// exhaustive characterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] if `measured.len() > max_qubits`.
+    pub fn characterize<R: Rng + ?Sized>(
+        device: &Device,
+        measured: &QubitSet,
+        shots: u64,
+        max_qubits: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let m = measured.len();
+        if m > max_qubits {
+            return Err(Error::ResourceExhausted(format!(
+                "golden characterization of {m} qubits needs 2^{m} circuits"
+            )));
+        }
+        let dim = 1usize << m;
+        let positions: Vec<usize> = measured.iter().collect();
+        let mut matrix = Matrix::zeros(dim, dim);
+        for y in 0..dim {
+            let sub = BitString::from_index(y, m).expect("y < 2^m");
+            let mut ideal_full = BitString::zeros(device.n_qubits());
+            ideal_full.scatter(&positions, &sub);
+            let ops: Vec<qufem_device::QubitOp> = (0..device.n_qubits())
+                .map(|q| {
+                    qufem_device::QubitOp::from_parts(ideal_full.get(q), measured.contains(q))
+                })
+                .collect();
+            let circuit = qufem_device::BenchmarkCircuit::new(ops);
+            let dist = device.execute(&circuit, shots, rng);
+            for (outcome, p) in dist.iter() {
+                let x = outcome.to_index().expect("m <= max_qubits <= word size");
+                matrix.set(x, y, p);
+            }
+        }
+        let mut columns = HashMap::new();
+        columns.insert(measured.clone(), matrix);
+        Ok(Golden {
+            max_qubits,
+            matrix_source: MatrixSource::Sampled { columns },
+            circuits_executed: dim as u64,
+            cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Builds the golden calibrator from the simulator's exact noise
+    /// matrices for the given measured sets (infinite-shot oracle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Device::golden_noise_matrix`] failures.
+    pub fn exact(device: &Device, measured_sets: &[QubitSet], max_qubits: usize) -> Result<Self> {
+        let mut matrices = HashMap::new();
+        for measured in measured_sets {
+            matrices.insert(
+                measured.clone(),
+                device.golden_noise_matrix(measured, max_qubits)?,
+            );
+        }
+        Ok(Golden {
+            max_qubits,
+            matrix_source: MatrixSource::Exact { matrices },
+            circuits_executed: 0,
+            cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The characterized noise matrix for a measured set, if available.
+    pub fn noise_matrix(&self, measured: &QubitSet) -> Option<Matrix> {
+        match &self.matrix_source {
+            MatrixSource::Sampled { columns } => columns.get(measured).cloned(),
+            MatrixSource::Exact { matrices } => matrices.get(measured).cloned(),
+        }
+    }
+
+    fn solve(&self, measured: &QubitSet, dist: &ProbDist) -> Result<ProbDist> {
+        let m = measured.len();
+        if dist.width() != m {
+            return Err(Error::WidthMismatch { expected: m, actual: dist.width() });
+        }
+        if m > self.max_qubits {
+            return Err(Error::ResourceExhausted(format!(
+                "golden solve over {m} qubits exceeds the {}-qubit bound",
+                self.max_qubits
+            )));
+        }
+        let mut cache = self.cache.borrow_mut();
+        if !cache.contains_key(measured) {
+            let matrix = self.noise_matrix(measured).ok_or_else(|| {
+                Error::MissingCharacterization(format!(
+                    "golden matrix for measured set {measured} was not characterized"
+                ))
+            })?;
+            let bytes = matrix.heap_bytes();
+            cache.insert(
+                measured.clone(),
+                CachedSystem { lu: Lu::factorize(&matrix)?, matrix_bytes: bytes },
+            );
+        }
+        let system = cache.get(measured).expect("inserted above");
+
+        let dim = 1usize << m;
+        let mut b = vec![0.0; dim];
+        for (k, v) in dist.iter() {
+            b[k.to_index().expect("width m <= word size")] = v;
+        }
+        let x = system.lu.solve(&b)?;
+        let mut out = ProbDist::new(m);
+        for (idx, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                out.add(BitString::from_index(idx, m).expect("idx < 2^m"), v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Calibrator for Golden {
+    fn name(&self) -> &'static str {
+        "Golden"
+    }
+
+    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        self.solve(measured, dist)
+    }
+
+    fn characterization_circuits(&self) -> u64 {
+        self.circuits_executed
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let matrices: usize = match &self.matrix_source {
+            MatrixSource::Sampled { columns } => columns.values().map(Matrix::heap_bytes).sum(),
+            MatrixSource::Exact { matrices } => matrices.values().map(Matrix::heap_bytes).sum(),
+        };
+        matrices + self.cache.borrow().values().map(|s| s.matrix_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_device::presets;
+    use qufem_metrics::hellinger_fidelity;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_golden_perfectly_inverts_exact_noise() {
+        let device = presets::ibmq_7(1);
+        let measured: QubitSet = [0usize, 1, 2].into_iter().collect();
+        let golden = Golden::exact(&device, &[measured.clone()], 8).unwrap();
+        let ideal = qufem_circuits::ghz(3);
+        let noisy = device.measure_distribution_exact(&ideal, &measured, 0.0);
+        let calibrated = golden.calibrate(&noisy, &measured).unwrap();
+        // Exact matrix on exact noise: recovery up to numerical precision.
+        let f = hellinger_fidelity(&calibrated.clip_to_probabilities(), &ideal);
+        assert!(f > 1.0 - 1e-9, "fidelity {f}");
+    }
+
+    #[test]
+    fn sampled_golden_counts_exponential_circuits() {
+        let device = presets::ibmq_7(1);
+        let measured: QubitSet = [0usize, 1, 2, 3].into_iter().collect();
+        device.reset_stats();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let golden = Golden::characterize(&device, &measured, 500, 8, &mut rng).unwrap();
+        assert_eq!(golden.characterization_circuits(), 16);
+        assert_eq!(device.stats().circuits(), 16);
+    }
+
+    #[test]
+    fn sampled_golden_improves_fidelity() {
+        let device = presets::ibmq_7(2);
+        let measured: QubitSet = [0usize, 1, 2].into_iter().collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let golden = Golden::characterize(&device, &measured, 4000, 8, &mut rng).unwrap();
+        let ideal = qufem_circuits::ghz(3);
+        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let calibrated =
+            golden.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
+        let before = hellinger_fidelity(&noisy, &ideal);
+        let after = hellinger_fidelity(&calibrated, &ideal);
+        assert!(after > before, "golden calibration should help: {before} → {after}");
+    }
+
+    #[test]
+    fn qubit_bound_enforced() {
+        let device = presets::quafu_18(1);
+        let measured = QubitSet::full(18);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(matches!(
+            Golden::characterize(&device, &measured, 10, 8, &mut rng),
+            Err(Error::ResourceExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn missing_measured_set_reported() {
+        let device = presets::ibmq_7(1);
+        let a: QubitSet = [0usize, 1].into_iter().collect();
+        let b: QubitSet = [2usize, 3].into_iter().collect();
+        let golden = Golden::exact(&device, &[a], 8).unwrap();
+        let dist = ProbDist::point_mass(BitString::zeros(2));
+        assert!(matches!(
+            golden.calibrate(&dist, &b),
+            Err(Error::MissingCharacterization(_))
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_reported() {
+        let device = presets::ibmq_7(1);
+        let a: QubitSet = [0usize, 1].into_iter().collect();
+        let golden = Golden::exact(&device, &[a.clone()], 8).unwrap();
+        let wrong = ProbDist::point_mass(BitString::zeros(3));
+        assert!(matches!(golden.calibrate(&wrong, &a), Err(Error::WidthMismatch { .. })));
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-qubit (qubit-independent) noise matrices shared by the IBU, CTMP,
+//! and M3 baselines.
+
+use qufem_core::{BenchmarkSnapshot, IdealCondition};
+use qufem_linalg::Matrix;
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+
+/// The `2 × 2` single-qubit noise matrices of a device, estimated from
+/// qubit-independent benchmarking circuits (paper Table 1's "meta-matrices").
+///
+/// Column convention matches the full noise matrix (Eq. 3): column `y` is
+/// the outcome distribution when the qubit is prepared in `|y⟩`:
+///
+/// ```text
+/// M_q = [ 1-ε₀   ε₁ ]
+///       [  ε₀   1-ε₁ ]
+/// ```
+#[derive(Debug, Clone)]
+pub struct QubitMatrices {
+    matrices: Vec<Matrix>,
+    inverses: Vec<Matrix>,
+}
+
+impl QubitMatrices {
+    /// Estimates per-qubit matrices from a benchmarking snapshot: `ε₀(q)`
+    /// and `ε₁(q)` are the average conditional flip probabilities over all
+    /// circuits preparing `q` accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LinalgFailure`] if an estimated matrix is singular
+    /// (flip probability ≥ ½ — cannot happen with physical data).
+    pub fn from_snapshot(snapshot: &BenchmarkSnapshot) -> Result<Self> {
+        let n = snapshot.n_qubits();
+        let mut matrices = Vec::with_capacity(n);
+        let mut inverses = Vec::with_capacity(n);
+        for q in 0..n {
+            let eps0 = snapshot
+                .cond_prob_one(q, &[(q, IdealCondition::Zero)])
+                .unwrap_or(0.0)
+                .clamp(0.0, 0.499);
+            let eps1 = (1.0
+                - snapshot
+                    .cond_prob_one(q, &[(q, IdealCondition::One)])
+                    .unwrap_or(1.0))
+            .clamp(0.0, 0.499);
+            let m = Matrix::from_rows(&[&[1.0 - eps0, eps1], &[eps0, 1.0 - eps1]])
+                .expect("2x2 rows are well-formed");
+            let inv = m.inverse()?;
+            matrices.push(m);
+            inverses.push(inv);
+        }
+        Ok(QubitMatrices { matrices, inverses })
+    }
+
+    /// Number of qubits covered.
+    pub fn n_qubits(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// The forward matrix of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn matrix(&self, q: usize) -> &Matrix {
+        &self.matrices[q]
+    }
+
+    /// The inverse matrix of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn inverse(&self, q: usize) -> &Matrix {
+        &self.inverses[q]
+    }
+
+    /// Tensor-structured forward probability
+    /// `P(measure x | prepare y) = Π_q M_q[x_q][y_q]` over the qubits in
+    /// `positions` (global indices; bit `k` of `x`/`y` is `positions[k]`).
+    pub fn forward_element(&self, positions: &[usize], x: &BitString, y: &BitString) -> f64 {
+        let mut p = 1.0;
+        for (k, &q) in positions.iter().enumerate() {
+            let m = &self.matrices[q];
+            p *= m.get(x.get(k) as usize, y.get(k) as usize);
+            if p == 0.0 {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Applies the exact tensor-product inverse `⊗_q M_q⁻¹` to a sparse
+    /// distribution, pruning output amplitudes below `cutoff`.
+    ///
+    /// Without a cutoff the output support is the full `2^m` space — the
+    /// exponential MVM complexity the paper ascribes to the
+    /// qubit-independent baselines. A positive cutoff keeps this usable as a
+    /// baseline on mid-sized devices while faithfully ignoring crosstalk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `dist.width() != measured.len()`.
+    pub fn apply_inverse(
+        &self,
+        dist: &ProbDist,
+        measured: &QubitSet,
+        cutoff: f64,
+    ) -> Result<ProbDist> {
+        let positions: Vec<usize> = measured.iter().collect();
+        if dist.width() != positions.len() {
+            return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });
+        }
+        let m = positions.len();
+        let mut out = ProbDist::new(m);
+        for (x, p) in dist.sorted_pairs() {
+            if p == 0.0 {
+                continue;
+            }
+            let mut bits = x.clone();
+            self.recurse_inverse(0, p, &mut bits, &x, &positions, cutoff, &mut out);
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse_inverse(
+        &self,
+        level: usize,
+        value: f64,
+        bits: &mut BitString,
+        x: &BitString,
+        positions: &[usize],
+        cutoff: f64,
+        out: &mut ProbDist,
+    ) {
+        if level == positions.len() {
+            out.add(bits.clone(), value);
+            return;
+        }
+        let inv = &self.inverses[positions[level]];
+        let xq = x.get(level) as usize;
+        for z in 0..2usize {
+            let v = value * inv.get(z, xq);
+            if v == 0.0 || v.abs() < cutoff {
+                continue;
+            }
+            bits.set(level, z == 1);
+            self.recurse_inverse(level + 1, v, bits, x, positions, cutoff, out);
+        }
+        bits.set(level, x.get(level));
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.matrices
+            .iter()
+            .chain(self.inverses.iter())
+            .map(Matrix::heap_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use qufem_core::{BenchmarkRecord, BenchmarkSnapshot};
+    use qufem_device::BenchmarkCircuit;
+    use qufem_types::{BitString, ProbDist};
+
+    /// Snapshot with exact independent flip probabilities `eps[q]`
+    /// (symmetric), covering all basis preparations of `n ≤ 4` qubits.
+    pub fn independent_snapshot(eps: &[f64]) -> BenchmarkSnapshot {
+        let n = eps.len();
+        let mut snap = BenchmarkSnapshot::new(n);
+        for y in 0..(1usize << n) {
+            let prep = BitString::from_index(y, n).unwrap();
+            let circuit = BenchmarkCircuit::all_prepared(&prep);
+            let mut dist = ProbDist::new(n);
+            for x in 0..(1usize << n) {
+                let out = BitString::from_index(x, n).unwrap();
+                let mut p = 1.0;
+                for (k, &e) in eps.iter().enumerate() {
+                    p *= if out.get(k) != prep.get(k) { e } else { 1.0 - e };
+                }
+                dist.add(out, p);
+            }
+            snap.push(BenchmarkRecord::new(circuit, dist));
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::independent_snapshot;
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn estimates_match_ground_truth() {
+        let qm = QubitMatrices::from_snapshot(&independent_snapshot(&[0.05, 0.1])).unwrap();
+        assert_eq!(qm.n_qubits(), 2);
+        assert!((qm.matrix(0).get(1, 0) - 0.05).abs() < 1e-9);
+        assert!((qm.matrix(1).get(1, 0) - 0.1).abs() < 1e-9);
+        assert!(qm.matrix(0).is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn empty_snapshot_gives_identity() {
+        let qm = QubitMatrices::from_snapshot(&BenchmarkSnapshot::new(2)).unwrap();
+        assert_eq!(qm.matrix(0).get(0, 0), 1.0);
+        assert_eq!(qm.matrix(0).get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn forward_element_is_product() {
+        let qm = QubitMatrices::from_snapshot(&independent_snapshot(&[0.1, 0.2])).unwrap();
+        let p = qm.forward_element(&[0, 1], &bs("00"), &bs("00"));
+        assert!((p - 0.9 * 0.8).abs() < 1e-9);
+        let p = qm.forward_element(&[0, 1], &bs("10"), &bs("00"));
+        assert!((p - 0.1 * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_recovers_point_mass() {
+        let qm = QubitMatrices::from_snapshot(&independent_snapshot(&[0.1, 0.1])).unwrap();
+        let measured = QubitSet::full(2);
+        // Noisy observation of |00⟩ with independent 10% flips.
+        let noisy = ProbDist::from_pairs(
+            2,
+            [(bs("00"), 0.81), (bs("10"), 0.09), (bs("01"), 0.09), (bs("11"), 0.01)],
+        )
+        .unwrap();
+        let out = qm.apply_inverse(&noisy, &measured, 0.0).unwrap();
+        assert!((out.prob(&bs("00")) - 1.0).abs() < 1e-9);
+        assert!(out.prob(&bs("11")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutoff_limits_output_support() {
+        let qm =
+            QubitMatrices::from_snapshot(&independent_snapshot(&[0.02, 0.02, 0.02, 0.02])).unwrap();
+        let measured = QubitSet::full(4);
+        let point = ProbDist::point_mass(bs("0000"));
+        let full = qm.apply_inverse(&point, &measured, 0.0).unwrap();
+        let cut = qm.apply_inverse(&point, &measured, 1e-3).unwrap();
+        assert_eq!(full.support_len(), 16);
+        assert!(cut.support_len() < full.support_len());
+    }
+
+    #[test]
+    fn width_mismatch_reported() {
+        let qm = QubitMatrices::from_snapshot(&independent_snapshot(&[0.1, 0.1])).unwrap();
+        let measured = QubitSet::full(2);
+        let wrong = ProbDist::point_mass(bs("000"));
+        assert!(qm.apply_inverse(&wrong, &measured, 0.0).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Runs every table/figure reproduction in sequence and archives the
+//! results under `results/`. Pass `--quick` for a smoke-test-sized run.
+
+use qufem_bench::report::Table;
+use qufem_bench::{experiments, RunOptions};
+
+/// An experiment entry point.
+type Runner = fn(&RunOptions) -> Vec<Table>;
+
+fn emit_all(tables: &[Table], stem: &str, opts: &RunOptions) {
+    for (i, table) in tables.iter().enumerate() {
+        let name = if i == 0 { stem.to_string() } else { format!("{stem}_{}", i + 1) };
+        table.emit(&opts.out_dir, &name).expect("write results");
+    }
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let start = std::time::Instant::now();
+
+    let steps: Vec<(&str, Runner)> = vec![
+        ("table2_devices", experiments::table2::run),
+        ("table1_comparison", experiments::table1::run),
+        ("table3_characterization_circuits", experiments::table3::run),
+        ("table4_calibration_time", experiments::table4::run),
+        ("table6_scale_out", experiments::table6::run),
+        ("fig8_intermediate_values", experiments::fig8::run),
+        ("fig9a_fidelity_7q", experiments::fig9::run_7q),
+        ("fig9b_fidelity_18q", experiments::fig9::run_18q),
+        ("fig9c_partial_measurement", experiments::fig9c::run),
+        ("fig10_ghz_scaling", experiments::fig10::run),
+        ("fig11_parameter_sweep", experiments::fig11::run),
+        ("fig12_thresholds", experiments::fig12::run),
+        ("fig13_ablations", experiments::fig13::run),
+        ("ext_projection_ablation", experiments::ext_projection::run),
+        ("ext_adaption_ablation", experiments::ext_adaption::run),
+        ("ext_correlated_noise", experiments::ext_correlated::run),
+    ];
+
+    for (stem, runner) in steps {
+        eprintln!("[exp_all] running {stem} …");
+        let step_start = std::time::Instant::now();
+        let tables = runner(&opts);
+        emit_all(&tables, stem, &opts);
+        eprintln!("[exp_all] {stem} finished in {:.1}s", step_start.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "[exp_all] all experiments finished in {:.1}s; artifacts in {}",
+        start.elapsed().as_secs_f64(),
+        opts.out_dir.display()
+    );
+}

@@ -1,0 +1,9 @@
+//! Binary running the beyond-paper mesh-adaption ablation.
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::ext_adaption::run(&opts) {
+        table.emit(&opts.out_dir, "ext_adaption_ablation").expect("write results");
+    }
+}

@@ -1,0 +1,9 @@
+//! Binary running the beyond-paper correlated-noise experiment.
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::ext_correlated::run(&opts) {
+        table.emit(&opts.out_dir, "ext_correlated_noise").expect("write results");
+    }
+}

@@ -1,0 +1,9 @@
+//! Binary running the beyond-paper post-processing ablation.
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::ext_projection::run(&opts) {
+        table.emit(&opts.out_dir, "ext_projection_ablation").expect("write results");
+    }
+}

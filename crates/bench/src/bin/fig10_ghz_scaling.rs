@@ -1,0 +1,10 @@
+//! Binary regenerating the paper's Figure 10 (GHZ fidelity scaling).
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for (i, table) in experiments::fig10::run(&opts).iter().enumerate() {
+        let stem = if i == 0 { "fig10_ghz_scaling".to_string() } else { format!("fig10_ghz_scaling_{}", i + 1) };
+        table.emit(&opts.out_dir, &stem).expect("write results");
+    }
+}

@@ -1,0 +1,9 @@
+//! Binary regenerating the paper's Figure 9a (7-qubit fidelity comparison).
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::fig9::run_7q(&opts) {
+        table.emit(&opts.out_dir, "fig9a_fidelity_7q").expect("write results");
+    }
+}

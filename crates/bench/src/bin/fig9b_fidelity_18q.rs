@@ -1,0 +1,9 @@
+//! Binary regenerating the paper's Figure 9b (18-qubit fidelity comparison).
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::fig9::run_18q(&opts) {
+        table.emit(&opts.out_dir, "fig9b_fidelity_18q").expect("write results");
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary regenerating the paper's Table 2 (device specifications).
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for (i, table) in experiments::table2::run(&opts).iter().enumerate() {
+        let stem = if i == 0 { "table2_devices".to_string() } else { format!("table2_devices_{}", i + 1) };
+        table.emit(&opts.out_dir, &stem).expect("write results");
+    }
+}

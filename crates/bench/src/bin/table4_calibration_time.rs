@@ -1,0 +1,10 @@
+//! Binary regenerating the paper's Tables 4-5 (calibration time and memory).
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for (i, table) in experiments::table4::run(&opts).iter().enumerate() {
+        let stem = if i == 0 { "table4_calibration_time".to_string() } else { format!("table4_calibration_time_{}", i + 1) };
+        table.emit(&opts.out_dir, &stem).expect("write results");
+    }
+}

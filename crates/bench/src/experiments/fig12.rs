@@ -1,0 +1,161 @@
+//! Figure 12: sensitivity to the characterization threshold `α` and the
+//! pruning threshold `β`.
+
+use crate::report::Table;
+use crate::workloads;
+use crate::RunOptions;
+use qufem_core::{benchgen, QuFem, QuFemConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Figure 12a: sweep of `α` — benchmarking circuits needed and resulting
+/// fidelity on the 7-qubit (and, in full mode, 18-qubit) device.
+fn alpha_sweep(opts: &RunOptions) -> Table {
+    let devices: Vec<usize> = if opts.quick { vec![7] } else { vec![7, 18] };
+    // The tightest α scales with each device's interaction level: the
+    // θ = interact/num rule needs ~interact/α observations per combination,
+    // so pushing α far below interact/cap would exhaust the circuit budget.
+    let alphas_for = |n: usize| -> Vec<f64> {
+        if opts.quick {
+            vec![1e-4, 4e-4, 1e-3]
+        } else if n <= 7 {
+            vec![1e-5, 2.5e-5, 1e-4, 4e-4, 1e-3]
+        } else {
+            vec![2.5e-5, 1e-4, 4e-4, 1e-3]
+        }
+    };
+    let mut table = Table::new(
+        "Figure 12a: characterization threshold α vs. circuits and fidelity",
+        &["Device", "α", "Circuits", "Avg relative fidelity"],
+    );
+    for &n in &devices {
+        let device = crate::experiments::device_for(n, opts.seed);
+        let shots = crate::experiments::shots_for(n, opts.quick);
+        let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+        for &alpha in &alphas_for(n) {
+            let config = QuFemConfig::builder()
+                .characterization_threshold(alpha)
+                .shots(shots)
+                .max_benchmark_circuits(60_000)
+                .seed(opts.seed)
+                .build()
+                .expect("valid config");
+            let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+            match benchgen::generate(&device, &config, &mut rng) {
+                Ok((snapshot, report)) => {
+                    let qufem = QuFem::from_snapshot(snapshot, config).expect("flows succeed");
+                    let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
+                    let avg: f64 = ws
+                        .iter()
+                        .map(|w| {
+                            w.relative_fidelity(&prepared.apply(&w.noisy).expect("calibrates"))
+                        })
+                        .sum::<f64>()
+                        / ws.len() as f64;
+                    table.push_row(vec![
+                        device.name().to_string(),
+                        format!("{alpha:.1e}"),
+                        report.total_circuits.to_string(),
+                        format!("{avg:.4}"),
+                    ]);
+                }
+                Err(_) => {
+                    // Budget exhausted before convergence: report the cap.
+                    table.push_row(vec![
+                        device.name().to_string(),
+                        format!("{alpha:.1e}"),
+                        format!(">{}", config.max_benchmark_circuits),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    table.note("Looser α needs fewer circuits; fidelity holds until α grows too large (paper: sweet point 2.5e-5).");
+    table
+}
+
+/// Figure 12b: sweep of `β` — calibration speedup vs. fidelity loss on the
+/// 18-qubit (and, in full mode, 36-qubit) device.
+fn beta_sweep(opts: &RunOptions) -> Table {
+    let devices: Vec<usize> = if opts.quick { vec![18] } else { vec![18, 36] };
+    // β is relative to each input string's unit tensor expansion (see the
+    // engine docs); 1e-7 on 18 qubits keeps five-flip corrections and is the
+    // practical "no pruning" reference. Larger devices start higher because
+    // the unpruned expansion grows combinatorially.
+    let beta_list = |n: usize| -> Vec<f64> {
+        if opts.quick {
+            vec![1e-6, 1e-5, 1e-3]
+        } else if n <= 18 {
+            vec![1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+        } else {
+            vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+        }
+    };
+    let mut table = Table::new(
+        "Figure 12b: pruning threshold β vs. speedup and fidelity",
+        &["Device", "β", "Calib. time (s)", "Speedup vs reference", "Avg relative fidelity"],
+    );
+    for &n in &devices {
+        let device = crate::experiments::device_for(n, opts.seed);
+        let shots = crate::experiments::shots_for(n, opts.quick);
+        let base = crate::experiments::qufem_config_for(n, opts.quick, opts.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let (snapshot, _) =
+            benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+        let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+        let betas = beta_list(n);
+        let mut unpruned_time: Option<f64> = None;
+        for &beta in &betas {
+            let config = QuFemConfig { beta, ..base.clone() };
+            let qufem =
+                QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
+            let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
+            let mut sum = 0.0;
+            let (_, seconds) = crate::experiments::timed(|| {
+                for w in ws.iter() {
+                    let out = prepared.apply(&w.noisy).expect("calibrates");
+                    sum += w.relative_fidelity(&out);
+                }
+            });
+            if unpruned_time.is_none() {
+                unpruned_time = Some(seconds);
+            }
+            let speedup = unpruned_time.map_or(1.0, |t0| t0 / seconds.max(1e-9));
+            table.push_row(vec![
+                device.name().to_string(),
+                if Some(&beta) == betas.first() {
+                    format!("{beta:.0e} (reference)")
+                } else {
+                    format!("{beta:.0e}")
+                },
+                format!("{seconds:.4}"),
+                format!("{speedup:.1}x"),
+                format!("{:.4}", sum / ws.len() as f64),
+            ]);
+        }
+    }
+    table.note("Paper: β=1e-5 is the efficiency/accuracy sweet spot (5.5x speedup, 0.001 fidelity loss).");
+    table
+}
+
+/// Runs both threshold sweeps.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    vec![alpha_sweep(opts), beta_sweep(opts)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes-long run; exercised by the exp_all binary"]
+    fn fig12_quick_shows_alpha_monotonicity() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        let a = &tables[0];
+        let circuits: Vec<f64> = a.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Looser alpha (later rows) needs no more circuits than tighter.
+        assert!(circuits.windows(2).all(|w| w[1] <= w[0]), "circuits {circuits:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 13: ablation studies — benchmark-circuit generation, grouping
+//! scheme, and pruning.
+
+use crate::report::Table;
+use crate::workloads;
+use crate::RunOptions;
+use qufem_baselines::{Calibrator, M3};
+use qufem_core::{benchgen, QuFem, QuFemConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn avg_relative_fidelity(qufem: &QuFem, ws: &[workloads::Workload]) -> f64 {
+    let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
+    ws.iter()
+        .map(|w| w.relative_fidelity(&prepared.apply(&w.noisy).expect("calibrates")))
+        .sum::<f64>()
+        / ws.len() as f64
+}
+
+/// Figure 13a: adaptive vs. random benchmark-circuit generation on the
+/// 7-qubit device — fidelity achieved per circuit budget.
+fn generation_ablation(opts: &RunOptions) -> Table {
+    let device = crate::experiments::device_for(7, opts.seed);
+    let shots = crate::experiments::shots_for(7, opts.quick);
+    let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+    let base = crate::experiments::qufem_config_for(7, opts.quick, opts.seed);
+
+    let mut table = Table::new(
+        "Figure 13a: adaptive vs. random benchmark generation (7-qubit device)",
+        &["Generation", "Circuits", "Avg relative fidelity"],
+    );
+
+    // QuFEM adaptive generation at the default α.
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let (snapshot, report) =
+        benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+    let adaptive_circuits = report.total_circuits;
+    let qufem = QuFem::from_snapshot(snapshot, base.clone()).expect("flows succeed");
+    table.push_row(vec![
+        "QuFEM (adaptive)".into(),
+        adaptive_circuits.to_string(),
+        format!("{:.4}", avg_relative_fidelity(&qufem, &ws)),
+    ]);
+
+    // Random generation at several budgets, including the paper's ~1.7x.
+    for factor in [1.0, 1.7] {
+        let budget = ((adaptive_circuits as f64) * factor) as usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0xA);
+        let snapshot = benchgen::generate_random_budget(&device, budget, shots, &mut rng);
+        let qufem = QuFem::from_snapshot(snapshot, base.clone()).expect("flows succeed");
+        table.push_row(vec![
+            format!("Random ({factor:.1}x budget)"),
+            budget.to_string(),
+            format!("{:.4}", avg_relative_fidelity(&qufem, &ws)),
+        ]);
+    }
+    table.note("Paper: random needs ~1.7x the circuits to match adaptive generation's fidelity.");
+    table
+}
+
+/// Figure 13b: QuFEM's weighted grouping vs. random grouping, by iteration
+/// count.
+fn grouping_ablation(opts: &RunOptions) -> Table {
+    let device = crate::experiments::device_for(7, opts.seed);
+    let shots = crate::experiments::shots_for(7, opts.quick);
+    let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+    let base = crate::experiments::qufem_config_for(7, opts.quick, opts.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let (snapshot, _) =
+        benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+
+    let ls: Vec<usize> = if opts.quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let mut table = Table::new(
+        "Figure 13b: weighted (MAX-CUT) vs. random grouping (7-qubit device)",
+        &["Iterations L", "QuFEM grouping", "Random grouping"],
+    );
+    for &l in &ls {
+        let weighted = QuFem::from_snapshot(
+            snapshot.clone(),
+            QuFemConfig { iterations: l, ..base.clone() },
+        )
+        .expect("flows succeed");
+        let random = QuFem::from_snapshot(
+            snapshot.clone(),
+            QuFemConfig { iterations: l, random_grouping: true, ..base.clone() },
+        )
+        .expect("flows succeed");
+        table.push_row(vec![
+            l.to_string(),
+            format!("{:.4}", avg_relative_fidelity(&weighted, &ws)),
+            format!("{:.4}", avg_relative_fidelity(&random, &ws)),
+        ]);
+    }
+    table.note("Paper: weighted grouping reaches near-optimal fidelity by L = 2; random needs > 5.");
+    table
+}
+
+/// Figure 13c: end-to-end speedup of the sparse engine vs. M3 and vs. the
+/// unpruned engine.
+fn pruning_ablation(opts: &RunOptions) -> Table {
+    let devices: Vec<usize> = if opts.quick { vec![18] } else { vec![18, 36] };
+    let mut table = Table::new(
+        "Figure 13c: calibration time — M3 vs. QuFEM without and with pruning",
+        &["Device", "M3 (s)", "QuFEM β≈0 (s)", "QuFEM β=1e-5 (s)", "Total speedup vs M3"],
+    );
+    for &n in &devices {
+        let device = crate::experiments::device_for(n, opts.seed);
+        let shots = crate::experiments::shots_for(n, opts.quick);
+        let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+        let base = crate::experiments::qufem_config_for(n, opts.quick, opts.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        let (snapshot, _) =
+            benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+
+        let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
+        let (_, m3_time) = crate::experiments::timed(|| {
+            for w in &ws {
+                let _ = m3.calibrate(&w.noisy, &w.measured).expect("calibrates");
+            }
+        });
+
+        let mut times = Vec::new();
+        let unpruned_beta = if n <= 18 { 1e-7 } else { 1e-6 };
+        for beta in [unpruned_beta, 1e-5] {
+            let qufem = QuFem::from_snapshot(
+                snapshot.clone(),
+                QuFemConfig { beta, ..base.clone() },
+            )
+            .expect("flows succeed");
+            let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
+            let (_, secs) = crate::experiments::timed(|| {
+                for w in &ws {
+                    let _ = prepared.apply(&w.noisy).expect("calibrates");
+                }
+            });
+            times.push(secs);
+        }
+        table.push_row(vec![
+            device.name().to_string(),
+            format!("{m3_time:.4}"),
+            format!("{:.4}", times[0]),
+            format!("{:.4}", times[1]),
+            format!("{:.1}x", m3_time / times[1].max(1e-9)),
+        ]);
+    }
+    table.note("Paper (18q): FEM formulation gives 3.9x over M3; pruning adds a further 5.5x.");
+    table
+}
+
+/// Runs all three ablations.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    vec![generation_ablation(opts), grouping_ablation(opts), pruning_ablation(opts)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes-long run; exercised by the exp_all binary"]
+    fn fig13_quick_produces_three_tables() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 9 (a, b): relative fidelity of the seven benchmark algorithms
+//! after calibration, per method, on the 7- and 18-qubit devices.
+
+use crate::report::Table;
+use crate::workloads;
+use crate::RunOptions;
+use qufem_baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
+    let device = crate::experiments::device_for(n, opts.seed);
+    let shots = crate::experiments::shots_for(n, opts.quick);
+    let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x99);
+
+    let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
+    let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
+    let ctmp = Ctmp::characterize(&device, shots, &mut rng).expect("characterizes");
+    let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
+    ibu.max_iterations = 200;
+    let qbeep = if include_qbeep {
+        Some(QBeep::characterize(&device, shots, &mut rng).expect("characterizes"))
+    } else {
+        None
+    };
+
+    let mut methods: Vec<&dyn Calibrator> = vec![&qufem, &m3, &ctmp, &ibu];
+    if let Some(ref q) = qbeep {
+        methods.push(q);
+    }
+
+    let mut headers = vec!["Algorithm".to_string(), "Fidelity (uncal.)".to_string()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    if !include_qbeep {
+        headers.push("Q-BEEP [53]".to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Figure 9{}: relative fidelity on the {n}-qubit device",
+            if n <= 7 { "a" } else { "b" }),
+        &header_refs,
+    );
+
+    let mut sums = vec![0.0f64; methods.len()];
+    for w in &ws {
+        let mut row = vec![w.name.clone(), format!("{:.4}", w.baseline_fidelity())];
+        for (mi, method) in methods.iter().enumerate() {
+            let calibrated =
+                method.calibrate(&w.noisy, &w.measured).expect("calibration succeeds");
+            let rf = w.relative_fidelity(&calibrated);
+            sums[mi] += rf;
+            row.push(format!("{rf:.4}"));
+        }
+        if !include_qbeep {
+            row.push("timeout".into());
+        }
+        table.push_row(row);
+    }
+    let mut avg_row = vec!["Average".to_string(), "-".to_string()];
+    for s in &sums {
+        avg_row.push(format!("{:.4}", s / ws.len() as f64));
+    }
+    if !include_qbeep {
+        avg_row.push("timeout".into());
+    }
+    table.push_row(avg_row);
+    table.note("Relative fidelity = F(calibrated, ideal) / F(measured, ideal); < 1 marks a calibration failure.");
+    table
+}
+
+/// Figure 9a: the 7-qubit device, all five methods.
+pub fn run_7q(opts: &RunOptions) -> Vec<Table> {
+    vec![run_device(7, true, opts)]
+}
+
+/// Figure 9b: the 18-qubit device (Q-BEEP times out, as in the paper).
+pub fn run_18q(opts: &RunOptions) -> Vec<Table> {
+    vec![run_device(18, false, opts)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "minutes-long run; exercised by the exp_all binary"]
+    fn fig9a_quick_has_all_methods_and_qufem_improves() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run_7q(&opts);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 8); // 7 algorithms + average
+        let avg = t.rows.last().unwrap();
+        let qufem_avg: f64 = avg[2].parse().unwrap();
+        assert!(qufem_avg > 1.0, "QuFEM should improve on average, got {qufem_avg}");
+    }
+}

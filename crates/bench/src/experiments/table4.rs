@@ -1,0 +1,223 @@
+//! Tables 4 and 5: calibration (MVM-step) time and memory per method and
+//! device size.
+//!
+//! Both tables come from the same sweep, so this module produces the two
+//! together; the `table4_calibration_time` and `table5_memory` binaries
+//! select their half.
+//!
+//! Methods whose cost is exponential are executed only up to the sizes
+//! where they finish (mirroring the paper's time-outs) and *estimated*
+//! beyond via an exponential fit — estimated cells carry the paper's `~`
+//! marker.
+
+use crate::fit;
+use crate::memwatch::MemoryAccount;
+use crate::report::{fmt_estimate, fmt_mb, fmt_seconds, Table};
+use crate::workloads::{self, Workload};
+use crate::RunOptions;
+use qufem_baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-method measurement at one size: `None` means the method was gated
+/// (would time out) at this size.
+#[derive(Debug, Clone, Copy)]
+struct Cost {
+    seconds: f64,
+    bytes: f64,
+}
+
+/// Approximate bytes of one sparse-distribution entry at width `n`.
+fn entry_bytes(n: usize) -> f64 {
+    (n.div_ceil(64) * 8 + 48) as f64
+}
+
+fn calibrate_all(method: &dyn Calibrator, workloads: &[Workload]) -> (f64, usize) {
+    let mut max_support = 0usize;
+    let (_, seconds) = crate::experiments::timed(|| {
+        for w in workloads {
+            let out = method
+                .calibrate(&w.noisy, &w.measured)
+                .expect("calibration must succeed on supported sizes");
+            max_support = max_support.max(out.support_len());
+        }
+    });
+    (seconds, max_support)
+}
+
+/// Builds the workload set for a size: algorithm outputs up to 18 qubits,
+/// the synthetic Gaussian/uniform/spike mix beyond (paper §6.1).
+fn workload_set(n: usize, quick: bool, seed: u64) -> Vec<Workload> {
+    let device = crate::experiments::sweep_device_for(n, seed);
+    let shots = crate::experiments::shots_for(n, quick);
+    if n <= 18 {
+        workloads::algorithm_workloads(&device, shots, seed)
+    } else {
+        let count = if quick { 5 } else { 30 };
+        workloads::synthetic_workloads(&device, count, 200, shots, seed)
+    }
+}
+
+/// Runs the cost sweep, returning `[Table 4 (time), Table 5 (memory)]`.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let sizes = crate::experiments::table_sizes(opts.quick);
+    let method_names = ["IBU [50]", "CTMP [9]", "M3 [37]", "Q-BEEP [53]", "QuFEM"];
+    // measured[method][size_index] = Some(cost) if executed.
+    let mut measured: Vec<Vec<Option<Cost>>> = vec![vec![None; sizes.len()]; method_names.len()];
+
+    for (si, &n) in sizes.iter().enumerate() {
+        let device = crate::experiments::sweep_device_for(n, opts.seed);
+        let shots = crate::experiments::shots_for(n, opts.quick);
+        let ws = workload_set(n, opts.quick, opts.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x44);
+
+        // IBU — runs at every size thanks to the restricted domain.
+        {
+            let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
+            ibu.max_iterations = 200;
+            let (seconds, _) = calibrate_all(&ibu, &ws);
+            let domain =
+                ws.iter().map(|w| (w.noisy.support_len() * (n + 1)).min(ibu.max_domain)).max().unwrap_or(0);
+            let response_bytes =
+                ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64
+                    * domain as f64
+                    * 8.0;
+            let mut mem = MemoryAccount::new();
+            mem.set("matrices", ibu.heap_bytes());
+            mem.add("response", response_bytes as usize);
+            measured[0][si] = Some(Cost { seconds, bytes: mem.peak() as f64 });
+        }
+
+        // CTMP — full tensor inversion, gated at 49 qubits.
+        if n <= 49 {
+            let ctmp = Ctmp::characterize(&device, shots, &mut rng).expect("characterizes");
+            let (seconds, support) = calibrate_all(&ctmp, &ws);
+            let bytes = ctmp.heap_bytes() as f64 + support as f64 * entry_bytes(n);
+            measured[1][si] = Some(Cost { seconds, bytes });
+        }
+
+        // M3 — observed-subspace GMRES, runs at every size.
+        {
+            let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
+            let (seconds, _) = calibrate_all(&m3, &ws);
+            // Reduced-matrix footprint: |S|² entries within the Hamming ball.
+            let s = ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64;
+            let bytes = m3.heap_bytes() as f64 + s * s * 16.0;
+            measured[2][si] = Some(Cost { seconds, bytes });
+        }
+
+        // Q-BEEP — exponential state-graph growth, gated at 18 qubits.
+        if n <= 18 {
+            let qbeep = QBeep::characterize(&device, shots, &mut rng).expect("characterizes");
+            let (seconds, support) = calibrate_all(&qbeep, &ws);
+            let bytes = qbeep.heap_bytes() as f64 + support as f64 * entry_bytes(n);
+            measured[3][si] = Some(Cost { seconds, bytes });
+        }
+
+        // QuFEM — characterize once, prepare once, calibrate everything.
+        {
+            let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
+            let measured_set = ws[0].measured.clone();
+            let prepared = qufem.prepare(&measured_set).expect("prepare succeeds");
+            let mut stats = qufem_core::EngineStats::default();
+            let (_, seconds) = crate::experiments::timed(|| {
+                for w in &ws {
+                    let _ = prepared
+                        .apply_with_stats(&w.noisy, &mut stats)
+                        .expect("calibration succeeds");
+                }
+            });
+            let bytes = prepared.heap_bytes() as f64
+                + stats.peak_output_support as f64 * entry_bytes(n);
+            measured[4][si] = Some(Cost { seconds, bytes });
+        }
+    }
+
+    let headers: Vec<&str> =
+        std::iter::once("#Qubits").chain(method_names.iter().copied()).collect();
+    let mut time_table =
+        Table::new("Table 4: calibration time on the classical computer (seconds)", &headers);
+    let mut mem_table = Table::new("Table 5: memory consumption (MB)", &headers);
+
+    for (si, &n) in sizes.iter().enumerate() {
+        let mut time_row = vec![n.to_string()];
+        let mut mem_row = vec![n.to_string()];
+        for (mi, _) in method_names.iter().enumerate() {
+            match measured[mi][si] {
+                Some(cost) => {
+                    time_row.push(fmt_seconds(cost.seconds));
+                    mem_row.push(fmt_mb(cost.bytes));
+                }
+                None => {
+                    // Extrapolate from the sizes this method did run at.
+                    let pts: Vec<(f64, f64, f64)> = sizes
+                        .iter()
+                        .zip(&measured[mi])
+                        .filter_map(|(&x, c)| c.map(|c| (x as f64, c.seconds, c.bytes)))
+                        .collect();
+                    if pts.len() >= 2 {
+                        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+                        let ts: Vec<f64> = pts.iter().map(|p| p.1.max(1e-6)).collect();
+                        let bs: Vec<f64> = pts.iter().map(|p| p.2.max(1.0)).collect();
+                        let (ct, bt) = fit::fit_exponential(&xs, &ts);
+                        let (cb, bb) = fit::fit_exponential(&xs, &bs);
+                        time_row.push(fmt_estimate(ct * bt.powf(n as f64)));
+                        mem_row.push(format!("~{}", fmt_mb(cb * bb.powf(n as f64))));
+                    } else {
+                        time_row.push("timeout".into());
+                        mem_row.push("timeout".into());
+                    }
+                }
+            }
+        }
+        time_table.push_row(time_row);
+        mem_table.push_row(mem_row);
+    }
+
+    // Complexity annotation rows from the measured QuFEM points.
+    let qufem_pts: Vec<(f64, f64, f64)> = sizes
+        .iter()
+        .zip(&measured[4])
+        .filter_map(|(&x, c)| c.map(|c| (x as f64, c.seconds, c.bytes)))
+        .collect();
+    if qufem_pts.len() >= 3 {
+        let xs: Vec<f64> = qufem_pts.iter().map(|p| p.0).collect();
+        let ts: Vec<f64> = qufem_pts.iter().map(|p| p.1.max(1e-6)).collect();
+        let bs: Vec<f64> = qufem_pts.iter().map(|p| p.2).collect();
+        time_table.note(format!("QuFEM time complexity fit: {}", fit::classify(&xs, &ts)));
+        mem_table.note(format!("QuFEM memory complexity fit: {}", fit::classify(&xs, &bs)));
+    }
+    let workload_desc = if opts.quick {
+        "workloads: 7 algorithms (≤18q) / 5 synthetic distributions (quick mode)"
+    } else {
+        "workloads: 7 algorithms (≤18q) / 30 synthetic distributions of 200 strings (>18q)"
+    };
+    for t in [&mut time_table, &mut mem_table] {
+        t.note(workload_desc);
+        t.note("`~` cells are exponential-fit estimates for configurations that would time out.");
+        t.note("Memory is structure-size accounting, not RSS (DESIGN.md §1).");
+        t.note("Size sweep uses a uniform moderate noise profile across sizes (see DESIGN.md).");
+    }
+    vec![time_table, mem_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cost_sweep_produces_both_tables() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 2);
+        let time = &tables[0];
+        assert_eq!(time.rows.len(), 3); // 7, 18, 27
+        // Q-BEEP column at 27 qubits must be an estimate.
+        let qbeep_27 = &time.rows[2][4];
+        assert!(qbeep_27.starts_with('~'), "expected estimate, got {qbeep_27}");
+        // QuFEM measured everywhere.
+        for row in &time.rows {
+            assert!(!row[5].starts_with('~'), "QuFEM must be measured, got {}", row[5]);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Table 5: memory consumption — delegates to the shared cost sweep in
+//! [`super::table4`] and returns the memory half.
+
+use crate::report::Table;
+use crate::RunOptions;
+
+/// Runs the cost sweep and returns the memory table.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let mut tables = super::table4::run(opts);
+    vec![tables.remove(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_memory_table() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].title.contains("memory"), "got {}", tables[0].title);
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 6: QuFEM calibration time on 200- to 500-qubit devices.
+
+use crate::report::{fmt_seconds, Table};
+use crate::workloads;
+use crate::RunOptions;
+use qufem_circuits::synthetic::Shape;
+use qufem_core::QuFemConfig;
+use qufem_device::presets;
+
+/// Runs the scale-out experiment: QuFEM alone (no baseline reaches these
+/// sizes), three distribution shapes per size, calibration time per
+/// distribution.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let sizes: Vec<usize> = if opts.quick { vec![200] } else { vec![200, 300, 400, 500] };
+    let per_shape = if opts.quick { 2 } else { 5 };
+
+    let mut header_strings = vec!["Distribution".to_string()];
+    header_strings.extend(sizes.iter().map(|n| format!("{n} qubits")));
+    let header_refs: Vec<&str> = header_strings.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 6: QuFEM calibration time (seconds) on 200- to 500-qubit devices",
+        &header_refs,
+    );
+
+    // seconds[shape][size]
+    let mut seconds = vec![vec![0.0f64; sizes.len()]; Shape::ALL.len()];
+    for (si, &n) in sizes.iter().enumerate() {
+        let device = presets::scale_grid(n, opts.seed);
+        // Characterization parameters scaled for the single-core harness:
+        // fewer initial circuits and shots; the noise level matches the
+        // 136-qubit preset as in the paper.
+        let config = QuFemConfig::builder()
+            .characterization_threshold(if opts.quick { 4e-4 } else { 1e-4 })
+            .shots(if opts.quick { 200 } else { 500 })
+            .initial_circuits_per_qubit(2)
+            .max_benchmark_circuits(60_000)
+            .seed(opts.seed)
+            .build()
+            .expect("valid config");
+        let qufem =
+            qufem_core::QuFem::characterize(&device, config).expect("characterization converges");
+        let prepared = qufem
+            .prepare(&qufem_types::QubitSet::full(n))
+            .expect("full-register preparation succeeds");
+
+        for (shi, &shape) in Shape::ALL.iter().enumerate() {
+            let mut total = 0.0;
+            for rep in 0..per_shape {
+                let w = workloads::shaped_workload(
+                    &device,
+                    shape,
+                    200,
+                    crate::experiments::shots_for(n, opts.quick),
+                    opts.seed + rep as u64,
+                );
+                let (_, secs) = crate::experiments::timed(|| {
+                    let _ = prepared.apply(&w.noisy).expect("calibration succeeds");
+                });
+                total += secs;
+            }
+            seconds[shi][si] = total / per_shape as f64;
+        }
+    }
+
+    for (shi, shape) in Shape::ALL.iter().enumerate() {
+        let mut row = vec![shape.name().to_string()];
+        row.extend(seconds[shi].iter().map(|&s| fmt_seconds(s)));
+        table.push_row(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    for si in 0..sizes.len() {
+        let avg = seconds.iter().map(|row| row[si]).sum::<f64>() / Shape::ALL.len() as f64;
+        avg_row.push(fmt_seconds(avg));
+    }
+    table.push_row(avg_row);
+    table.note(format!("{per_shape} distributions per shape, 200 nonzero strings each."));
+    table.note("Characterization uses reduced shots on the single-core harness (DESIGN.md).");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-minute scale-out run; exercised by the exp_all binary"]
+    fn quick_scale_out_completes() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables[0].rows.len(), 4); // 3 shapes + average
+    }
+}

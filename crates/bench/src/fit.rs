@@ -1,0 +1,186 @@
+//! Complexity-curve fitting for the paper's asymptotic table rows.
+//!
+//! Tables 3–5 annotate each method with its empirical complexity class
+//! (e.g. `O(7.6 N)`, `O(N^3.1)`, `O(1.2^N)`). This module fits those three
+//! forms with least squares in log space and picks the best.
+
+/// A fitted complexity model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Complexity {
+    /// `y ≈ a · x` (linear through the origin): reported as `O(a · N)`.
+    Linear {
+        /// Slope `a`.
+        coefficient: f64,
+    },
+    /// `y ≈ c · x^p`: reported as `O(N^p)`.
+    Polynomial {
+        /// Exponent `p`.
+        exponent: f64,
+    },
+    /// `y ≈ c · b^x`: reported as `O(b^N)`.
+    Exponential {
+        /// Base `b`.
+        base: f64,
+    },
+}
+
+impl std::fmt::Display for Complexity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Complexity::Linear { coefficient } => write!(f, "O({coefficient:.1}·N)"),
+            Complexity::Polynomial { exponent } => write!(f, "O(N^{exponent:.1})"),
+            Complexity::Exponential { base } => write!(f, "O({base:.2}^N)"),
+        }
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Least-squares slope and intercept of `ys` against `xs`.
+fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    let slope = if den == 0.0 { 0.0 } else { num / den };
+    (slope, my - slope * mx)
+}
+
+fn residual(xs: &[f64], ys: &[f64], f: impl Fn(f64) -> f64) -> f64 {
+    xs.iter().zip(ys).map(|(&x, &y)| (f(x) - y).powi(2)).sum()
+}
+
+/// Fits a power law `y = c · x^p` (log–log regression).
+///
+/// # Panics
+///
+/// Panics if fewer than two points or any non-positive coordinate.
+pub fn fit_power(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need at least two (x, y) points");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-300).ln()).collect();
+    let (p, c) = linear_regression(&lx, &ly);
+    (c.exp(), p)
+}
+
+/// Fits an exponential `y = c · b^x` (semi-log regression), returning
+/// `(c, b)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points.
+pub fn fit_exponential(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need at least two (x, y) points");
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-300).ln()).collect();
+    let (slope, c) = linear_regression(xs, &ly);
+    (c.exp(), slope.exp())
+}
+
+/// Picks the complexity class that best explains the measurements, using
+/// relative (log-space) residuals — the same judgment call the paper's
+/// annotation rows make.
+///
+/// # Panics
+///
+/// Panics if fewer than two points.
+pub fn classify(xs: &[f64], ys: &[f64]) -> Complexity {
+    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need at least two (x, y) points");
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-300).ln()).collect();
+
+    let (c_pow, p) = fit_power(xs, ys);
+    let res_pow = residual(xs, &ly, |x| (c_pow * x.powf(p)).max(1e-300).ln());
+
+    let (c_exp, b) = fit_exponential(xs, ys);
+    let res_exp = residual(xs, &ly, |x| (c_exp * b.powf(x)).max(1e-300).ln());
+
+    // Linear through origin: a = Σxy / Σx².
+    let a = {
+        let num: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let den: f64 = xs.iter().map(|x| x * x).sum();
+        num / den
+    };
+    let res_lin = residual(xs, &ly, |x| (a * x).max(1e-300).ln());
+
+    // Prefer the simplest model within 10% of the best residual.
+    let best = res_pow.min(res_exp).min(res_lin);
+    let tol = best * 1.1 + 1e-12;
+    if res_lin <= tol {
+        Complexity::Linear { coefficient: a }
+    } else if res_pow <= tol {
+        Complexity::Polynomial { exponent: p }
+    } else {
+        Complexity::Exponential { base: b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_power_law() {
+        let xs = [7.0, 18.0, 36.0, 79.0, 136.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| 3.0 * x.powf(2.5)).collect();
+        let (c, p) = fit_power(&xs, &ys);
+        assert!((p - 2.5).abs() < 1e-9);
+        assert!((c - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_exact_exponential() {
+        let xs = [7.0, 18.0, 27.0, 36.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * 1.3f64.powf(*x)).collect();
+        let (c, b) = fit_exponential(&xs, &ys);
+        assert!((b - 1.3).abs() < 1e-9);
+        assert!((c - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classifies_linear_data() {
+        let xs = [7.0, 18.0, 36.0, 79.0, 136.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 7.6 * x).collect();
+        match classify(&xs, &ys) {
+            Complexity::Linear { coefficient } => assert!((coefficient - 7.6).abs() < 1e-6),
+            other => panic!("expected linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_cubic_data() {
+        let xs = [7.0, 18.0, 36.0, 79.0, 136.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| 0.01 * x.powi(3)).collect();
+        match classify(&xs, &ys) {
+            Complexity::Polynomial { exponent } => assert!((exponent - 3.0).abs() < 1e-6),
+            other => panic!("expected cubic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_exponential_data() {
+        let xs = [7.0, 18.0, 27.0, 36.0, 49.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 1.2f64.powf(*x)).collect();
+        match classify(&xs, &ys) {
+            Complexity::Exponential { base } => assert!((base - 1.2).abs() < 1e-6),
+            other => panic!("expected exponential, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complexity::Linear { coefficient: 7.6 }.to_string(), "O(7.6·N)");
+        assert_eq!(Complexity::Polynomial { exponent: 3.1 }.to_string(), "O(N^3.1)");
+        assert_eq!(Complexity::Exponential { base: 1.2 }.to_string(), "O(1.20^N)");
+    }
+
+    #[test]
+    #[should_panic(expected = "two (x, y) points")]
+    fn single_point_panics() {
+        let _ = classify(&[1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment harness for the QuFEM reproduction.
+//!
+//! Each table and figure of the paper's evaluation (§6) has a corresponding
+//! module under [`experiments`] and a runnable binary in `src/bin/`:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 | [`experiments::table1`] | `table1_comparison` |
+//! | Table 2 | [`experiments::table2`] | `table2_devices` |
+//! | Table 3 | [`experiments::table3`] | `table3_characterization_circuits` |
+//! | Table 4 | [`experiments::table4`] | `table4_calibration_time` |
+//! | Table 5 | [`experiments::table5`] | `table5_memory` |
+//! | Table 6 | [`experiments::table6`] | `table6_scale_out` |
+//! | Figure 8 | [`experiments::fig8`] | `fig8_intermediate_values` |
+//! | Figure 9a/9b | [`experiments::fig9`] | `fig9a_fidelity_7q`, `fig9b_fidelity_18q` |
+//! | Figure 9c | [`experiments::fig9c`] | `fig9c_partial_measurement` |
+//! | Figure 10 | [`experiments::fig10`] | `fig10_ghz_scaling` |
+//! | Figure 11 | [`experiments::fig11`] | `fig11_parameter_sweep` |
+//! | Figure 12 | [`experiments::fig12`] | `fig12_thresholds` |
+//! | Figure 13 | [`experiments::fig13`] | `fig13_ablations` |
+//!
+//! `exp_all` runs everything and writes text + JSON artifacts to
+//! `results/`. Every binary accepts `--quick` for a reduced-size run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fit;
+pub mod memwatch;
+pub mod report;
+pub mod workloads;
+
+/// Shared options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Reduced sizes and shot counts for smoke-testing.
+    pub quick: bool,
+    /// Output directory for text/JSON artifacts (`results/` by default).
+    pub out_dir: std::path::PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { quick: false, out_dir: std::path::PathBuf::from("results"), seed: 7 }
+    }
+}
+
+impl RunOptions {
+    /// Parses the common CLI arguments (`--quick`, `--seed N`, `--out DIR`).
+    pub fn from_args() -> Self {
+        let mut opts = RunOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    if let Some(v) = args.next() {
+                        opts.seed = v.parse().unwrap_or(opts.seed);
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = args.next() {
+                        opts.out_dir = v.into();
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        opts
+    }
+}

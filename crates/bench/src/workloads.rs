@@ -1,0 +1,186 @@
+//! Evaluation workloads: (ideal, noisy) distribution pairs on a device.
+
+use qufem_circuits::{synthetic, Algorithm};
+use qufem_device::Device;
+use qufem_metrics::{hellinger_fidelity, relative_fidelity};
+use qufem_types::{ProbDist, QubitSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One evaluation workload: a named ideal distribution and its noisy image
+/// under the device's readout channel.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name ("GHZ", "Gaussian-3", …).
+    pub name: String,
+    /// The measured qubits (ascending; defines the bit order).
+    pub measured: QubitSet,
+    /// The noise-free output distribution.
+    pub ideal: ProbDist,
+    /// The distribution the device reported (sampled with shot noise).
+    pub noisy: ProbDist,
+}
+
+impl Workload {
+    /// Uncalibrated Hellinger fidelity of this workload.
+    pub fn baseline_fidelity(&self) -> f64 {
+        hellinger_fidelity(&self.noisy, &self.ideal)
+    }
+
+    /// Relative fidelity of a calibration result (paper Figure 9):
+    /// calibrated fidelity over uncalibrated fidelity.
+    pub fn relative_fidelity(&self, calibrated: &ProbDist) -> f64 {
+        relative_fidelity(&self.ideal, &self.noisy, &calibrated.project_to_probabilities())
+    }
+}
+
+/// Builds the paper's seven algorithm workloads (§6.1) on the full register
+/// of a device.
+pub fn algorithm_workloads(device: &Device, shots: u64, seed: u64) -> Vec<Workload> {
+    let n = device.n_qubits();
+    let measured = QubitSet::full(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Algorithm::ALL
+        .iter()
+        .map(|alg| {
+            let ideal = alg.ideal_distribution(n, seed);
+            let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
+            Workload { name: alg.name().to_string(), measured: measured.clone(), ideal, noisy }
+        })
+        .collect()
+}
+
+/// Builds one algorithm workload on an arbitrary measured subset (paper
+/// Figure 9c / Figure 10).
+pub fn subset_workload(
+    device: &Device,
+    algorithm: Algorithm,
+    measured: &QubitSet,
+    shots: u64,
+    seed: u64,
+) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5151);
+    let ideal = algorithm.ideal_distribution(measured.len(), seed);
+    let noisy = device.measure_distribution(&ideal, measured, shots, &mut rng);
+    Workload {
+        name: format!("{}-{}q", algorithm.name(), measured.len()),
+        measured: measured.clone(),
+        ideal,
+        noisy,
+    }
+}
+
+/// Builds the paper's synthetic scalability workload: `count` distributions
+/// with the 30/30/40 Gaussian/uniform/spike mix on `n_strings` nonzero
+/// strings, pushed through the device channel.
+pub fn synthetic_workloads(
+    device: &Device,
+    count: usize,
+    n_strings: usize,
+    shots: u64,
+    seed: u64,
+) -> Vec<Workload> {
+    let n = device.n_qubits();
+    let measured = QubitSet::full(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFAB);
+    synthetic::paper_mix(n, n_strings, count, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, ideal)| {
+            let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
+            Workload {
+                name: format!("synthetic-{i}"),
+                measured: measured.clone(),
+                ideal,
+                noisy,
+            }
+        })
+        .collect()
+}
+
+/// Builds one synthetic workload of a specific shape (paper Table 6 rows).
+pub fn shaped_workload(
+    device: &Device,
+    shape: synthetic::Shape,
+    n_strings: usize,
+    shots: u64,
+    seed: u64,
+) -> Workload {
+    let n = device.n_qubits();
+    let measured = QubitSet::full(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEE);
+    let ideal = synthetic::generate(shape, n, n_strings, seed);
+    let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
+    Workload { name: shape.name().to_string(), measured, ideal, noisy }
+}
+
+/// Chooses `k` random physical qubits of a device (paper Figure 9c's random
+/// logical-to-physical mapping).
+pub fn random_subset<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> QubitSet {
+    use rand::seq::SliceRandom;
+    let mut qubits: Vec<usize> = (0..n).collect();
+    qubits.shuffle(rng);
+    qubits.into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_device::presets;
+
+    #[test]
+    fn algorithm_workloads_cover_all_seven() {
+        let device = presets::ibmq_7(1);
+        let ws = algorithm_workloads(&device, 500, 3);
+        assert_eq!(ws.len(), 7);
+        let names: Vec<&str> = ws.iter().map(|w| w.name.as_str()).collect();
+        assert!(names.contains(&"GHZ"));
+        assert!(names.contains(&"QSVM"));
+        for w in &ws {
+            assert_eq!(w.ideal.width(), 7);
+            assert_eq!(w.noisy.width(), 7);
+            assert!(w.baseline_fidelity() > 0.0);
+            assert!(w.baseline_fidelity() < 1.0, "noise should reduce fidelity ({})", w.name);
+        }
+    }
+
+    #[test]
+    fn relative_fidelity_of_perfect_calibration_above_one() {
+        let device = presets::ibmq_7(1);
+        let ws = algorithm_workloads(&device, 2000, 3);
+        let ghz = ws.iter().find(|w| w.name == "GHZ").unwrap();
+        // "Perfect" calibration: hand back the ideal distribution.
+        let rf = ghz.relative_fidelity(&ghz.ideal);
+        assert!(rf > 1.0);
+        // Identity calibration: exactly 1.
+        let rf1 = ghz.relative_fidelity(&ghz.noisy);
+        assert!((rf1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_workloads_respect_counts() {
+        let device = presets::for_qubits(27, 1);
+        let ws = synthetic_workloads(&device, 10, 50, 200, 5);
+        assert_eq!(ws.len(), 10);
+        for w in &ws {
+            assert_eq!(w.ideal.support_len(), 50);
+        }
+    }
+
+    #[test]
+    fn subset_workload_uses_requested_qubits() {
+        let device = presets::ibmq_7(1);
+        let subset: QubitSet = [1usize, 3, 5].into_iter().collect();
+        let w = subset_workload(&device, Algorithm::Ghz, &subset, 500, 2);
+        assert_eq!(w.ideal.width(), 3);
+        assert_eq!(w.measured, subset);
+    }
+
+    #[test]
+    fn random_subset_is_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = random_subset(79, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.as_slice().iter().all(|&q| q < 79));
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal complex arithmetic for the statevector simulator.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Self-contained so the workspace stays free of numerics dependencies; only
+/// the handful of operations the simulator needs are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_phase(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert_eq!((z + Complex::ZERO), z);
+        assert_eq!((z * Complex::ONE), z);
+        assert_eq!((z * Complex::I), Complex::new(4.0, 3.0));
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+        assert_eq!(z - z, Complex::ZERO);
+    }
+
+    #[test]
+    fn phase_rotation() {
+        let quarter = Complex::from_phase(std::f64::consts::FRAC_PI_2);
+        assert!((quarter.re).abs() < 1e-12);
+        assert!((quarter.im - 1.0).abs() < 1e-12);
+        // Full turn returns to 1.
+        let full = Complex::from_phase(2.0 * std::f64::consts::PI);
+        assert!((full.re - 1.0).abs() < 1e-12);
+        assert!(full.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let z = Complex::new(1.0, 2.0).scale(2.5);
+        assert_eq!(z, Complex::new(2.5, 5.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Quantum gates and circuits.
+
+use serde::{Deserialize, Serialize};
+
+/// A quantum gate acting on one or two qubits.
+///
+/// The set covers the instruction tables of the paper's evaluation platforms
+/// (Table 2: `ID, RX, RY, RZ, H, CX` for Quafu, `U3, CZ` for the
+/// self-developed device, `CX, ID, RZ, SX, X` for IBMQ).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// √X (the IBMQ basis gate).
+    Sx(usize),
+    /// Rotation around X by an angle.
+    Rx(usize, f64),
+    /// Rotation around Y by an angle.
+    Ry(usize, f64),
+    /// Rotation around Z by an angle.
+    Rz(usize, f64),
+    /// Controlled-X (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z (the two qubits are symmetric).
+    Cz(usize, usize),
+    /// Swap two qubits.
+    Swap(usize, usize),
+    /// Controlled-controlled-X (Toffoli): controls and target.
+    Ccx(usize, usize, usize),
+}
+
+impl Gate {
+    /// The qubits this gate touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::Sx(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => vec![q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Ccx(a, b, c) => vec![a, b, c],
+        }
+    }
+}
+
+/// A gate-level quantum circuit on `n` qubits.
+///
+/// ```
+/// use qufem_circuits::{Circuit, Gate};
+///
+/// // 3-qubit GHZ preparation.
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cx(0, 1));
+/// c.push(Gate::Cx(1, 2));
+/// let probs = c.simulate().probabilities(1e-12);
+/// assert_eq!(probs.support_len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits (state `|0…0⟩`).
+    pub fn new(n: usize) -> Self {
+        Circuit { n, gates: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the register or a
+    /// multi-qubit gate repeats a qubit.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        let qs = gate.qubits();
+        for &q in &qs {
+            assert!(q < self.n, "gate qubit {q} outside register of {}", self.n);
+        }
+        let mut sorted = qs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), qs.len(), "multi-qubit gate repeats a qubit: {gate:?}");
+        self.gates.push(gate);
+        self
+    }
+
+    /// Number of two-or-more-qubit gates (the crosstalk-relevant count the
+    /// paper cites when explaining the 18-qubit fidelity drop).
+    pub fn entangling_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.qubits().len() >= 2).count()
+    }
+
+    /// Simulates the circuit from `|0…0⟩` and returns the final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register exceeds 24 qubits (the dense statevector
+    /// would exceed 256 MiB).
+    pub fn simulate(&self) -> crate::sim::StateVector {
+        let mut state = crate::sim::StateVector::zero_state(self.n);
+        for gate in &self.gates {
+            state.apply(*gate);
+        }
+        state
+    }
+
+    // ---- Library circuits for the paper's benchmark algorithms ----------
+
+    /// GHZ preparation: `H` on qubit 0 followed by a CX chain.
+    pub fn ghz(n: usize) -> Self {
+        assert!(n >= 1, "GHZ needs at least one qubit");
+        let mut c = Circuit::new(n);
+        c.push(Gate::H(0));
+        for q in 1..n {
+            c.push(Gate::Cx(q - 1, q));
+        }
+        c
+    }
+
+    /// Bernstein–Vazirani for a secret string (one bit per data qubit) —
+    /// the standard phase-oracle form without an explicit ancilla: the
+    /// oracle is `Z` on the secret's support between two Hadamard layers.
+    pub fn bernstein_vazirani(secret: &qufem_types::BitString) -> Self {
+        let n = secret.width();
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::H(q));
+        }
+        for q in secret.iter_ones() {
+            c.push(Gate::Z(q));
+        }
+        for q in 0..n {
+            c.push(Gate::H(q));
+        }
+        c
+    }
+
+    /// Deutsch–Jozsa with a constant (`balanced = None`) or balanced oracle
+    /// (phase flip on the support of the given mask).
+    pub fn deutsch_jozsa(n: usize, balanced: Option<&qufem_types::BitString>) -> Self {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::H(q));
+        }
+        if let Some(mask) = balanced {
+            for q in mask.iter_ones() {
+                c.push(Gate::Z(q));
+            }
+        }
+        for q in 0..n {
+            c.push(Gate::H(q));
+        }
+        c
+    }
+
+    /// A hardware-efficient variational ansatz (the VQC/QSVM circuit shape):
+    /// alternating `Ry` layers and a CZ entangling ladder, with
+    /// deterministic pseudo-random angles derived from `seed`.
+    pub fn hardware_efficient_ansatz(n: usize, layers: usize, seed: u64) -> Self {
+        let mut c = Circuit::new(n);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next_angle = || {
+            // xorshift64* — deterministic angles without an RNG dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                / (1u64 << 53) as f64;
+            u * std::f64::consts::TAU
+        };
+        for _ in 0..layers {
+            for q in 0..n {
+                c.push(Gate::Ry(q, next_angle()));
+            }
+            for q in 0..n.saturating_sub(1) {
+                c.push(Gate::Cz(q, q + 1));
+            }
+        }
+        for q in 0..n {
+            c.push(Gate::Ry(q, next_angle()));
+        }
+        c
+    }
+
+    /// First-order Trotter step sequence for a transverse-field Ising
+    /// Hamiltonian — the Hamiltonian-simulation benchmark circuit.
+    pub fn trotterized_ising(n: usize, steps: usize, dt: f64) -> Self {
+        let mut c = Circuit::new(n);
+        for _ in 0..steps {
+            // ZZ couplings along the chain: CX · Rz · CX.
+            for q in 0..n.saturating_sub(1) {
+                c.push(Gate::Cx(q, q + 1));
+                c.push(Gate::Rz(q + 1, 2.0 * dt));
+                c.push(Gate::Cx(q, q + 1));
+            }
+            // Transverse field.
+            for q in 0..n {
+                c.push(Gate::Rx(q, 2.0 * dt));
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_types::BitString;
+
+    #[test]
+    fn push_validates_qubits() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        assert_eq!(c.gates().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn push_rejects_out_of_range() {
+        Circuit::new(2).push(Gate::X(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats a qubit")]
+    fn push_rejects_duplicate_qubits() {
+        Circuit::new(2).push(Gate::Cx(1, 1));
+    }
+
+    #[test]
+    fn entangling_count() {
+        let c = Circuit::ghz(5);
+        assert_eq!(c.entangling_gate_count(), 4);
+        let bv = Circuit::bernstein_vazirani(&BitString::from_binary_str("101").unwrap());
+        assert_eq!(bv.entangling_gate_count(), 0);
+    }
+
+    #[test]
+    fn ansatz_is_deterministic_in_seed() {
+        let a = Circuit::hardware_efficient_ansatz(4, 2, 7);
+        let b = Circuit::hardware_efficient_ansatz(4, 2, 7);
+        assert_eq!(a, b);
+        let c = Circuit::hardware_efficient_ansatz(4, 2, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trotter_structure() {
+        let c = Circuit::trotterized_ising(3, 2, 0.1);
+        // Per step: 2 couplings × (CX, Rz, CX) + 3 Rx = 9 gates.
+        assert_eq!(c.gates().len(), 18);
+        assert_eq!(c.entangling_gate_count(), 8);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic distribution shapes for scalability experiments.
+//!
+//! The paper evaluates calibration time and memory on platforms above 18
+//! qubits using "1000 probability distributions in the shape of Gaussian
+//! (30%), uniform (30%), and spike-like (40%) distributions; each
+//! distribution involves 200 bit-strings with non-zero probability" (§6.1).
+
+use qufem_types::{BitString, ProbDist};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three synthetic shapes of the paper's scalability workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// Probability mass follows a discretized Gaussian over the support.
+    Gaussian,
+    /// Equal probability on every support string.
+    Uniform,
+    /// A few dominant spikes plus a light tail.
+    SpikeLike,
+}
+
+impl Shape {
+    /// All three shapes in the paper's Table 6 order.
+    pub const ALL: [Shape; 3] = [Shape::Gaussian, Shape::SpikeLike, Shape::Uniform];
+
+    /// Display name as used in Table 6.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Gaussian => "Gaussian",
+            Shape::Uniform => "Uniform",
+            Shape::SpikeLike => "Spike-like",
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn random_support<R: Rng + ?Sized>(
+    n_qubits: usize,
+    n_strings: usize,
+    rng: &mut R,
+) -> Vec<BitString> {
+    let capacity = if n_qubits >= 60 { usize::MAX } else { 1usize << n_qubits };
+    let target = n_strings.min(capacity);
+    let mut seen = std::collections::HashSet::with_capacity(target);
+    while seen.len() < target {
+        let s: BitString = (0..n_qubits).map(|_| rng.gen::<bool>()).collect();
+        seen.insert(s);
+    }
+    let mut support: Vec<BitString> = seen.into_iter().collect();
+    support.sort();
+    support
+}
+
+/// Generates one synthetic distribution of the given shape with `n_strings`
+/// nonzero bit strings, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n_qubits == 0` or `n_strings == 0`.
+pub fn generate(shape: Shape, n_qubits: usize, n_strings: usize, seed: u64) -> ProbDist {
+    assert!(n_qubits > 0 && n_strings > 0, "need at least one qubit and one string");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((shape as u64) << 56));
+    let support = random_support(n_qubits, n_strings, &mut rng);
+    let k = support.len();
+    let weights: Vec<f64> = match shape {
+        Shape::Uniform => vec![1.0; k],
+        Shape::Gaussian => {
+            let center = (k as f64 - 1.0) / 2.0;
+            let sigma = (k as f64 / 6.0).max(0.5);
+            (0..k)
+                .map(|i| {
+                    let z = (i as f64 - center) / sigma;
+                    (-0.5 * z * z).exp()
+                })
+                .collect()
+        }
+        Shape::SpikeLike => {
+            let n_spikes = (k / 20).clamp(1, 8);
+            (0..k)
+                .map(|i| if i < n_spikes { 10.0 + rng.gen::<f64>() * 10.0 } else { rng.gen::<f64>() * 0.2 + 0.01 })
+                .collect()
+        }
+    };
+    let total: f64 = weights.iter().sum();
+    let mut p = ProbDist::new(n_qubits);
+    for (s, w) in support.into_iter().zip(weights) {
+        p.add(s, w / total);
+    }
+    p
+}
+
+/// The paper's scalability workload: `count` distributions with the 30/30/40
+/// Gaussian/uniform/spike mix, each on `n_strings` nonzero strings.
+pub fn paper_mix(n_qubits: usize, n_strings: usize, count: usize, seed: u64) -> Vec<ProbDist> {
+    (0..count)
+        .map(|i| {
+            let shape = match i % 10 {
+                0..=2 => Shape::Gaussian,
+                3..=5 => Shape::Uniform,
+                _ => Shape::SpikeLike,
+            };
+            generate(shape, n_qubits, n_strings, seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_normalized_with_requested_support() {
+        for shape in Shape::ALL {
+            let p = generate(shape, 30, 200, 1);
+            assert_eq!(p.support_len(), 200, "{shape}");
+            assert!((p.total_mass() - 1.0).abs() < 1e-9, "{shape}");
+            for (_, v) in p.iter() {
+                assert!(v > 0.0, "{shape} produced nonpositive mass");
+            }
+        }
+    }
+
+    #[test]
+    fn support_capped_by_state_space() {
+        let p = generate(Shape::Uniform, 3, 200, 1);
+        assert_eq!(p.support_len(), 8);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let p = generate(Shape::Uniform, 20, 50, 2);
+        for (_, v) in p.iter() {
+            assert!((v - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spike_has_dominant_entries() {
+        let p = generate(Shape::SpikeLike, 20, 200, 3);
+        let (_, top) = p.argmax().unwrap();
+        assert!(top > 3.0 / 200.0, "spike should dominate uniform level, got {top}");
+    }
+
+    #[test]
+    fn gaussian_has_smooth_tails() {
+        let p = generate(Shape::Gaussian, 20, 200, 4);
+        let pairs = p.sorted_pairs();
+        let min = pairs.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let max = pairs.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        assert!(max / min > 10.0, "gaussian should span a wide dynamic range");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(Shape::Gaussian, 25, 100, 7);
+        let b = generate(Shape::Gaussian, 25, 100, 7);
+        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        let c = generate(Shape::Gaussian, 25, 100, 8);
+        assert_ne!(a.sorted_pairs(), c.sorted_pairs());
+    }
+
+    #[test]
+    fn paper_mix_counts_and_ratio() {
+        let dists = paper_mix(20, 50, 10, 1);
+        assert_eq!(dists.len(), 10);
+        for d in &dists {
+            assert_eq!(d.support_len(), 50);
+        }
+    }
+}

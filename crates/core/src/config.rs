@@ -1,0 +1,279 @@
+//! Configuration of the QuFEM calibration pipeline.
+
+use qufem_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a QuFEM characterization + calibration run.
+///
+/// The defaults are the paper's default configuration (§6.1): `L = 2`
+/// iterations, maximum group size `K = 2`, characterization threshold
+/// `α = 2.5 × 10⁻⁵`, pruning threshold `β = 10⁻⁵`, 2000 shots per
+/// benchmarking circuit.
+///
+/// Build with [`QuFemConfig::builder`]:
+///
+/// ```
+/// use qufem_core::QuFemConfig;
+///
+/// let config = QuFemConfig::builder()
+///     .iterations(3)
+///     .max_group_size(3)
+///     .pruning_threshold(1e-6)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.iterations, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuFemConfig {
+    /// Number of calibration iterations `L` (paper Eq. 6).
+    pub iterations: usize,
+    /// Maximum number of qubits per group `K` (paper §5 caps this at a small
+    /// constant; Figure 11 explores 1–5).
+    pub max_group_size: usize,
+    /// Characterization threshold `α` on the per-interaction metric
+    /// `θ = interact / num` (paper Eq. 12): benchmarking stops when every
+    /// interaction satisfies `θ ≤ α`.
+    pub alpha: f64,
+    /// Pruning threshold `β` for intermediate tensor-product values
+    /// (paper §4.2). `0.0` disables pruning (ablation mode).
+    pub beta: f64,
+    /// Shots per benchmarking circuit.
+    pub shots: u64,
+    /// Initial random benchmarking circuits, as a multiple of the qubit
+    /// count (paper §4.1 uses 4×).
+    pub initial_circuits_per_qubit: usize,
+    /// Hard cap on total benchmarking circuits (safety valve; the paper's
+    /// adaptive rule normally converges far below this).
+    pub max_benchmark_circuits: usize,
+    /// Circuits added per exceeding interaction per adaptive round.
+    pub circuits_per_round: usize,
+    /// Soft-penalty multiplier applied to the graph weight of qubit pairs
+    /// already grouped together in an earlier iteration, pushing later
+    /// iterations to cover *different* interactions (the paper's mesh
+    /// adaption, §3). `1.0` disables the penalty.
+    pub regroup_penalty: f64,
+    /// Use random grouping instead of the weighted MAX-CUT partition
+    /// (ablation of Figure 13b).
+    pub random_grouping: bool,
+    /// Use purely random benchmark circuit generation instead of the
+    /// adaptive θ/α rule (ablation of Figure 13a).
+    pub random_benchmark_generation: bool,
+    /// Estimate group noise matrices from the *joint* conditional outcome
+    /// distribution instead of the paper's per-qubit product (Eq. 11).
+    /// Captures correlated readout events inside a group at the cost of
+    /// needing more matching benchmark circuits per column (extension
+    /// beyond the paper; see `ext_correlated_noise`).
+    #[serde(default)]
+    pub joint_group_estimation: bool,
+    /// RNG seed for all stochastic choices inside characterization.
+    pub seed: u64,
+}
+
+impl Default for QuFemConfig {
+    fn default() -> Self {
+        QuFemConfig {
+            iterations: 2,
+            max_group_size: 2,
+            alpha: 2.5e-5,
+            beta: 1e-5,
+            shots: 2000,
+            initial_circuits_per_qubit: 4,
+            max_benchmark_circuits: 100_000,
+            circuits_per_round: 2,
+            regroup_penalty: 0.25,
+            random_grouping: false,
+            random_benchmark_generation: false,
+            joint_group_estimation: false,
+            seed: 0,
+        }
+    }
+}
+
+impl QuFemConfig {
+    /// Starts a builder pre-populated with the paper defaults.
+    pub fn builder() -> QuFemConfigBuilder {
+        QuFemConfigBuilder { config: QuFemConfig::default() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a parameter is out of range
+    /// (zero iterations, zero group size, negative thresholds, zero shots).
+    pub fn validate(&self) -> Result<()> {
+        if self.iterations == 0 {
+            return Err(Error::InvalidConfig("iterations must be at least 1".into()));
+        }
+        if self.max_group_size == 0 {
+            return Err(Error::InvalidConfig("max_group_size must be at least 1".into()));
+        }
+        if self.max_group_size > 12 {
+            return Err(Error::InvalidConfig(
+                "max_group_size above 12 would require 4096x4096 dense group matrices".into(),
+            ));
+        }
+        if self.alpha <= 0.0 || self.alpha.is_nan() {
+            return Err(Error::InvalidConfig("alpha must be positive".into()));
+        }
+        if self.beta < 0.0 || !self.beta.is_finite() {
+            return Err(Error::InvalidConfig("beta must be non-negative".into()));
+        }
+        if self.shots == 0 {
+            return Err(Error::InvalidConfig("shots must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.regroup_penalty) {
+            return Err(Error::InvalidConfig("regroup_penalty must lie in [0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`QuFemConfig`] (see [`QuFemConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct QuFemConfigBuilder {
+    config: QuFemConfig,
+}
+
+impl QuFemConfigBuilder {
+    /// Sets the number of calibration iterations `L`.
+    pub fn iterations(mut self, l: usize) -> Self {
+        self.config.iterations = l;
+        self
+    }
+
+    /// Sets the maximum group size `K`.
+    pub fn max_group_size(mut self, k: usize) -> Self {
+        self.config.max_group_size = k;
+        self
+    }
+
+    /// Sets the characterization threshold `α`.
+    pub fn characterization_threshold(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the pruning threshold `β` (`0.0` disables pruning).
+    pub fn pruning_threshold(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Sets shots per benchmarking circuit.
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.config.shots = shots;
+        self
+    }
+
+    /// Sets the initial random circuit count multiplier.
+    pub fn initial_circuits_per_qubit(mut self, m: usize) -> Self {
+        self.config.initial_circuits_per_qubit = m;
+        self
+    }
+
+    /// Sets the hard cap on benchmarking circuits.
+    pub fn max_benchmark_circuits(mut self, cap: usize) -> Self {
+        self.config.max_benchmark_circuits = cap;
+        self
+    }
+
+    /// Sets how many circuits each adaptive round adds per hot interaction.
+    pub fn circuits_per_round(mut self, c: usize) -> Self {
+        self.config.circuits_per_round = c;
+        self
+    }
+
+    /// Sets the mesh-adaption regrouping penalty (`1.0` disables).
+    pub fn regroup_penalty(mut self, p: f64) -> Self {
+        self.config.regroup_penalty = p;
+        self
+    }
+
+    /// Enables the random-grouping ablation.
+    pub fn random_grouping(mut self, on: bool) -> Self {
+        self.config.random_grouping = on;
+        self
+    }
+
+    /// Enables the random-benchmark-generation ablation.
+    pub fn random_benchmark_generation(mut self, on: bool) -> Self {
+        self.config.random_benchmark_generation = on;
+        self
+    }
+
+    /// Enables joint (correlation-capturing) group-matrix estimation.
+    pub fn joint_group_estimation(mut self, on: bool) -> Self {
+        self.config.joint_group_estimation = on;
+        self
+    }
+
+    /// Sets the characterization RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuFemConfig::validate`] failures.
+    pub fn build(self) -> Result<QuFemConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = QuFemConfig::default();
+        assert_eq!(c.iterations, 2);
+        assert_eq!(c.max_group_size, 2);
+        assert_eq!(c.alpha, 2.5e-5);
+        assert_eq!(c.beta, 1e-5);
+        assert_eq!(c.shots, 2000);
+        assert_eq!(c.initial_circuits_per_qubit, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = QuFemConfig::builder()
+            .iterations(3)
+            .max_group_size(4)
+            .characterization_threshold(1e-6)
+            .pruning_threshold(0.0)
+            .shots(500)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(c.iterations, 3);
+        assert_eq!(c.max_group_size, 4);
+        assert_eq!(c.alpha, 1e-6);
+        assert_eq!(c.beta, 0.0);
+        assert_eq!(c.shots, 500);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(QuFemConfig::builder().iterations(0).build().is_err());
+        assert!(QuFemConfig::builder().max_group_size(0).build().is_err());
+        assert!(QuFemConfig::builder().max_group_size(13).build().is_err());
+        assert!(QuFemConfig::builder().characterization_threshold(0.0).build().is_err());
+        assert!(QuFemConfig::builder().pruning_threshold(-1.0).build().is_err());
+        assert!(QuFemConfig::builder().shots(0).build().is_err());
+        assert!(QuFemConfig::builder().regroup_penalty(1.5).build().is_err());
+    }
+
+    #[test]
+    fn zero_beta_is_valid_ablation() {
+        let c = QuFemConfig::builder().pruning_threshold(0.0).build().unwrap();
+        assert_eq!(c.beta, 0.0);
+    }
+}

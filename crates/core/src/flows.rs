@@ -1,0 +1,721 @@
+//! The characterization flow (Algorithm 1) and calibration flow
+//! (Algorithm 2) of the paper, packaged as the [`QuFem`] type.
+
+use crate::benchgen::{self, BenchGenReport};
+use crate::config::QuFemConfig;
+use crate::engine::{self, EngineStats};
+use crate::interaction::InteractionTable;
+use crate::noisematrix::{group_noise_matrix_with, GroupMatrix};
+use crate::partition::{self, grouped_pairs, Grouping};
+use crate::snapshot::BenchmarkSnapshot;
+use qufem_device::Device;
+use qufem_linalg::Matrix;
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Pruning floor applied while self-calibrating the benchmarking
+/// distributions inside the characterization flow (see
+/// [`QuFem::from_snapshot`]). The self-calibration only needs the BP
+/// marginals (mesh-adaption weights, residual matrices), for which
+/// first-order flip corrections suffice; a β floor of `10⁻³` (relative, see
+/// the engine's pruning convention) keeps characterization at `O(N)` work
+/// per benchmark string even when the user requests an effectively unpruned
+/// *calibration* flow.
+const MIN_CHARACTERIZATION_BETA: f64 = 1e-3;
+
+/// The static calibration parameters of one iteration: the grouping scheme
+/// `G_i` and the benchmarking distributions `BP_i` (paper Algorithm 1's
+/// output `CP`).
+#[derive(Debug, Clone)]
+pub struct IterationParams {
+    grouping: Grouping,
+    snapshot: BenchmarkSnapshot,
+}
+
+impl IterationParams {
+    /// Reassembles iteration parameters from their parts (used by the
+    /// persistence layer).
+    pub(crate) fn from_parts(grouping: Grouping, snapshot: BenchmarkSnapshot) -> Self {
+        IterationParams { grouping, snapshot }
+    }
+
+    /// The grouping scheme `G_i`.
+    pub fn grouping(&self) -> &Grouping {
+        &self.grouping
+    }
+
+    /// The benchmarking snapshot `BP_i` this iteration draws conditional
+    /// probabilities from.
+    pub fn snapshot(&self) -> &BenchmarkSnapshot {
+        &self.snapshot
+    }
+}
+
+/// A calibrated QuFEM instance: the output of the characterization flow,
+/// ready to calibrate arbitrarily many measured distributions.
+///
+/// # Example
+///
+/// ```no_run
+/// use qufem_core::{QuFem, QuFemConfig};
+/// use qufem_device::presets;
+/// use qufem_types::QubitSet;
+///
+/// let device = presets::ibmq_7(1);
+/// let qufem = QuFem::characterize(&device, QuFemConfig::default())?;
+/// # let measured_dist = qufem_types::ProbDist::point_mass(qufem_types::BitString::zeros(7));
+/// let calibrated = qufem.calibrate(&measured_dist, &QubitSet::full(7))?;
+/// # Ok::<(), qufem_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuFem {
+    config: QuFemConfig,
+    n_qubits: usize,
+    iterations: Vec<IterationParams>,
+    benchgen_report: Option<BenchGenReport>,
+    characterization_engine_stats: EngineStats,
+}
+
+impl QuFem {
+    /// Reassembles a calibrator from previously exported parts (used by the
+    /// persistence layer; see [`QuFem::import`]).
+    pub(crate) fn from_parts(
+        config: QuFemConfig,
+        n_qubits: usize,
+        iterations: Vec<IterationParams>,
+        benchgen_report: Option<crate::benchgen::BenchGenReport>,
+    ) -> Self {
+        QuFem {
+            config,
+            n_qubits,
+            iterations,
+            benchgen_report,
+            characterization_engine_stats: EngineStats::default(),
+        }
+    }
+
+    /// Runs the full characterization flow (paper Algorithm 1) against a
+    /// device: adaptive benchmark generation, then `L` rounds of
+    /// interaction-graph partitioning and benchmark self-calibration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation, benchmark-generation budget
+    /// exhaustion, and matrix-generation failures.
+    pub fn characterize(device: &Device, config: QuFemConfig) -> Result<Self> {
+        config.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let (snapshot, report) = benchgen::generate(device, &config, &mut rng)?;
+        let mut qufem = Self::from_snapshot(snapshot, config)?;
+        qufem.benchgen_report = Some(report);
+        Ok(qufem)
+    }
+
+    /// Runs Algorithm 1 lines 2–13 on an already-collected benchmarking
+    /// snapshot (`BP_1`). Useful for ablations that substitute their own
+    /// benchmark generation (paper Figure 13a) and for replaying stored
+    /// hardware data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and matrix-generation failures.
+    pub fn from_snapshot(snapshot: BenchmarkSnapshot, config: QuFemConfig) -> Result<Self> {
+        config.validate()?;
+        let n = snapshot.n_qubits();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let mut iterations = Vec::with_capacity(config.iterations);
+        let mut stats = EngineStats::default();
+        let mut penalized: HashSet<(usize, usize)> = HashSet::new();
+        let mut current = snapshot;
+
+        for _i in 0..config.iterations {
+            // Line 3: partition a weighted qubit graph based on BP_i.
+            let grouping = if config.random_grouping {
+                partition::partition_random(n, config.max_group_size, &mut rng)
+            } else {
+                let table = InteractionTable::build(&current);
+                partition::partition_weighted(
+                    n,
+                    &|a, b| table.weight(a, b),
+                    config.max_group_size,
+                    &penalized,
+                    config.regroup_penalty,
+                )
+            };
+            penalized.extend(grouped_pairs(&grouping));
+
+            // Line 4: record G_i and BP_i.
+            let params = IterationParams { grouping: grouping.clone(), snapshot: current.clone() };
+
+            // Lines 5–10: update every benchmarking distribution with Eq. 7.
+            // Self-calibration always prunes at least at
+            // MIN_CHARACTERIZATION_BETA: a literal β = 0 here would expand
+            // every benchmarking distribution over the full product space
+            // (4^groups outputs per string). The β under study still applies
+            // unmodified in the calibration flow.
+            let char_beta = config.beta.max(MIN_CHARACTERIZATION_BETA);
+            let mut next = BenchmarkSnapshot::new(n);
+            for record in current.records() {
+                let measured = record.measured_set();
+                let groups = build_group_matrices_with(
+                    &current,
+                    &grouping,
+                    &measured,
+                    config.joint_group_estimation,
+                )?;
+                let positions: Vec<usize> = measured.iter().collect();
+                let updated = engine::apply_iteration(
+                    record.dist(),
+                    &positions,
+                    &groups,
+                    char_beta,
+                    &mut stats,
+                );
+                next.push(crate::snapshot::BenchmarkRecord::new(
+                    record.circuit().clone(),
+                    updated,
+                ));
+            }
+            iterations.push(params);
+            current = next;
+        }
+
+        Ok(QuFem {
+            config,
+            n_qubits: n,
+            iterations,
+            benchgen_report: None,
+            characterization_engine_stats: stats,
+        })
+    }
+
+    /// Number of device qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The configuration used for characterization.
+    pub fn config(&self) -> &QuFemConfig {
+        &self.config
+    }
+
+    /// Per-iteration calibration parameters `CP = [G_i], [BP_i]`.
+    pub fn iterations(&self) -> &[IterationParams] {
+        &self.iterations
+    }
+
+    /// The benchmark-generation report, if this instance was characterized
+    /// against a device (absent for [`QuFem::from_snapshot`]).
+    pub fn benchgen_report(&self) -> Option<&BenchGenReport> {
+        self.benchgen_report.as_ref()
+    }
+
+    /// Engine counters accumulated while self-calibrating the benchmarking
+    /// distributions during characterization.
+    pub fn characterization_engine_stats(&self) -> &EngineStats {
+        &self.characterization_engine_stats
+    }
+
+    /// Pre-generates the per-iteration sub-noise matrices for a measured
+    /// qubit set (paper Algorithm 2, line 3). The result can calibrate any
+    /// number of distributions over the same measured qubits without
+    /// regenerating matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QubitOutOfRange`] if `measured` references a qubit
+    /// beyond the device and propagates matrix-generation failures.
+    pub fn prepare(&self, measured: &QubitSet) -> Result<PreparedCalibration> {
+        if let Some(&max) = measured.as_slice().last() {
+            if max >= self.n_qubits {
+                return Err(Error::QubitOutOfRange { index: max, width: self.n_qubits });
+            }
+        }
+        let positions: Vec<usize> = measured.iter().collect();
+        let mut per_iteration = Vec::with_capacity(self.iterations.len());
+        for params in &self.iterations {
+            per_iteration.push(build_group_matrices_with(
+                &params.snapshot,
+                &params.grouping,
+                measured,
+                self.config.joint_group_estimation,
+            )?);
+        }
+        Ok(PreparedCalibration { beta: self.config.beta, positions, per_iteration })
+    }
+
+    /// Calibrates one measured distribution (paper Algorithm 2).
+    ///
+    /// The result is a quasi-probability distribution; apply
+    /// [`ProbDist::project_to_probabilities`] before fidelity computations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuFem::prepare`] failures and width mismatches.
+    pub fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let mut stats = EngineStats::default();
+        self.calibrate_with_stats(dist, measured, &mut stats)
+    }
+
+    /// [`QuFem::calibrate`] with engine instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuFem::prepare`] failures and width mismatches.
+    pub fn calibrate_with_stats(
+        &self,
+        dist: &ProbDist,
+        measured: &QubitSet,
+        stats: &mut EngineStats,
+    ) -> Result<ProbDist> {
+        let prepared = self.prepare(measured)?;
+        prepared.apply_with_stats(dist, stats)
+    }
+
+    /// The effective full noise matrix `M_eff = M_1 · M_2 · … · M_L` that
+    /// this instance's calibration inverts, over a small measured set —
+    /// used for the Hilbert–Schmidt accuracy comparison of paper Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] if `measured.len() > max_qubits`.
+    pub fn effective_noise_matrix(&self, measured: &QubitSet, max_qubits: usize) -> Result<Matrix> {
+        let m = measured.len();
+        if m > max_qubits {
+            return Err(Error::ResourceExhausted(format!(
+                "effective noise matrix for {m} qubits exceeds the {max_qubits}-qubit bound"
+            )));
+        }
+        let positions: Vec<usize> = measured.iter().collect();
+        let dim = 1usize << m;
+        let mut effective: Option<Matrix> = None;
+        for params in &self.iterations {
+            let groups = build_group_matrices_with(
+                &params.snapshot,
+                &params.grouping,
+                measured,
+                self.config.joint_group_estimation,
+            )?;
+            let mut full = Matrix::zeros(dim, dim);
+            for x in 0..dim {
+                let xb = BitString::from_index(x, m).expect("x < 2^m");
+                for y in 0..dim {
+                    let yb = BitString::from_index(y, m).expect("y < 2^m");
+                    let mut p = 1.0;
+                    for g in &groups {
+                        let (xg, yg) = sub_indices(g, &positions, &xb, &yb);
+                        p *= g.matrix().get(xg, yg);
+                        if p == 0.0 {
+                            break;
+                        }
+                    }
+                    full.set(x, y, p);
+                }
+            }
+            effective = Some(match effective {
+                None => full,
+                Some(acc) => acc.matmul(&full)?,
+            });
+        }
+        effective.ok_or_else(|| Error::InvalidConfig("no iterations configured".into()))
+    }
+
+    /// Approximate heap usage of the stored calibration parameters, in
+    /// bytes (Table 5 memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|p| {
+                p.snapshot.heap_bytes()
+                    + p.grouping.iter().map(|g| g.len() * std::mem::size_of::<usize>()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+fn sub_indices(
+    group: &GroupMatrix,
+    positions: &[usize],
+    x: &BitString,
+    y: &BitString,
+) -> (usize, usize) {
+    let mut xg = 0usize;
+    let mut yg = 0usize;
+    for (k, q) in group.qubits().iter().enumerate() {
+        let pos = positions.binary_search(q).expect("group qubit must be measured");
+        xg |= (x.get(pos) as usize) << k;
+        yg |= (y.get(pos) as usize) << k;
+    }
+    (xg, yg)
+}
+
+/// Generates the sub-noise matrices of all groups intersecting `measured`
+/// (paper Eq. 10–11), in deterministic group order.
+pub fn build_group_matrices(
+    snapshot: &BenchmarkSnapshot,
+    grouping: &Grouping,
+    measured: &QubitSet,
+) -> Result<Vec<GroupMatrix>> {
+    build_group_matrices_with(snapshot, grouping, measured, false)
+}
+
+/// [`build_group_matrices`] with selectable estimation (`joint = true`
+/// additionally captures correlated readout inside each group).
+pub fn build_group_matrices_with(
+    snapshot: &BenchmarkSnapshot,
+    grouping: &Grouping,
+    measured: &QubitSet,
+    joint: bool,
+) -> Result<Vec<GroupMatrix>> {
+    let mut out = Vec::new();
+    for group in grouping {
+        if let Some(gm) = group_noise_matrix_with(snapshot, group, measured, joint)? {
+            out.push(gm);
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience wrapper: characterize and calibrate in one call for
+/// full-register measurements.
+///
+/// # Errors
+///
+/// Propagates characterization and calibration failures.
+pub fn calibrate_once(
+    device: &Device,
+    config: QuFemConfig,
+    dist: &ProbDist,
+) -> Result<ProbDist> {
+    let qufem = QuFem::characterize(device, config)?;
+    qufem.calibrate(dist, &QubitSet::full(device.n_qubits()))
+}
+
+/// Matrices pre-generated for one measured qubit set (see
+/// [`QuFem::prepare`]).
+#[derive(Debug, Clone)]
+pub struct PreparedCalibration {
+    beta: f64,
+    positions: Vec<usize>,
+    per_iteration: Vec<Vec<GroupMatrix>>,
+}
+
+impl PreparedCalibration {
+    /// Calibrates one distribution over the prepared measured set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the distribution width differs
+    /// from the measured set size.
+    pub fn apply(&self, dist: &ProbDist) -> Result<ProbDist> {
+        let mut stats = EngineStats::default();
+        self.apply_with_stats(dist, &mut stats)
+    }
+
+    /// [`PreparedCalibration::apply`] with engine instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the distribution width differs
+    /// from the measured set size.
+    pub fn apply_with_stats(&self, dist: &ProbDist, stats: &mut EngineStats) -> Result<ProbDist> {
+        if dist.width() != self.positions.len() {
+            return Err(Error::WidthMismatch {
+                expected: self.positions.len(),
+                actual: dist.width(),
+            });
+        }
+        let mut current = dist.clone();
+        for groups in &self.per_iteration {
+            current = engine::apply_iteration(&current, &self.positions, groups, self.beta, stats);
+        }
+        Ok(current)
+    }
+
+    /// Calibrates a batch of distributions in parallel with scoped threads.
+    ///
+    /// The prepared matrices are shared read-only across workers; results
+    /// come back in input order. `threads` of 0 or 1 degrades to the
+    /// sequential path. Engine statistics from all workers are merged into
+    /// `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered (width mismatches).
+    pub fn apply_batch(
+        &self,
+        dists: &[ProbDist],
+        threads: usize,
+        stats: &mut EngineStats,
+    ) -> Result<Vec<ProbDist>> {
+        if threads <= 1 || dists.len() <= 1 {
+            return dists
+                .iter()
+                .map(|d| self.apply_with_stats(d, stats))
+                .collect();
+        }
+        let chunk_size = dists.len().div_ceil(threads);
+        let chunk_results: Vec<Result<(Vec<ProbDist>, EngineStats)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = dists
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut local_stats = EngineStats::default();
+                            let outs: Result<Vec<ProbDist>> = chunk
+                                .iter()
+                                .map(|d| self.apply_with_stats(d, &mut local_stats))
+                                .collect();
+                            outs.map(|o| (o, local_stats))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("calibration workers never panic");
+
+        let mut results = Vec::with_capacity(dists.len());
+        for chunk in chunk_results {
+            let (outs, local_stats) = chunk?;
+            stats.merge(&local_stats);
+            results.extend(outs);
+        }
+        Ok(results)
+    }
+
+    /// Number of calibration iterations.
+    pub fn n_iterations(&self) -> usize {
+        self.per_iteration.len()
+    }
+
+    /// Total number of group matrices across iterations.
+    pub fn n_matrices(&self) -> usize {
+        self.per_iteration.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate heap usage in bytes (Table 5 memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.positions.capacity() * std::mem::size_of::<usize>()
+            + self
+                .per_iteration
+                .iter()
+                .flat_map(|v| v.iter())
+                .map(GroupMatrix::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_device::presets;
+    use qufem_metrics::hellinger_fidelity;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fast_config() -> QuFemConfig {
+        QuFemConfig::builder()
+            .characterization_threshold(5e-4)
+            .shots(500)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn characterize_produces_requested_iterations() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        assert_eq!(qufem.iterations().len(), 2);
+        assert_eq!(qufem.n_qubits(), 7);
+        assert!(qufem.benchgen_report().is_some());
+        for params in qufem.iterations() {
+            assert!(partition::is_valid_partition(params.grouping(), 7, 2));
+        }
+    }
+
+    #[test]
+    fn calibration_improves_ghz_fidelity() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let ideal = qufem_circuits::ghz(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let calibrated = qufem.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
+        let before = hellinger_fidelity(&noisy, &ideal);
+        let after = hellinger_fidelity(&calibrated, &ideal);
+        assert!(
+            after > before,
+            "calibration should improve fidelity: before {before:.4}, after {after:.4}"
+        );
+    }
+
+    #[test]
+    fn calibration_approximately_preserves_mass() {
+        let device = presets::ibmq_7(2);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let ideal = qufem_circuits::ghz(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let noisy = device.measure_distribution(&ideal, &measured, 2000, &mut rng);
+        let calibrated = qufem.calibrate(&noisy, &measured).unwrap();
+        assert!((calibrated.total_mass() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn batch_calibration_matches_sequential() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let prepared = qufem.prepare(&measured).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let dists: Vec<ProbDist> = (0..6u64)
+            .map(|seed| {
+                let ideal = qufem_circuits::Algorithm::Qsvm.ideal_distribution(7, seed);
+                device.measure_distribution(&ideal, &measured, 500, &mut rng)
+            })
+            .collect();
+
+        let mut seq_stats = EngineStats::default();
+        let sequential: Vec<ProbDist> =
+            dists.iter().map(|d| prepared.apply_with_stats(d, &mut seq_stats).unwrap()).collect();
+        let mut par_stats = EngineStats::default();
+        let parallel = prepared.apply_batch(&dists, 3, &mut par_stats).unwrap();
+
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        }
+        assert_eq!(seq_stats.products, par_stats.products);
+        assert_eq!(seq_stats.accumulated, par_stats.accumulated);
+    }
+
+    #[test]
+    fn batch_with_single_thread_degrades_gracefully() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let prepared = qufem.prepare(&measured).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ideal = qufem_circuits::ghz(7);
+        let noisy = device.measure_distribution(&ideal, &measured, 500, &mut rng);
+        let mut stats = EngineStats::default();
+        let out = prepared.apply_batch(&[noisy.clone()], 0, &mut stats).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].sorted_pairs(),
+            prepared.apply(&noisy).unwrap().sorted_pairs()
+        );
+    }
+
+    #[test]
+    fn batch_propagates_width_errors() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let prepared = qufem.prepare(&measured).unwrap();
+        let wrong = ProbDist::point_mass(BitString::zeros(3));
+        let mut stats = EngineStats::default();
+        assert!(prepared.apply_batch(&[wrong], 4, &mut stats).is_err());
+    }
+
+    #[test]
+    fn prepared_calibration_reusable_across_distributions() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let prepared = qufem.prepare(&measured).unwrap();
+        assert_eq!(prepared.n_iterations(), 2);
+        assert!(prepared.n_matrices() > 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for seed in 0..3u64 {
+            let ideal = qufem_circuits::Algorithm::Vqc.ideal_distribution(7, seed);
+            let noisy = device.measure_distribution(&ideal, &measured, 1000, &mut rng);
+            let a = prepared.apply(&noisy).unwrap();
+            let b = qufem.calibrate(&noisy, &measured).unwrap();
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        }
+    }
+
+    #[test]
+    fn partial_measurement_calibration() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured: QubitSet = [1usize, 3, 5].into_iter().collect();
+        let ideal = qufem_circuits::ghz(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let calibrated = qufem.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
+        let before = hellinger_fidelity(&noisy, &ideal);
+        let after = hellinger_fidelity(&calibrated, &ideal);
+        assert!(after >= before - 1e-6, "partial calibration must not hurt: {before} → {after}");
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let wrong = ProbDist::point_mass(BitString::zeros(3));
+        assert!(matches!(
+            qufem.calibrate(&wrong, &measured),
+            Err(Error::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_measured_set_is_reported() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured: QubitSet = [0usize, 9].into_iter().collect();
+        assert!(matches!(
+            qufem.prepare(&measured),
+            Err(Error::QubitOutOfRange { index: 9, width: 7 })
+        ));
+    }
+
+    #[test]
+    fn effective_matrix_close_to_golden() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured: QubitSet = [0usize, 1, 2].into_iter().collect();
+        let effective = qufem.effective_noise_matrix(&measured, 6).unwrap();
+        let golden = device.golden_noise_matrix(&measured, 6).unwrap();
+        let d = qufem_metrics::hilbert_schmidt_distance(&golden, &effective);
+        assert!(d < 0.05, "HS distance to golden should be small, got {d}");
+        assert!(effective.is_column_stochastic(0.05));
+    }
+
+    #[test]
+    fn random_grouping_ablation_still_calibrates() {
+        let device = presets::ibmq_7(4);
+        let config = QuFemConfig::builder()
+            .characterization_threshold(5e-4)
+            .shots(500)
+            .random_grouping(true)
+            .seed(4)
+            .build()
+            .unwrap();
+        let qufem = QuFem::characterize(&device, config).unwrap();
+        let measured = QubitSet::full(7);
+        let ideal = qufem_circuits::ghz(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let calibrated = qufem.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
+        assert!(hellinger_fidelity(&calibrated, &ideal) > 0.5);
+    }
+
+    #[test]
+    fn characterization_is_deterministic_in_seed() {
+        let device_a = presets::ibmq_7(1);
+        let device_b = presets::ibmq_7(1);
+        let a = QuFem::characterize(&device_a, fast_config()).unwrap();
+        let b = QuFem::characterize(&device_b, fast_config()).unwrap();
+        for (pa, pb) in a.iterations().iter().zip(b.iterations()) {
+            assert_eq!(pa.grouping(), pb.grouping());
+        }
+    }
+}

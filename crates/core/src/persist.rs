@@ -1,0 +1,198 @@
+//! Persistence of calibration parameters.
+//!
+//! The paper stresses that "for a target quantum device, the calibration
+//! parameters are static" (§3.2): qubit interactions are fixed by the
+//! hardware deployment, so the output of the (expensive) characterization
+//! flow can be computed once and reused until the device is retuned. This
+//! module provides a serde-friendly snapshot of a [`QuFem`] instance so the
+//! parameters can be written to disk and reloaded without touching the
+//! quantum device again.
+//!
+//! ```no_run
+//! # use qufem_core::{QuFem, QuFemConfig};
+//! # use qufem_device::presets;
+//! let device = presets::ibmq_7(1);
+//! let qufem = QuFem::characterize(&device, QuFemConfig::default())?;
+//!
+//! // Persist (any serde format works; JSON shown).
+//! let data = qufem.export();
+//! let json = serde_json::to_string(&data).unwrap();
+//!
+//! // …later, in another process…
+//! let data: qufem_core::QuFemData = serde_json::from_str(&json).unwrap();
+//! let restored = QuFem::import(data)?;
+//! # Ok::<(), qufem_types::Error>(())
+//! ```
+
+use crate::benchgen::BenchGenReport;
+use crate::config::QuFemConfig;
+use crate::flows::{IterationParams, QuFem};
+use crate::snapshot::{BenchmarkRecord, BenchmarkSnapshot};
+use qufem_device::BenchmarkCircuit;
+use qufem_types::{Error, ProbDist, QubitSet, Result};
+use serde::{Deserialize, Serialize};
+
+/// One benchmarking record in portable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordData {
+    /// The executed circuit.
+    pub circuit: BenchmarkCircuit,
+    /// Its (possibly partially calibrated) distribution.
+    pub dist: ProbDist,
+}
+
+/// One iteration's calibration parameters in portable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationData {
+    /// The grouping scheme `G_i`.
+    pub grouping: Vec<QubitSet>,
+    /// The benchmarking distributions `BP_i`.
+    pub records: Vec<RecordData>,
+}
+
+/// Portable snapshot of a characterized [`QuFem`] instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuFemData {
+    /// Configuration the characterization ran with.
+    pub config: QuFemConfig,
+    /// Device qubit count.
+    pub n_qubits: usize,
+    /// Per-iteration parameters, iteration 1 first.
+    pub iterations: Vec<IterationData>,
+    /// Benchmark-generation accounting, if characterized against a device.
+    pub benchgen_report: Option<BenchGenReport>,
+}
+
+impl QuFem {
+    /// Exports the calibration parameters in a serde-serializable form.
+    pub fn export(&self) -> QuFemData {
+        QuFemData {
+            config: self.config().clone(),
+            n_qubits: self.n_qubits(),
+            iterations: self
+                .iterations()
+                .iter()
+                .map(|params| IterationData {
+                    grouping: params.grouping().clone(),
+                    records: params
+                        .snapshot()
+                        .records()
+                        .iter()
+                        .map(|r| RecordData {
+                            circuit: r.circuit().clone(),
+                            dist: r.dist().clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            benchgen_report: self.benchgen_report().cloned(),
+        }
+    }
+
+    /// Reconstructs a calibrator from exported parameters, without device
+    /// access or re-running the flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for inconsistent data (validated
+    /// config, empty iteration list, width mismatches).
+    pub fn import(data: QuFemData) -> Result<Self> {
+        data.config.validate()?;
+        if data.iterations.is_empty() {
+            return Err(Error::InvalidConfig("exported data has no iterations".into()));
+        }
+        let mut iterations = Vec::with_capacity(data.iterations.len());
+        for iter_data in data.iterations {
+            let mut snapshot = BenchmarkSnapshot::new(data.n_qubits);
+            for record in iter_data.records {
+                if record.circuit.width() != data.n_qubits {
+                    return Err(Error::WidthMismatch {
+                        expected: data.n_qubits,
+                        actual: record.circuit.width(),
+                    });
+                }
+                if record.dist.width() != record.circuit.measured_qubits().len() {
+                    return Err(Error::WidthMismatch {
+                        expected: record.circuit.measured_qubits().len(),
+                        actual: record.dist.width(),
+                    });
+                }
+                snapshot.push(BenchmarkRecord::new(record.circuit, record.dist));
+            }
+            iterations.push(IterationParams::from_parts(iter_data.grouping, snapshot));
+        }
+        Ok(QuFem::from_parts(data.config, data.n_qubits, iterations, data.benchgen_report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_device::presets;
+    use qufem_types::{BitString, QubitSet};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn characterized() -> (qufem_device::Device, QuFem) {
+        let device = presets::ibmq_7(1);
+        let config = QuFemConfig::builder()
+            .characterization_threshold(5e-4)
+            .shots(400)
+            .seed(1)
+            .build()
+            .unwrap();
+        let qufem = QuFem::characterize(&device, config).unwrap();
+        (device, qufem)
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_calibration() {
+        let (device, qufem) = characterized();
+        let json = serde_json::to_string(&qufem.export()).unwrap();
+        let restored = QuFem::import(serde_json::from_str(&json).unwrap()).unwrap();
+
+        let measured = QubitSet::full(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ideal = qufem_circuits::ghz(7);
+        let noisy = device.measure_distribution(&ideal, &measured, 500, &mut rng);
+        let a = qufem.calibrate(&noisy, &measured).unwrap();
+        let b = restored.calibrate(&noisy, &measured).unwrap();
+        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+    }
+
+    #[test]
+    fn export_preserves_benchgen_report() {
+        let (_, qufem) = characterized();
+        let data = qufem.export();
+        assert_eq!(
+            data.benchgen_report.as_ref().map(|r| r.total_circuits),
+            qufem.benchgen_report().map(|r| r.total_circuits)
+        );
+        let restored = QuFem::import(data).unwrap();
+        assert_eq!(
+            restored.benchgen_report().map(|r| r.total_circuits),
+            qufem.benchgen_report().map(|r| r.total_circuits)
+        );
+    }
+
+    #[test]
+    fn import_rejects_empty_iterations() {
+        let (_, qufem) = characterized();
+        let mut data = qufem.export();
+        data.iterations.clear();
+        assert!(matches!(QuFem::import(data), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn import_rejects_mismatched_widths() {
+        let (_, qufem) = characterized();
+        let mut data = qufem.export();
+        // Corrupt one record: distribution width no longer matches the
+        // circuit's measured set.
+        let record = &mut data.iterations[0].records[0];
+        record.dist = ProbDist::point_mass(BitString::zeros(
+            record.circuit.measured_qubits().len() + 1,
+        ));
+        assert!(matches!(QuFem::import(data), Err(Error::WidthMismatch { .. })));
+    }
+}

@@ -1,0 +1,42 @@
+//! Regression guard on end-to-end calibration quality: the 18-qubit GHZ
+//! scenario that exposed the pruning-bias and projection issues during
+//! development. Keeps the (β, floor) tuning honest.
+
+use qufem_circuits::Algorithm;
+use qufem_core::{QuFem, QuFemConfig};
+use qufem_device::presets;
+use qufem_metrics::hellinger_fidelity;
+use qufem_types::QubitSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn ghz_18q_reaches_high_fidelity_and_stays_fast() {
+    let device = presets::quafu_18(2);
+    let measured = QubitSet::full(18);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let ideal = Algorithm::Ghz.ideal_distribution(18, 0);
+    let noisy = device.measure_distribution(&ideal, &measured, 2000, &mut rng);
+    let uncal = hellinger_fidelity(&noisy, &ideal);
+
+    let config = QuFemConfig::builder()
+        .characterization_threshold(2e-4)
+        .shots(1000)
+        .seed(2)
+        .build()
+        .unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    let start = std::time::Instant::now();
+    let out = qufem.calibrate(&noisy, &measured).unwrap();
+    let calib_time = start.elapsed().as_secs_f64();
+    let fid = hellinger_fidelity(&out.project_to_probabilities(), &ideal);
+
+    assert!(uncal < 0.5, "device should be visibly noisy, uncal = {uncal:.4}");
+    assert!(
+        fid > 0.90,
+        "calibrated GHZ fidelity regressed: {fid:.4} (uncalibrated {uncal:.4})"
+    );
+    assert!((out.total_mass() - 1.0).abs() < 0.05, "mass {:.4}", out.total_mass());
+    // Generous wall-clock bound (debug builds, loaded CI boxes).
+    assert!(calib_time < 60.0, "calibration took {calib_time:.1}s");
+}

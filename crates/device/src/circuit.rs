@@ -1,0 +1,188 @@
+//! Benchmarking circuits for readout characterization.
+
+use qufem_types::{BitString, QubitSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a benchmarking circuit does with one qubit.
+///
+/// QuFEM's generation scheme (paper §4.1) gives each qubit three options; the
+/// "random state, not measured" option is resolved to a concrete bit at
+/// generation time, so it appears here as two variants:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QubitOp {
+    /// Prepare `|0⟩` and measure (paper option 1 with state 0).
+    Prepare0Measured,
+    /// Prepare `|1⟩` and measure (paper option 1 with state 1).
+    Prepare1Measured,
+    /// Prepare `|0⟩` and do **not** measure (paper option 3).
+    Idle0,
+    /// Prepare `|1⟩` and do **not** measure (paper option 3).
+    Idle1,
+}
+
+impl QubitOp {
+    /// The prepared (ideal) state bit.
+    pub fn ideal_bit(self) -> bool {
+        matches!(self, QubitOp::Prepare1Measured | QubitOp::Idle1)
+    }
+
+    /// Whether the qubit is measured.
+    pub fn is_measured(self) -> bool {
+        matches!(self, QubitOp::Prepare0Measured | QubitOp::Prepare1Measured)
+    }
+
+    /// Builds the op from (prepared bit, measured flag).
+    pub fn from_parts(ideal: bool, measured: bool) -> Self {
+        match (ideal, measured) {
+            (false, true) => QubitOp::Prepare0Measured,
+            (true, true) => QubitOp::Prepare1Measured,
+            (false, false) => QubitOp::Idle0,
+            (true, false) => QubitOp::Idle1,
+        }
+    }
+}
+
+/// A full-width benchmarking circuit: one [`QubitOp`] per device qubit.
+///
+/// ```
+/// use qufem_device::{BenchmarkCircuit, QubitOp};
+///
+/// let c = BenchmarkCircuit::new(vec![
+///     QubitOp::Prepare1Measured,
+///     QubitOp::Idle0,
+///     QubitOp::Prepare0Measured,
+/// ]);
+/// assert_eq!(c.width(), 3);
+/// assert_eq!(c.measured_qubits().as_slice(), &[0, 2]);
+/// assert_eq!(c.ideal_bits().to_string(), "100");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BenchmarkCircuit {
+    ops: Vec<QubitOp>,
+}
+
+impl BenchmarkCircuit {
+    /// Creates a circuit from per-qubit operations.
+    pub fn new(ops: Vec<QubitOp>) -> Self {
+        BenchmarkCircuit { ops }
+    }
+
+    /// A circuit that prepares the given basis state on every qubit and
+    /// measures all of them — the classic exhaustive-characterization circuit
+    /// (paper Eq. 3).
+    pub fn all_prepared(state: &BitString) -> Self {
+        BenchmarkCircuit {
+            ops: state.iter_bits().map(|b| QubitOp::from_parts(b, true)).collect(),
+        }
+    }
+
+    /// Number of device qubits.
+    pub fn width(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operation applied to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn op(&self, q: usize) -> QubitOp {
+        self.ops[q]
+    }
+
+    /// All operations as a slice.
+    pub fn ops(&self) -> &[QubitOp] {
+        &self.ops
+    }
+
+    /// The set of measured qubits.
+    pub fn measured_qubits(&self) -> QubitSet {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_measured())
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// The full-width ideal (prepared) state, including unmeasured qubits.
+    pub fn ideal_bits(&self) -> BitString {
+        self.ops.iter().map(|op| op.ideal_bit()).collect()
+    }
+
+    /// The ideal bits restricted to measured qubits, in ascending qubit
+    /// order — the "correct answer" a noise-free readout would return.
+    pub fn ideal_measured_bits(&self) -> BitString {
+        self.ops
+            .iter()
+            .filter(|op| op.is_measured())
+            .map(|op| op.ideal_bit())
+            .collect()
+    }
+}
+
+impl fmt::Display for BenchmarkCircuit {
+    /// Compact form: one character per qubit — `0`/`1` prepared-and-measured,
+    /// `a`/`b` idle in `|0⟩`/`|1⟩`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.ops {
+            let c = match op {
+                QubitOp::Prepare0Measured => '0',
+                QubitOp::Prepare1Measured => '1',
+                QubitOp::Idle0 => 'a',
+                QubitOp::Idle1 => 'b',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_parts_roundtrip() {
+        for ideal in [false, true] {
+            for measured in [false, true] {
+                let op = QubitOp::from_parts(ideal, measured);
+                assert_eq!(op.ideal_bit(), ideal);
+                assert_eq!(op.is_measured(), measured);
+            }
+        }
+    }
+
+    #[test]
+    fn all_prepared_measures_everything() {
+        let s = BitString::from_binary_str("101").unwrap();
+        let c = BenchmarkCircuit::all_prepared(&s);
+        assert_eq!(c.measured_qubits().len(), 3);
+        assert_eq!(c.ideal_bits(), s);
+        assert_eq!(c.ideal_measured_bits(), s);
+    }
+
+    #[test]
+    fn ideal_measured_bits_skips_idle() {
+        let c = BenchmarkCircuit::new(vec![
+            QubitOp::Prepare1Measured,
+            QubitOp::Idle1,
+            QubitOp::Prepare0Measured,
+        ]);
+        assert_eq!(c.ideal_bits().to_string(), "110");
+        assert_eq!(c.ideal_measured_bits().to_string(), "10");
+        assert_eq!(c.measured_qubits().as_slice(), &[0, 2]);
+    }
+
+    #[test]
+    fn display_compact_form() {
+        let c = BenchmarkCircuit::new(vec![
+            QubitOp::Prepare0Measured,
+            QubitOp::Prepare1Measured,
+            QubitOp::Idle0,
+            QubitOp::Idle1,
+        ]);
+        assert_eq!(c.to_string(), "01ab");
+    }
+}

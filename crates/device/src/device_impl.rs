@@ -1,0 +1,589 @@
+//! The simulated quantum device.
+
+use crate::{BenchmarkCircuit, ReadoutNoiseModel, Topology};
+use qufem_linalg::Matrix;
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for quantum-hardware usage, mirroring the cost accounting in the
+/// paper's Table 3 (number of benchmarking circuits executed).
+#[derive(Debug, Default)]
+pub struct ExecutionStats {
+    circuits: AtomicU64,
+    shots: AtomicU64,
+}
+
+impl ExecutionStats {
+    /// Number of circuits executed since the last reset.
+    pub fn circuits(&self) -> u64 {
+        self.circuits.load(Ordering::Relaxed)
+    }
+
+    /// Number of shots executed since the last reset.
+    pub fn shots(&self) -> u64 {
+        self.shots.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, shots: u64) {
+        self.circuits.fetch_add(1, Ordering::Relaxed);
+        self.shots.fetch_add(shots, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.circuits.store(0, Ordering::Relaxed);
+        self.shots.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A simulated quantum device: a topology plus a ground-truth readout noise
+/// model, with hardware-usage accounting.
+///
+/// All randomness is caller-supplied (`&mut impl Rng`), so experiments are
+/// reproducible given a seed.
+#[derive(Debug)]
+pub struct Device {
+    name: String,
+    topology: Topology,
+    model: ReadoutNoiseModel,
+    stats: ExecutionStats,
+}
+
+impl Device {
+    /// Creates a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the topology and noise model
+    /// disagree on the qubit count.
+    pub fn new(name: impl Into<String>, topology: Topology, model: ReadoutNoiseModel) -> Result<Self> {
+        if topology.n_qubits() != model.n_qubits() {
+            return Err(Error::WidthMismatch {
+                expected: topology.n_qubits(),
+                actual: model.n_qubits(),
+            });
+        }
+        Ok(Device { name: name.into(), topology, model, stats: ExecutionStats::default() })
+    }
+
+    /// Human-readable device name (e.g. `"quafu-18"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.topology.n_qubits()
+    }
+
+    /// The connectivity graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The ground-truth noise model. Calibration code must *not* peek at
+    /// this — it exists for golden baselines and tests.
+    pub fn ground_truth(&self) -> &ReadoutNoiseModel {
+        &self.model
+    }
+
+    /// Hardware-usage counters.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+
+    /// Resets the hardware-usage counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Executes a benchmarking circuit for `shots` shots and returns the
+    /// empirical distribution over the circuit's measured qubits (bit `k` of
+    /// an outcome is the `k`-th measured qubit in ascending order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width does not match the device, or the circuit
+    /// measures no qubits, or `shots == 0`.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        circuit: &BenchmarkCircuit,
+        shots: u64,
+        rng: &mut R,
+    ) -> ProbDist {
+        assert_eq!(circuit.width(), self.n_qubits(), "circuit width must match device");
+        assert!(shots > 0, "shots must be positive");
+        let measured = circuit.measured_qubits();
+        assert!(!measured.is_empty(), "circuit must measure at least one qubit");
+        self.stats.record(shots);
+        let ideal_full = circuit.ideal_bits();
+        self.sample_readout(&ideal_full, &measured, shots, rng)
+    }
+
+    /// Samples the noisy readout of a fixed full-width ideal state, without
+    /// counting it as a hardware circuit (used internally and by workload
+    /// generators).
+    ///
+    /// Flip events are sampled with geometric skipping: for each qubit the
+    /// shots at which it flips are drawn directly (expected work is the
+    /// number of *flips*, not `shots × qubits`), which keeps thousand-shot
+    /// sampling on 500-qubit devices cheap. Statistically identical to
+    /// per-cell Bernoulli draws.
+    pub fn sample_readout<R: Rng + ?Sized>(
+        &self,
+        ideal_full: &BitString,
+        measured: &QubitSet,
+        shots: u64,
+        rng: &mut R,
+    ) -> ProbDist {
+        let flip_probs = self.model.flip_probabilities(ideal_full, measured);
+        let ideal_sub = ideal_full.extract(&measured.iter().collect::<Vec<_>>());
+        let m = measured.len();
+        // flips[shot] = list of local qubit indices flipped in that shot.
+        let mut flips: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        for (k, &p) in flip_probs.iter().enumerate().take(m) {
+            if p <= 0.0 {
+                continue;
+            }
+            let log1mp = (1.0 - p).ln();
+            let mut shot = 0u64;
+            loop {
+                // Geometric skip: number of non-flip shots before the next flip.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = ((1.0 - u).ln() / log1mp).floor();
+                if !skip.is_finite() || skip >= (shots - shot) as f64 {
+                    break;
+                }
+                shot += skip as u64;
+                flips.entry(shot).or_default().push(k);
+                shot += 1;
+                if shot >= shots {
+                    break;
+                }
+            }
+        }
+        // Correlated pair flips (both qubits measured): same geometric-skip
+        // sampling, flipping both local bits of the affected shots.
+        for term in self.model.correlated_flips() {
+            let (a, b) = term.qubits;
+            let (Some(ka), Some(kb)) = (measured.position(a), measured.position(b)) else {
+                continue;
+            };
+            if term.prob <= 0.0 {
+                continue;
+            }
+            let log1mp = (1.0 - term.prob).ln();
+            let mut shot = 0u64;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = ((1.0 - u).ln() / log1mp).floor();
+                if !skip.is_finite() || skip >= (shots - shot) as f64 {
+                    break;
+                }
+                shot += skip as u64;
+                let entry = flips.entry(shot).or_default();
+                entry.push(ka);
+                entry.push(kb);
+                shot += 1;
+                if shot >= shots {
+                    break;
+                }
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        let faithful_shots = shots - flips.len() as u64;
+        if faithful_shots > 0 {
+            counts.insert(ideal_sub.clone(), faithful_shots);
+        }
+        for flipped in flips.into_values() {
+            let mut outcome = ideal_sub.clone();
+            for k in flipped {
+                outcome.flip(k);
+            }
+            *counts.entry(outcome).or_insert(0u64) += 1;
+        }
+        ProbDist::from_counts(m, &counts, shots).expect("shots > 0")
+    }
+
+    /// The *exact* readout distribution of a fixed ideal state: enumerates
+    /// flip patterns depth-first, abandoning branches whose probability falls
+    /// below `prune` (pass `0.0` for a fully exact enumeration on small
+    /// measured sets).
+    pub fn exact_readout(
+        &self,
+        ideal_full: &BitString,
+        measured: &QubitSet,
+        prune: f64,
+    ) -> ProbDist {
+        let flip_probs = self.model.flip_probabilities(ideal_full, measured);
+        let positions: Vec<usize> = measured.iter().collect();
+        let ideal_sub = ideal_full.extract(&positions);
+        let m = positions.len();
+
+        // Correlated terms whose qubits are both measured: enumerate their
+        // activation patterns exactly (each term is an independent Bernoulli
+        // event flipping two bits together).
+        let active_terms: Vec<(usize, usize, f64)> = self
+            .model
+            .correlated_flips()
+            .iter()
+            .filter_map(|t| {
+                let ka = measured.position(t.qubits.0)?;
+                let kb = measured.position(t.qubits.1)?;
+                Some((ka, kb, t.prob))
+            })
+            .collect();
+        assert!(
+            active_terms.len() <= 16,
+            "exact readout supports at most 16 applicable correlated terms"
+        );
+
+        let mut out = ProbDist::new(m);
+        for pattern in 0..(1usize << active_terms.len()) {
+            let mut base = ideal_sub.clone();
+            let mut pattern_weight = 1.0;
+            for (t, &(ka, kb, p)) in active_terms.iter().enumerate() {
+                if (pattern >> t) & 1 == 1 {
+                    base.flip(ka);
+                    base.flip(kb);
+                    pattern_weight *= p;
+                } else {
+                    pattern_weight *= 1.0 - p;
+                }
+            }
+            if pattern_weight <= prune {
+                continue;
+            }
+            // DFS over qubits: choose "faithful" (1-p) or "flipped" (p).
+            let mut stack: Vec<(usize, BitString, f64)> = vec![(0, base, pattern_weight)];
+            while let Some((level, outcome, weight)) = stack.pop() {
+                if weight <= prune {
+                    continue;
+                }
+                if level == m {
+                    out.add(outcome, weight);
+                    continue;
+                }
+                let p = flip_probs[level];
+                stack.push((level + 1, outcome.clone(), weight * (1.0 - p)));
+                let flipped = outcome.with_flipped(level);
+                stack.push((level + 1, flipped, weight * p));
+            }
+        }
+        out
+    }
+
+    /// Pushes an ideal output distribution of a quantum algorithm through the
+    /// readout noise channel, sampling `shots` shots.
+    ///
+    /// `ideal` has one bit per *measured* qubit (ascending order of
+    /// `measured`); unmeasured device qubits idle in `|0⟩`.
+    ///
+    /// Counts as one hardware circuit execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree or the ideal distribution has no positive
+    /// mass.
+    pub fn measure_distribution<R: Rng + ?Sized>(
+        &self,
+        ideal: &ProbDist,
+        measured: &QubitSet,
+        shots: u64,
+        rng: &mut R,
+    ) -> ProbDist {
+        assert_eq!(ideal.width(), measured.len(), "ideal width must match measured set");
+        self.stats.record(shots);
+        let positions: Vec<usize> = measured.iter().collect();
+        let outcome_shots = ideal.sample_counts(rng, shots);
+        let mut combined = ProbDist::new(measured.len());
+        for (outcome, n) in outcome_shots {
+            let mut ideal_full = BitString::zeros(self.n_qubits());
+            ideal_full.scatter(&positions, &outcome);
+            let noisy = self.sample_readout(&ideal_full, measured, n, rng);
+            for (k, v) in noisy.iter() {
+                combined.add(k.clone(), v * (n as f64) / (shots as f64));
+            }
+        }
+        combined
+    }
+
+    /// Exact (unsampled) version of [`Device::measure_distribution`]: the
+    /// true noisy distribution, with per-branch pruning below `prune`.
+    pub fn measure_distribution_exact(
+        &self,
+        ideal: &ProbDist,
+        measured: &QubitSet,
+        prune: f64,
+    ) -> ProbDist {
+        assert_eq!(ideal.width(), measured.len(), "ideal width must match measured set");
+        let positions: Vec<usize> = measured.iter().collect();
+        let mut combined = ProbDist::new(measured.len());
+        for (outcome, p) in ideal.iter() {
+            if p <= 0.0 {
+                continue;
+            }
+            let mut ideal_full = BitString::zeros(self.n_qubits());
+            ideal_full.scatter(&positions, outcome);
+            let noisy = self.exact_readout(&ideal_full, measured, prune);
+            for (k, v) in noisy.iter() {
+                combined.add(k.clone(), v * p);
+            }
+        }
+        combined
+    }
+
+    /// The exact ("golden") noise matrix over a measured qubit subset, with
+    /// the remaining qubits idling in `|0⟩`: entry `(x, y)` is
+    /// `P(measure = x | prepare = y)` (paper Eq. 3). Indices are the integer
+    /// values of sub-bit-strings over `measured` (bit 0 least significant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResourceExhausted`] if `measured.len() > max_qubits`
+    /// — the matrix is dense `2^m × 2^m`.
+    pub fn golden_noise_matrix(&self, measured: &QubitSet, max_qubits: usize) -> Result<Matrix> {
+        let m = measured.len();
+        if m > max_qubits {
+            return Err(Error::ResourceExhausted(format!(
+                "golden noise matrix for {m} qubits exceeds the {max_qubits}-qubit bound"
+            )));
+        }
+        let dim = 1usize << m;
+        let positions: Vec<usize> = measured.iter().collect();
+        let mut matrix = Matrix::zeros(dim, dim);
+        for y in 0..dim {
+            let sub = BitString::from_index(y, m).expect("index below 2^m");
+            let mut ideal_full = BitString::zeros(self.n_qubits());
+            ideal_full.scatter(&positions, &sub);
+            let column = self.exact_readout(&ideal_full, measured, 0.0);
+            for (outcome, p) in column.iter() {
+                let x = outcome.to_index().expect("outcome width = m <= max_qubits");
+                matrix.set(x, y, p);
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Approximate heap usage in bytes (benchmark memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.model.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrosstalkShifts, QubitNoise};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_device() -> Device {
+        let mut model = ReadoutNoiseModel::new(vec![
+            QubitNoise::new(0.02, 0.05).unwrap(),
+            QubitNoise::new(0.01, 0.04).unwrap(),
+            QubitNoise::new(0.03, 0.06).unwrap(),
+        ]);
+        model
+            .add_crosstalk(1, 0, CrosstalkShifts { on_one: 0.05, ..Default::default() })
+            .unwrap();
+        Device::new("test-3q", Topology::linear(3), model).unwrap()
+    }
+
+    #[test]
+    fn new_checks_widths() {
+        let model = ReadoutNoiseModel::new(vec![QubitNoise::new(0.01, 0.01).unwrap(); 2]);
+        assert!(Device::new("bad", Topology::linear(3), model).is_err());
+    }
+
+    #[test]
+    fn execute_counts_hardware_usage() {
+        let d = test_device();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let c = BenchmarkCircuit::all_prepared(&BitString::zeros(3));
+        let _ = d.execute(&c, 100, &mut rng);
+        let _ = d.execute(&c, 50, &mut rng);
+        assert_eq!(d.stats().circuits(), 2);
+        assert_eq!(d.stats().shots(), 150);
+        d.reset_stats();
+        assert_eq!(d.stats().circuits(), 0);
+    }
+
+    #[test]
+    fn exact_readout_mass_sums_to_one() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let dist = d.exact_readout(&BitString::zeros(3), &all, 0.0);
+        assert!((dist.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(dist.support_len(), 8);
+    }
+
+    #[test]
+    fn exact_readout_matches_hand_computation() {
+        // Qubit 0 alone: prepared |1⟩, flip prob = eps1 = 0.05.
+        let d = test_device();
+        let only0: QubitSet = [0usize].into_iter().collect();
+        let mut ideal = BitString::zeros(3);
+        ideal.set(0, true);
+        let dist = d.exact_readout(&ideal, &only0, 0.0);
+        let one = BitString::from_binary_str("1").unwrap();
+        let zero = BitString::from_binary_str("0").unwrap();
+        assert!((dist.prob(&one) - 0.95).abs() < 1e-12);
+        assert!((dist.prob(&zero) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_visible_in_exact_readout() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        // q1 = |1⟩ raises q0's flip probability from 0.02 to 0.07.
+        let mut ideal = BitString::zeros(3);
+        ideal.set(1, true);
+        let dist = d.exact_readout(&ideal, &all, 0.0);
+        let keep: QubitSet = [0usize].into_iter().collect();
+        let marg = dist.marginal(&keep);
+        let one = BitString::from_binary_str("1").unwrap();
+        assert!((marg.prob(&one) - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_readout_converges_to_exact() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let ideal = BitString::zeros(3);
+        let exact = d.exact_readout(&ideal, &all, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sampled = d.sample_readout(&ideal, &all, 100_000, &mut rng);
+        let zero = BitString::zeros(3);
+        assert!((sampled.prob(&zero) - exact.prob(&zero)).abs() < 0.01);
+    }
+
+    #[test]
+    fn golden_noise_matrix_is_column_stochastic() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let m = d.golden_noise_matrix(&all, 12).unwrap();
+        assert_eq!(m.rows(), 8);
+        assert!(m.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn golden_noise_matrix_reflects_crosstalk() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let m = d.golden_noise_matrix(&all, 12).unwrap();
+        // Column y=0 (|000⟩): P(q0 flips) = 0.02 → entry (x=1, y=0) ≈ 0.02 · 0.99 · 0.97.
+        let expect = 0.02 * 0.99 * 0.97;
+        assert!((m.get(1, 0) - expect).abs() < 1e-12);
+        // Column y=2 (q1=1): q0 flip prob becomes 0.07.
+        let expect_ct = 0.07 * (1.0 - 0.04) * 0.97;
+        assert!((m.get(1 + 2, 2) - expect_ct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_noise_matrix_size_bound() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        assert!(d.golden_noise_matrix(&all, 2).is_err());
+    }
+
+    #[test]
+    fn measure_distribution_exact_ghz_shape() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let mut ghz = ProbDist::new(3);
+        ghz.add(BitString::zeros(3), 0.5);
+        ghz.add(BitString::ones(3), 0.5);
+        let noisy = d.measure_distribution_exact(&ghz, &all, 0.0);
+        assert!((noisy.total_mass() - 1.0).abs() < 1e-12);
+        // Both GHZ peaks survive as the two largest outcomes.
+        let zero_p = noisy.prob(&BitString::zeros(3));
+        let ones_p = noisy.prob(&BitString::ones(3));
+        assert!(zero_p > 0.4 && ones_p > 0.35, "peaks: {zero_p}, {ones_p}");
+    }
+
+    #[test]
+    fn measure_distribution_partial_set() {
+        let d = test_device();
+        let subset: QubitSet = [0usize, 2].into_iter().collect();
+        let ideal = ProbDist::point_mass(BitString::from_binary_str("10").unwrap());
+        let noisy = d.measure_distribution_exact(&ideal, &subset, 0.0);
+        assert_eq!(noisy.width(), 2);
+        assert!((noisy.total_mass() - 1.0).abs() < 1e-12);
+        // q1 unmeasured: q0 flip prob stays at base eps1 = 0.05.
+        let keep: QubitSet = [0usize].into_iter().collect();
+        let marg = noisy.marginal(&keep);
+        assert!((marg.prob(&BitString::from_binary_str("0").unwrap()) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_flips_appear_in_exact_readout() {
+        let mut model = ReadoutNoiseModel::new(vec![QubitNoise::new(0.01, 0.01).unwrap(); 2]);
+        model.add_correlated_flip(0, 1, 0.1).unwrap();
+        let d = Device::new("corr", Topology::linear(2), model).unwrap();
+        let all = QubitSet::full(2);
+        let dist = d.exact_readout(&BitString::zeros(2), &all, 0.0);
+        assert!((dist.total_mass() - 1.0).abs() < 1e-12);
+        // P(11 | 00): correlated flip (0.1) with both faithful afterwards
+        // (0.99²) plus the tiny independent double-flip path.
+        let p11 = dist.prob(&BitString::ones(2));
+        let expect = 0.1 * 0.99 * 0.99 + 0.9 * 0.01 * 0.01;
+        assert!((p11 - expect).abs() < 1e-12, "p11 = {p11}, expected {expect}");
+        // The product of single-qubit marginals underestimates p11: the
+        // noise is genuinely correlated.
+        let m0 = dist.marginal(&[0usize].into_iter().collect());
+        let m1 = dist.marginal(&[1usize].into_iter().collect());
+        let one = BitString::from_binary_str("1").unwrap();
+        assert!(p11 > 2.0 * m0.prob(&one) * m1.prob(&one));
+    }
+
+    #[test]
+    fn correlated_flips_match_between_sampled_and_exact() {
+        let mut model = ReadoutNoiseModel::new(vec![QubitNoise::new(0.02, 0.02).unwrap(); 3]);
+        model.add_correlated_flip(0, 2, 0.08).unwrap();
+        let d = Device::new("corr3", Topology::linear(3), model).unwrap();
+        let all = QubitSet::full(3);
+        let exact = d.exact_readout(&BitString::zeros(3), &all, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sampled = d.sample_readout(&BitString::zeros(3), &all, 100_000, &mut rng);
+        let key = BitString::from_binary_str("101").unwrap();
+        assert!(
+            (sampled.prob(&key) - exact.prob(&key)).abs() < 0.01,
+            "sampled {} vs exact {}",
+            sampled.prob(&key),
+            exact.prob(&key)
+        );
+    }
+
+    #[test]
+    fn correlated_flip_ignored_when_partner_unmeasured() {
+        let mut model = ReadoutNoiseModel::new(vec![QubitNoise::new(0.01, 0.01).unwrap(); 2]);
+        model.add_correlated_flip(0, 1, 0.2).unwrap();
+        let d = Device::new("corr", Topology::linear(2), model).unwrap();
+        let only0: QubitSet = [0usize].into_iter().collect();
+        let dist = d.exact_readout(&BitString::zeros(2), &only0, 0.0);
+        let one = BitString::from_binary_str("1").unwrap();
+        assert!((dist.prob(&one) - 0.01).abs() < 1e-12, "term must not fire: {dist:?}");
+    }
+
+    #[test]
+    fn correlated_flip_validation() {
+        let mut model = ReadoutNoiseModel::new(vec![QubitNoise::new(0.01, 0.01).unwrap(); 2]);
+        assert!(model.add_correlated_flip(0, 0, 0.1).is_err());
+        assert!(model.add_correlated_flip(0, 5, 0.1).is_err());
+        assert!(model.add_correlated_flip(0, 1, 0.6).is_err());
+        assert!(model.add_correlated_flip(0, 1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn exact_readout_pruning_drops_small_branches() {
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let full = d.exact_readout(&BitString::zeros(3), &all, 0.0);
+        let pruned = d.exact_readout(&BitString::zeros(3), &all, 1e-3);
+        assert!(pruned.support_len() < full.support_len());
+        // Dominant outcome unchanged.
+        let zero = BitString::zeros(3);
+        assert!((pruned.prob(&zero) - full.prob(&zero)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated quantum devices for QuFEM readout-calibration experiments.
+//!
+//! The QuFEM paper evaluates on five real quantum computers. This crate
+//! replaces the hardware with a *generative readout-noise simulator* that
+//! implements exactly the error structure the paper models:
+//!
+//! * each qubit has asymmetric base flip probabilities `ε₀ = P(read 1 |
+//!   prepared 0)` and `ε₁ = P(read 0 | prepared 1)` (paper §2.1, 1%–10%
+//!   range);
+//! * pairwise **crosstalk**: the flip probability of a target qubit shifts
+//!   depending on the *ideal state* of a source qubit and on *whether the
+//!   source is measured at all* (paper §3.3, Figure 4 — state-dependent and
+//!   readout-dependent noise);
+//! * qubits sharing a **readout resonator** receive strong mutual crosstalk
+//!   (paper Figure 5).
+//!
+//! Because the ground truth is known, the crate can also produce *exact*
+//! golden noise matrices for small qubit subsets, which the test-suite and
+//! the golden baseline use.
+//!
+//! # Example
+//!
+//! ```
+//! use qufem_device::{presets, BenchmarkCircuit, QubitOp};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let device = presets::ibmq_7(1);
+//! let circuit = BenchmarkCircuit::all_prepared(&qufem_types::BitString::zeros(7));
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let dist = device.execute(&circuit, 2000, &mut rng);
+//! // Mostly |0000000⟩, with a few percent of flipped outcomes.
+//! assert!(dist.prob(&qufem_types::BitString::zeros(7)) > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod circuit;
+mod device_impl;
+mod noise;
+pub mod physical;
+pub mod presets;
+mod topology;
+
+pub use circuit::{BenchmarkCircuit, QubitOp};
+pub use device_impl::{Device, ExecutionStats};
+pub use noise::{CrosstalkShifts, QubitNoise, ReadoutNoiseModel};
+pub use physical::{gaussian_tail, PhysicalDeviceSpec, PhysicalQubit};
+pub use topology::Topology;

@@ -1,0 +1,333 @@
+//! Ground-truth readout noise model.
+
+use qufem_types::{BitString, Error, QubitSet, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Base readout error of a single qubit.
+///
+/// `eps0` is `P(measured = 1 | prepared = 0)` and `eps1` is
+/// `P(measured = 0 | prepared = 1)`. Real devices are asymmetric — relaxation
+/// makes `|1⟩` decay during readout — so presets set `eps1 > eps0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QubitNoise {
+    /// Probability of reading `1` when the qubit was prepared in `|0⟩`.
+    pub eps0: f64,
+    /// Probability of reading `0` when the qubit was prepared in `|1⟩`.
+    pub eps1: f64,
+}
+
+impl QubitNoise {
+    /// Creates a base noise entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProbability`] unless both values lie in
+    /// `[0, 0.5)` — a flip probability at or above one half makes the state
+    /// indistinguishable and the noise matrix singular.
+    pub fn new(eps0: f64, eps1: f64) -> Result<Self> {
+        for &e in &[eps0, eps1] {
+            if !(0.0..0.5).contains(&e) {
+                return Err(Error::InvalidProbability(e));
+            }
+        }
+        Ok(QubitNoise { eps0, eps1 })
+    }
+}
+
+/// Crosstalk from one *source* qubit onto a *target* qubit's flip
+/// probability.
+///
+/// The shift applied to the target depends on what the source is doing, which
+/// is exactly the structure QuFEM's triple records `(ideal, measured, ef)`
+/// are designed to discover (paper Eq. 8 and Figure 4):
+///
+/// * source prepared in `|0⟩` and measured → [`CrosstalkShifts::on_zero`],
+/// * source prepared in `|1⟩` and measured → [`CrosstalkShifts::on_one`],
+/// * source not measured → [`CrosstalkShifts::on_unmeasured`].
+///
+/// Shifts are additive on the target's flip probability and may be negative
+/// (the paper observes error *decreasing* when a neighbor is unmeasured).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CrosstalkShifts {
+    /// Shift when the source is prepared `|0⟩` and measured.
+    pub on_zero: f64,
+    /// Shift when the source is prepared `|1⟩` and measured.
+    pub on_one: f64,
+    /// Shift when the source is not measured (regardless of its state).
+    pub on_unmeasured: f64,
+}
+
+/// The complete ground-truth readout noise model of a simulated device.
+///
+/// Given a full ideal bit assignment and the set of measured qubits, each
+/// measured qubit flips independently with probability
+///
+/// ```text
+/// p_flip(q) = base(q, ideal_q) + Σ_src shift(src → q, condition(src))
+/// ```
+///
+/// clamped to `[1e-6, 0.499]`. Conditional independence *given the full ideal
+/// assignment* is what makes the paper's per-group product form (Eq. 11)
+/// exact, while the dependence on neighbor states is what qubit-independent
+/// baselines (IBU, CTMP) cannot represent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutNoiseModel {
+    qubits: Vec<QubitNoise>,
+    /// Keyed by `(source, target)`.
+    crosstalk: HashMap<(usize, usize), CrosstalkShifts>,
+    /// Correlated pair-flip events (see
+    /// [`ReadoutNoiseModel::add_correlated_flip`]).
+    #[serde(default)]
+    correlated: Vec<CorrelatedFlip>,
+}
+
+/// A correlated readout event: with probability `prob`, *both* qubits flip
+/// together in a shot (on top of their independent flips).
+///
+/// This violates the conditional-independence assumption behind the paper's
+/// per-qubit product form (Eq. 11) — no tensor-product or grouped-product
+/// formulation can represent it exactly, only a *jointly estimated* group
+/// matrix can (see `QuFemConfig::joint_group_estimation`). Such correlations
+/// appear on hardware when two qubits share a readout line or amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedFlip {
+    /// The two affected qubits.
+    pub qubits: (usize, usize),
+    /// Probability per shot that both flip together. Applies only when both
+    /// qubits are measured.
+    pub prob: f64,
+}
+
+const FLIP_MIN: f64 = 1e-6;
+const FLIP_MAX: f64 = 0.499;
+
+impl ReadoutNoiseModel {
+    /// Creates a model with the given per-qubit base noise and no crosstalk.
+    pub fn new(qubits: Vec<QubitNoise>) -> Self {
+        ReadoutNoiseModel { qubits, crosstalk: HashMap::new(), correlated: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Base noise of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn qubit_noise(&self, q: usize) -> QubitNoise {
+        self.qubits[q]
+    }
+
+    /// Adds (or accumulates onto) a crosstalk term from `source` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QubitOutOfRange`] for invalid indices and
+    /// [`Error::InvalidConfig`] if `source == target`.
+    pub fn add_crosstalk(
+        &mut self,
+        source: usize,
+        target: usize,
+        shifts: CrosstalkShifts,
+    ) -> Result<()> {
+        let n = self.qubits.len();
+        if source >= n {
+            return Err(Error::QubitOutOfRange { index: source, width: n });
+        }
+        if target >= n {
+            return Err(Error::QubitOutOfRange { index: target, width: n });
+        }
+        if source == target {
+            return Err(Error::InvalidConfig(format!("crosstalk self-term on qubit {source}")));
+        }
+        let entry = self.crosstalk.entry((source, target)).or_default();
+        entry.on_zero += shifts.on_zero;
+        entry.on_one += shifts.on_one;
+        entry.on_unmeasured += shifts.on_unmeasured;
+        Ok(())
+    }
+
+    /// Adds a correlated pair-flip event (see [`CorrelatedFlip`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QubitOutOfRange`] / [`Error::InvalidConfig`] /
+    /// [`Error::InvalidProbability`] for invalid qubits or probability.
+    pub fn add_correlated_flip(&mut self, a: usize, b: usize, prob: f64) -> Result<()> {
+        let n = self.qubits.len();
+        for q in [a, b] {
+            if q >= n {
+                return Err(Error::QubitOutOfRange { index: q, width: n });
+            }
+        }
+        if a == b {
+            return Err(Error::InvalidConfig(format!("correlated flip needs two qubits, got q{a} twice")));
+        }
+        if !(0.0..0.5).contains(&prob) {
+            return Err(Error::InvalidProbability(prob));
+        }
+        self.correlated.push(CorrelatedFlip { qubits: (a.min(b), a.max(b)), prob });
+        Ok(())
+    }
+
+    /// The correlated pair-flip events.
+    pub fn correlated_flips(&self) -> &[CorrelatedFlip] {
+        &self.correlated
+    }
+
+    /// All crosstalk terms, as `((source, target), shifts)` pairs in
+    /// deterministic order.
+    pub fn crosstalk_terms(&self) -> Vec<((usize, usize), CrosstalkShifts)> {
+        let mut terms: Vec<_> = self.crosstalk.iter().map(|(&k, &v)| (k, v)).collect();
+        terms.sort_by_key(|(k, _)| *k);
+        terms
+    }
+
+    /// Flip probability of measured qubit `q` under a full ideal assignment
+    /// `ideal` (one bit per device qubit) and measured set `measured`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideal.width()` differs from the device size or `q` is out
+    /// of range.
+    pub fn flip_probability(&self, q: usize, ideal: &BitString, measured: &QubitSet) -> f64 {
+        assert_eq!(
+            ideal.width(),
+            self.qubits.len(),
+            "ideal assignment must cover every device qubit"
+        );
+        let base = if ideal.get(q) { self.qubits[q].eps1 } else { self.qubits[q].eps0 };
+        let mut p = base;
+        for (&(source, target), shifts) in &self.crosstalk {
+            if target != q {
+                continue;
+            }
+            p += if !measured.contains(source) {
+                shifts.on_unmeasured
+            } else if ideal.get(source) {
+                shifts.on_one
+            } else {
+                shifts.on_zero
+            };
+        }
+        p.clamp(FLIP_MIN, FLIP_MAX)
+    }
+
+    /// Flip probabilities for every qubit in `measured`, in ascending qubit
+    /// order (the bit order of extracted sub-strings).
+    pub fn flip_probabilities(&self, ideal: &BitString, measured: &QubitSet) -> Vec<f64> {
+        measured.iter().map(|q| self.flip_probability(q, ideal, measured)).collect()
+    }
+
+    /// Approximate heap usage in bytes (benchmark memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.qubits.capacity() * std::mem::size_of::<QubitNoise>()
+            + self.crosstalk.len()
+                * (std::mem::size_of::<(usize, usize)>() + std::mem::size_of::<CrosstalkShifts>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_qubit_model() -> ReadoutNoiseModel {
+        ReadoutNoiseModel::new(vec![
+            QubitNoise::new(0.01, 0.03).unwrap(),
+            QubitNoise::new(0.02, 0.05).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn qubit_noise_validation() {
+        assert!(QubitNoise::new(0.01, 0.03).is_ok());
+        assert!(QubitNoise::new(-0.01, 0.03).is_err());
+        assert!(QubitNoise::new(0.01, 0.5).is_err());
+        assert!(QubitNoise::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn base_flip_depends_on_own_state() {
+        let m = two_qubit_model();
+        let all = QubitSet::full(2);
+        let ideal0 = BitString::zeros(2);
+        let mut ideal1 = BitString::zeros(2);
+        ideal1.set(0, true);
+        assert!((m.flip_probability(0, &ideal0, &all) - 0.01).abs() < 1e-12);
+        assert!((m.flip_probability(0, &ideal1, &all) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_state_dependence() {
+        let mut m = two_qubit_model();
+        m.add_crosstalk(1, 0, CrosstalkShifts { on_zero: 0.0, on_one: 0.02, on_unmeasured: -0.005 })
+            .unwrap();
+        let all = QubitSet::full(2);
+        let ideal00 = BitString::zeros(2);
+        let mut ideal01 = BitString::zeros(2); // q1 = 1
+        ideal01.set(1, true);
+        // Source q1 in |0⟩: no shift.
+        assert!((m.flip_probability(0, &ideal00, &all) - 0.01).abs() < 1e-12);
+        // Source q1 in |1⟩: +0.02.
+        assert!((m.flip_probability(0, &ideal01, &all) - 0.03).abs() < 1e-12);
+        // Source q1 unmeasured: −0.005 regardless of its state.
+        let only_q0: QubitSet = [0usize].into_iter().collect();
+        assert!((m.flip_probability(0, &ideal01, &only_q0) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_accumulates_from_multiple_sources() {
+        let mut m = ReadoutNoiseModel::new(vec![QubitNoise::new(0.01, 0.01).unwrap(); 3]);
+        m.add_crosstalk(1, 0, CrosstalkShifts { on_one: 0.01, ..Default::default() }).unwrap();
+        m.add_crosstalk(2, 0, CrosstalkShifts { on_one: 0.02, ..Default::default() }).unwrap();
+        let all = QubitSet::full(3);
+        let mut ideal = BitString::zeros(3);
+        ideal.set(1, true);
+        ideal.set(2, true);
+        assert!((m.flip_probability(0, &ideal, &all) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_probability_is_clamped() {
+        let mut m = two_qubit_model();
+        m.add_crosstalk(1, 0, CrosstalkShifts { on_zero: 5.0, ..Default::default() }).unwrap();
+        let all = QubitSet::full(2);
+        assert_eq!(m.flip_probability(0, &BitString::zeros(2), &all), 0.499);
+        let mut m2 = two_qubit_model();
+        m2.add_crosstalk(1, 0, CrosstalkShifts { on_zero: -5.0, ..Default::default() }).unwrap();
+        assert_eq!(m2.flip_probability(0, &BitString::zeros(2), &all), 1e-6);
+    }
+
+    #[test]
+    fn add_crosstalk_validates_indices() {
+        let mut m = two_qubit_model();
+        assert!(m.add_crosstalk(0, 0, CrosstalkShifts::default()).is_err());
+        assert!(m.add_crosstalk(0, 2, CrosstalkShifts::default()).is_err());
+        assert!(m.add_crosstalk(2, 0, CrosstalkShifts::default()).is_err());
+    }
+
+    #[test]
+    fn repeated_add_accumulates() {
+        let mut m = two_qubit_model();
+        let s = CrosstalkShifts { on_one: 0.01, ..Default::default() };
+        m.add_crosstalk(1, 0, s).unwrap();
+        m.add_crosstalk(1, 0, s).unwrap();
+        let terms = m.crosstalk_terms();
+        assert_eq!(terms.len(), 1);
+        assert!((terms[0].1.on_one - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_probabilities_order_matches_qubit_set() {
+        let m = two_qubit_model();
+        let both = QubitSet::full(2);
+        let probs = m.flip_probabilities(&BitString::zeros(2), &both);
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0] - 0.01).abs() < 1e-12);
+        assert!((probs[1] - 0.02).abs() < 1e-12);
+    }
+}

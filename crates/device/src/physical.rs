@@ -1,0 +1,300 @@
+//! Physical readout model: from device parameters to error rates.
+//!
+//! The paper grounds readout in the dispersive measurement of transmon
+//! qubits (§2.1): the readout resonator's frequency shifts by
+//!
+//! ```text
+//! Δω_r = g² / |ω_q − ω_r|        (paper Eq. 1)
+//! ```
+//!
+//! depending on the qubit state, and the state is discriminated by
+//! comparing the detected shift against a threshold. This module models
+//! that chain — dispersive shift, Gaussian detection noise, threshold
+//! discrimination, and frequency-collision crosstalk — so device presets
+//! can be derived from physically meaningful parameters instead of raw
+//! error percentages.
+
+use crate::{CrosstalkShifts, Device, QubitNoise, ReadoutNoiseModel, Topology};
+use qufem_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of one qubit's readout chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalQubit {
+    /// Qubit transition frequency `ω_q` (GHz).
+    pub qubit_freq_ghz: f64,
+    /// Readout resonator frequency `ω_r` (GHz).
+    pub resonator_freq_ghz: f64,
+    /// Qubit–resonator coupling `g` (MHz).
+    pub coupling_mhz: f64,
+    /// Effective detection noise on the measured frequency shift (MHz) —
+    /// photon shot noise, amplifier noise, and finite integration time
+    /// folded into one Gaussian width.
+    pub detection_noise_mhz: f64,
+    /// Probability that an excited qubit relaxes during the readout window
+    /// (adds to `ε₁` only — the asymmetry real devices show).
+    pub relaxation_during_readout: f64,
+}
+
+impl PhysicalQubit {
+    /// The dispersive frequency shift `Δω_r = g² / |ω_q − ω_r|` in MHz
+    /// (paper Eq. 1; `g` in MHz, detuning converted from GHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit and resonator are resonant (zero detuning), where
+    /// the dispersive approximation breaks down.
+    pub fn dispersive_shift_mhz(&self) -> f64 {
+        let detuning_mhz = (self.qubit_freq_ghz - self.resonator_freq_ghz).abs() * 1000.0;
+        assert!(
+            detuning_mhz > f64::EPSILON,
+            "dispersive readout requires a qubit-resonator detuning"
+        );
+        self.coupling_mhz * self.coupling_mhz / detuning_mhz
+    }
+
+    /// The state-discrimination error of a threshold detector placed halfway
+    /// between the two dispersively shifted resonator responses: the
+    /// Gaussian tail beyond half the shift separation.
+    pub fn discrimination_error(&self) -> f64 {
+        // The |0⟩ and |1⟩ clouds sit ±χ around the mean; the threshold at 0
+        // misassigns with probability Q(χ / σ).
+        let chi = self.dispersive_shift_mhz();
+        gaussian_tail(chi / self.detection_noise_mhz.max(f64::EPSILON))
+    }
+
+    /// Base flip probabilities implied by this readout chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProbability`] if the parameters imply flip
+    /// probabilities at or above one half (states indistinguishable).
+    pub fn to_qubit_noise(&self) -> Result<QubitNoise> {
+        let eps = self.discrimination_error();
+        let eps0 = eps;
+        let eps1 = eps + self.relaxation_during_readout;
+        QubitNoise::new(eps0, eps1)
+    }
+}
+
+/// Upper Gaussian tail `Q(x) = P(N(0,1) > x)`, via the Abramowitz–Stegun
+/// complementary-error-function approximation (7.1.26, |error| < 1.5e-7).
+pub fn gaussian_tail(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - gaussian_tail(-x);
+    }
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * z);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erfc = poly * (-z * z).exp();
+    erfc / 2.0
+}
+
+/// A complete physical device specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalDeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Connectivity graph.
+    pub topology: Topology,
+    /// Per-qubit readout chains (one per topology qubit).
+    pub qubits: Vec<PhysicalQubit>,
+    /// Peak crosstalk shift (a probability, e.g. `0.03`) induced by an
+    /// exact resonator-frequency collision; decays as a Lorentzian with a
+    /// width of one tenth of the collision window:
+    /// `shift = collision_strength · w² / (Δf² + w²)`.
+    pub collision_strength: f64,
+    /// Resonator-frequency distance (MHz) below which two qubits are
+    /// considered to collide.
+    pub collision_window_mhz: f64,
+}
+
+impl PhysicalDeviceSpec {
+    /// Derives the generative readout-noise model from the physical
+    /// parameters:
+    ///
+    /// * base `ε₀`/`ε₁` per qubit from dispersive discrimination plus
+    ///   relaxation;
+    /// * a crosstalk term for every ordered qubit pair whose resonator
+    ///   frequencies fall within the collision window (strongest for exact
+    ///   collisions), with the state-dependent asymmetry (`on_one >
+    ///   on_zero`) and a negative `on_unmeasured` relief, as observed in the
+    ///   paper's Figure 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] when the qubit list and topology
+    /// disagree, and propagates invalid flip probabilities.
+    pub fn to_noise_model(&self) -> Result<ReadoutNoiseModel> {
+        if self.qubits.len() != self.topology.n_qubits() {
+            return Err(Error::WidthMismatch {
+                expected: self.topology.n_qubits(),
+                actual: self.qubits.len(),
+            });
+        }
+        let mut model = ReadoutNoiseModel::new(
+            self.qubits
+                .iter()
+                .map(PhysicalQubit::to_qubit_noise)
+                .collect::<Result<Vec<_>>>()?,
+        );
+        let n = self.qubits.len();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let df = (self.qubits[src].resonator_freq_ghz
+                    - self.qubits[dst].resonator_freq_ghz)
+                    .abs()
+                    * 1000.0;
+                if df > self.collision_window_mhz {
+                    continue;
+                }
+                let w = (self.collision_window_mhz / 10.0).max(f64::EPSILON);
+                let strength = self.collision_strength * w * w / (df * df + w * w);
+                if strength < 1e-6 {
+                    continue;
+                }
+                model.add_crosstalk(
+                    src,
+                    dst,
+                    CrosstalkShifts {
+                        // An excited source shifts its resonator further into
+                        // the neighbor's band: the dominant perturbation.
+                        on_one: strength,
+                        on_zero: strength * 0.25,
+                        // An unmeasured source's resonator is not driven at
+                        // all — the neighbor reads out cleaner.
+                        on_unmeasured: -strength * 0.4,
+                    },
+                )?;
+            }
+        }
+        Ok(model)
+    }
+
+    /// Builds a simulated device from the specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysicalDeviceSpec::to_noise_model`] failures.
+    pub fn to_device(&self) -> Result<Device> {
+        Device::new(self.name.clone(), self.topology.clone(), self.to_noise_model()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(freq: f64, res: f64, g: f64, noise: f64) -> PhysicalQubit {
+        PhysicalQubit {
+            qubit_freq_ghz: freq,
+            resonator_freq_ghz: res,
+            coupling_mhz: g,
+            detection_noise_mhz: noise,
+            relaxation_during_readout: 0.01,
+        }
+    }
+
+    #[test]
+    fn dispersive_shift_matches_eq1() {
+        // g = 100 MHz, detuning = 1 GHz → χ = 100²/1000 = 10 MHz.
+        let qb = q(5.0, 6.0, 100.0, 3.0);
+        assert!((qb.dispersive_shift_mhz() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_tail_reference_values() {
+        assert!((gaussian_tail(0.0) - 0.5).abs() < 1e-6);
+        // Q(1) ≈ 0.158655, Q(2) ≈ 0.022750, Q(3) ≈ 0.001350.
+        assert!((gaussian_tail(1.0) - 0.158_655).abs() < 1e-4);
+        assert!((gaussian_tail(2.0) - 0.022_750).abs() < 1e-4);
+        assert!((gaussian_tail(3.0) - 0.001_350).abs() < 1e-4);
+        // Symmetry.
+        assert!((gaussian_tail(-1.0) - (1.0 - 0.158_655)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn stronger_coupling_discriminates_better() {
+        let weak = q(5.0, 6.0, 60.0, 3.0);
+        let strong = q(5.0, 6.0, 120.0, 3.0);
+        assert!(strong.discrimination_error() < weak.discrimination_error());
+    }
+
+    #[test]
+    fn relaxation_makes_eps1_larger() {
+        let qb = q(5.0, 6.0, 100.0, 4.0);
+        let noise = qb.to_qubit_noise().unwrap();
+        assert!(noise.eps1 > noise.eps0);
+        assert!((noise.eps1 - noise.eps0 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resonant_qubit_panics() {
+        let qb = q(6.0, 6.0, 100.0, 3.0);
+        let result = std::panic::catch_unwind(|| qb.dispersive_shift_mhz());
+        assert!(result.is_err());
+    }
+
+    fn two_qubit_spec(res_gap_mhz: f64) -> PhysicalDeviceSpec {
+        PhysicalDeviceSpec {
+            name: "physical-2q".into(),
+            topology: Topology::linear(2),
+            qubits: vec![
+                q(5.0, 6.5, 100.0, 3.0),
+                q(5.2, 6.5 + res_gap_mhz / 1000.0, 100.0, 3.0),
+            ],
+            collision_strength: 0.03,
+            collision_window_mhz: 30.0,
+        }
+    }
+
+    #[test]
+    fn frequency_collision_creates_crosstalk() {
+        let colliding = two_qubit_spec(2.0).to_noise_model().unwrap();
+        assert!(!colliding.crosstalk_terms().is_empty(), "2 MHz gap should collide");
+        let separated = two_qubit_spec(200.0).to_noise_model().unwrap();
+        assert!(separated.crosstalk_terms().is_empty(), "200 MHz gap should not collide");
+    }
+
+    #[test]
+    fn closer_collisions_are_stronger() {
+        let near = two_qubit_spec(1.0).to_noise_model().unwrap();
+        let far = two_qubit_spec(20.0).to_noise_model().unwrap();
+        let near_strength = near.crosstalk_terms()[0].1.on_one;
+        let far_strength = far.crosstalk_terms()[0].1.on_one;
+        assert!(near_strength > far_strength);
+    }
+
+    #[test]
+    fn crosstalk_matches_figure4_signs() {
+        let model = two_qubit_spec(2.0).to_noise_model().unwrap();
+        for (_, shifts) in model.crosstalk_terms() {
+            assert!(shifts.on_one > shifts.on_zero, "excited source perturbs more");
+            assert!(shifts.on_unmeasured < 0.0, "unmeasured source relieves the neighbor");
+        }
+    }
+
+    #[test]
+    fn spec_builds_a_working_device() {
+        use rand::SeedableRng;
+        let device = two_qubit_spec(2.0).to_device().unwrap();
+        assert_eq!(device.n_qubits(), 2);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let circuit =
+            crate::BenchmarkCircuit::all_prepared(&qufem_types::BitString::zeros(2));
+        let dist = device.execute(&circuit, 1000, &mut rng);
+        assert!(dist.prob(&qufem_types::BitString::zeros(2)) > 0.8);
+    }
+
+    #[test]
+    fn mismatched_qubit_count_is_rejected() {
+        let mut spec = two_qubit_spec(2.0);
+        spec.qubits.pop();
+        assert!(matches!(spec.to_noise_model(), Err(Error::WidthMismatch { .. })));
+    }
+}

@@ -1,0 +1,294 @@
+//! Qubit connectivity graphs.
+
+use qufem_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// An undirected qubit-connectivity graph.
+///
+/// Crosstalk in the simulated noise model is strongest along topology edges,
+/// matching the paper's observation that "qubit interactions show locality in
+/// the processor topology" (§6.4).
+///
+/// ```
+/// use qufem_device::Topology;
+///
+/// let grid = Topology::grid(2, 3);
+/// assert_eq!(grid.n_qubits(), 6);
+/// assert!(grid.has_edge(0, 1));
+/// assert!(grid.has_edge(0, 3));
+/// assert!(!grid.has_edge(0, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list.
+    ///
+    /// Edges are normalized to `(min, max)` and deduplicated; self-loops are
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QubitOutOfRange`] for endpoints `≥ n` and
+    /// [`Error::InvalidConfig`] for self-loops.
+    pub fn from_edges(n: usize, raw_edges: &[(usize, usize)]) -> Result<Self> {
+        let mut edges = Vec::with_capacity(raw_edges.len());
+        for &(a, b) in raw_edges {
+            if a >= n {
+                return Err(Error::QubitOutOfRange { index: a, width: n });
+            }
+            if b >= n {
+                return Err(Error::QubitOutOfRange { index: b, width: n });
+            }
+            if a == b {
+                return Err(Error::InvalidConfig(format!("self-loop on qubit {a}")));
+            }
+            edges.push((a.min(b), a.max(b)));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        Ok(Topology { n, edges, adjacency })
+    }
+
+    /// A linear chain `0 — 1 — … — (n-1)`.
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Self::from_edges(n, &edges).expect("chain edges are always valid")
+    }
+
+    /// A `rows × cols` rectangular grid, row-major qubit numbering.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        Self::from_edges(rows * cols, &edges).expect("grid edges are always valid")
+    }
+
+    /// A heavy-hex lattice patch — the topology family of IBM's larger
+    /// devices (Falcon 27q, Eagle 127q).
+    ///
+    /// Construction: a honeycomb (brick-wall) patch of `rows × cols` corner
+    /// nodes, with **every edge subdivided** by a middle qubit ("heavy"
+    /// edges). Corner qubits have degree ≤ 3, middle qubits exactly 2.
+    /// Corner nodes are numbered row-major first, middle qubits after.
+    ///
+    /// ```
+    /// use qufem_device::Topology;
+    ///
+    /// let t = Topology::heavy_hex(3, 4);
+    /// // Every middle qubit bridges exactly two corners.
+    /// let n_corners = 3 * 4;
+    /// for q in n_corners..t.n_qubits() {
+    ///     assert_eq!(t.neighbors(q).len(), 2);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < 2` or `cols < 2` (no edges to subdivide).
+    pub fn heavy_hex(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "heavy-hex patch needs at least 2x2 corners");
+        let corner = |r: usize, c: usize| r * cols + c;
+        // Honeycomb brick-wall edges over the corner grid.
+        let mut base_edges: Vec<(usize, usize)> = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if r + 1 < rows {
+                    base_edges.push((corner(r, c), corner(r + 1, c)));
+                }
+                if c + 1 < cols && (r + c) % 2 == 0 {
+                    base_edges.push((corner(r, c), corner(r, c + 1)));
+                }
+            }
+        }
+        // Subdivide: one middle qubit per base edge.
+        let n_corners = rows * cols;
+        let n = n_corners + base_edges.len();
+        let mut edges = Vec::with_capacity(2 * base_edges.len());
+        for (k, &(a, b)) in base_edges.iter().enumerate() {
+            let mid = n_corners + k;
+            edges.push((a, mid));
+            edges.push((mid, b));
+        }
+        Self::from_edges(n, &edges).expect("subdivided honeycomb edges are valid")
+    }
+
+    /// The 7-qubit IBM Falcon "H" connectivity used by IBMQ Perth:
+    ///
+    /// ```text
+    /// 0 — 1 — 2
+    ///     |
+    ///     3
+    ///     |
+    /// 4 — 5 — 6
+    /// ```
+    pub fn ibm_falcon_7() -> Self {
+        Self::from_edges(7, &[(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)])
+            .expect("static edges are valid")
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// All edges, normalized `(low, high)` and sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of qubit `q`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.n_qubits()`.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Whether an edge connects `a` and `b`.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.n && self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Graph distance between two qubits (BFS), or `None` if disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        assert!(a < self.n && b < self.n, "qubit index out of range");
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.n];
+        dist[a] = 0;
+        let mut frontier = std::collections::VecDeque::new();
+        frontier.push_back(a);
+        while let Some(q) = frontier.pop_front() {
+            for &m in self.neighbors(q) {
+                if dist[m] == usize::MAX {
+                    dist[m] = dist[q] + 1;
+                    if m == b {
+                        return Some(dist[m]);
+                    }
+                    frontier.push_back(m);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_structure() {
+        let t = Topology::linear(4);
+        assert_eq!(t.n_qubits(), 4);
+        assert_eq!(t.edges(), &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(2, 2);
+        assert_eq!(t.edges(), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn grid_6x6_has_60_edges() {
+        let t = Topology::grid(6, 6);
+        assert_eq!(t.n_qubits(), 36);
+        assert_eq!(t.edges().len(), 60); // 6*5 horizontal + 5*6 vertical
+    }
+
+    #[test]
+    fn falcon7_degrees() {
+        let t = Topology::ibm_falcon_7();
+        assert_eq!(t.neighbors(1), &[0, 2, 3]);
+        assert_eq!(t.neighbors(5), &[3, 4, 6]);
+        assert!(t.has_edge(3, 5));
+        assert!(!t.has_edge(0, 6));
+    }
+
+    #[test]
+    fn heavy_hex_structure() {
+        let rows = 3;
+        let cols = 4;
+        let t = Topology::heavy_hex(rows, cols);
+        let n_corners = rows * cols;
+        // Vertical base edges: (rows-1)*cols; horizontal: (r+c) even cells.
+        let mut base = (rows - 1) * cols;
+        for r in 0..rows {
+            for c in 0..cols - 1 {
+                if (r + c) % 2 == 0 {
+                    base += 1;
+                }
+            }
+        }
+        assert_eq!(t.n_qubits(), n_corners + base);
+        assert_eq!(t.edges().len(), 2 * base);
+        // Corner degrees ≤ 3, middle degrees exactly 2, graph connected.
+        for q in 0..n_corners {
+            assert!(t.neighbors(q).len() <= 3, "corner {q} degree too high");
+        }
+        for q in n_corners..t.n_qubits() {
+            assert_eq!(t.neighbors(q).len(), 2, "middle {q} must bridge two corners");
+        }
+        for q in 1..t.n_qubits() {
+            assert!(t.distance(0, q).is_some(), "qubit {q} disconnected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn heavy_hex_rejects_degenerate_patch() {
+        let _ = Topology::heavy_hex(1, 5);
+    }
+
+    #[test]
+    fn from_edges_normalizes_and_dedups() {
+        let t = Topology::from_edges(3, &[(2, 0), (0, 2), (1, 2)]).unwrap();
+        assert_eq!(t.edges(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(Topology::from_edges(3, &[(0, 3)]).is_err());
+        assert!(Topology::from_edges(3, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn bfs_distance() {
+        let t = Topology::ibm_falcon_7();
+        assert_eq!(t.distance(0, 0), Some(0));
+        assert_eq!(t.distance(0, 2), Some(2));
+        assert_eq!(t.distance(0, 6), Some(4));
+        let disconnected = Topology::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(disconnected.distance(0, 2), None);
+    }
+}

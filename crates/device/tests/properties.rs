@@ -1,0 +1,103 @@
+//! Property-based tests of the device substrate: the generative noise model
+//! must behave like a physical readout channel for *any* valid parameters.
+
+use proptest::prelude::*;
+use qufem_device::{CrosstalkShifts, Device, QubitNoise, ReadoutNoiseModel, Topology};
+use qufem_types::{BitString, QubitSet};
+
+fn arb_model(n: usize) -> impl Strategy<Value = ReadoutNoiseModel> {
+    let qubits = proptest::collection::vec((0.001f64..0.2, 0.001f64..0.2), n);
+    let terms = proptest::collection::vec(
+        (0..n, 0..n, -0.05f64..0.1, -0.05f64..0.1, -0.05f64..0.05),
+        0..2 * n,
+    );
+    (qubits, terms).prop_map(move |(qs, ts)| {
+        let mut model = ReadoutNoiseModel::new(
+            qs.into_iter()
+                .map(|(e0, e1)| QubitNoise::new(e0, e1).expect("in range"))
+                .collect(),
+        );
+        for (src, dst, on_zero, on_one, on_unmeasured) in ts {
+            if src != dst {
+                model
+                    .add_crosstalk(src, dst, CrosstalkShifts { on_zero, on_one, on_unmeasured })
+                    .expect("valid indices");
+            }
+        }
+        model
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flip_probability_always_physical(
+        model in arb_model(5),
+        ideal_bits in proptest::collection::vec(any::<bool>(), 5),
+        measured_bits in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let ideal = BitString::from_bits(&ideal_bits);
+        let measured: QubitSet =
+            measured_bits.iter().enumerate().filter(|(_, &m)| m).map(|(q, _)| q).collect();
+        for q in 0..5 {
+            let p = model.flip_probability(q, &ideal, &measured);
+            prop_assert!((0.0..0.5).contains(&p), "qubit {} flip prob {}", q, p);
+        }
+    }
+
+    #[test]
+    fn exact_readout_is_a_distribution(
+        model in arb_model(4),
+        ideal_bits in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let device =
+            Device::new("prop", Topology::linear(4), model).expect("sizes match");
+        let ideal = BitString::from_bits(&ideal_bits);
+        let all = QubitSet::full(4);
+        let dist = device.exact_readout(&ideal, &all, 0.0);
+        prop_assert!((dist.total_mass() - 1.0).abs() < 1e-9);
+        for (_, v) in dist.iter() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn golden_matrix_always_column_stochastic(model in arb_model(3)) {
+        let device =
+            Device::new("prop", Topology::linear(3), model).expect("sizes match");
+        let all = QubitSet::full(3);
+        let m = device.golden_noise_matrix(&all, 6).expect("3 qubits fit");
+        prop_assert!(m.is_column_stochastic(1e-9));
+        // Readout below 50% flip keeps the matrix diagonally dominant and
+        // therefore invertible.
+        prop_assert!(m.inverse().is_ok());
+    }
+
+    #[test]
+    fn sampled_readout_marginals_match_exact(
+        model in arb_model(3),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let device =
+            Device::new("prop", Topology::linear(3), model).expect("sizes match");
+        let all = QubitSet::full(3);
+        let ideal = BitString::zeros(3);
+        let exact = device.exact_readout(&ideal, &all, 0.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let sampled = device.sample_readout(&ideal, &all, 40_000, &mut rng);
+        for q in 0..3usize {
+            let keep: QubitSet = [q].into_iter().collect();
+            let pe = exact.marginal(&keep).prob(&BitString::from_binary_str("1").unwrap());
+            let ps = sampled.marginal(&keep).prob(&BitString::from_binary_str("1").unwrap());
+            // 40k shots: 5-sigma band on a Bernoulli proportion.
+            let sigma = (pe * (1.0 - pe) / 40_000.0).sqrt().max(1e-4);
+            prop_assert!(
+                (pe - ps).abs() < 5.0 * sigma + 1e-3,
+                "qubit {}: exact {} vs sampled {}",
+                q, pe, ps
+            );
+        }
+    }
+}

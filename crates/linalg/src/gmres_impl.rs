@@ -1,0 +1,256 @@
+//! Restarted GMRES over an abstract linear operator.
+
+use qufem_types::{Error, Result};
+
+/// Options controlling a [`gmres`] solve.
+#[derive(Debug, Clone)]
+pub struct GmresOptions {
+    /// Krylov subspace dimension before a restart.
+    pub restart: usize,
+    /// Maximum number of outer (restart) cycles.
+    pub max_restarts: usize,
+    /// Convergence threshold on the relative residual `‖b − Ax‖ / ‖b‖`.
+    pub tolerance: f64,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions { restart: 30, max_restarts: 40, tolerance: 1e-10 }
+    }
+}
+
+/// Outcome of a successful [`gmres`] solve.
+#[derive(Debug, Clone)]
+pub struct GmresOutcome {
+    /// The solution vector.
+    pub solution: Vec<f64>,
+    /// Final relative residual.
+    pub residual: f64,
+    /// Total inner iterations performed.
+    pub iterations: usize,
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Solves `A·x = b` with restarted GMRES, where `A` is given only through
+/// its action `apply(x) -> A·x`.
+///
+/// Used by the M3 baseline: the reduced noise matrix restricted to observed
+/// bit strings is applied on the fly without ever being materialized, exactly
+/// as in the M3 paper's matrix-free formulation.
+///
+/// # Errors
+///
+/// Returns [`Error::LinalgFailure`] if the residual has not reached
+/// `options.tolerance` after `options.max_restarts` cycles.
+///
+/// # Example
+///
+/// ```
+/// use qufem_linalg::{gmres, GmresOptions, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+/// let b = [1.0, 2.0];
+/// let out = gmres(|x| a.matvec(x).unwrap(), &b, &GmresOptions::default()).unwrap();
+/// assert!((out.solution[0] - 1.0 / 11.0).abs() < 1e-8);
+/// assert!((out.solution[1] - 7.0 / 11.0).abs() < 1e-8);
+/// ```
+pub fn gmres<F>(mut apply: F, b: &[f64], options: &GmresOptions) -> Result<GmresOutcome>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    let n = b.len();
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(GmresOutcome { solution: vec![0.0; n], residual: 0.0, iterations: 0 });
+    }
+    let m = options.restart.max(1).min(n);
+    let mut x = vec![0.0; n];
+    let mut total_iters = 0usize;
+
+    for _cycle in 0..options.max_restarts {
+        let ax = apply(&x);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let r_norm = norm2(&r);
+        if r_norm / b_norm <= options.tolerance {
+            return Ok(GmresOutcome { solution: x, residual: r_norm / b_norm, iterations: total_iters });
+        }
+
+        // Arnoldi basis (m+1 vectors) and Hessenberg matrix in (m+1) x m.
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        for v in r.iter_mut() {
+            *v /= r_norm;
+        }
+        basis.push(r);
+        let mut h = vec![vec![0.0; m]; m + 1];
+        // Givens rotation parameters and rotated RHS.
+        let mut cs = vec![0.0; m];
+        let mut sn = vec![0.0; m];
+        let mut g = vec![0.0; m + 1];
+        g[0] = r_norm;
+
+        let mut k_used = 0;
+        for k in 0..m {
+            total_iters += 1;
+            let mut w = apply(&basis[k]);
+            // Modified Gram-Schmidt.
+            for (i, bi) in basis.iter().enumerate().take(k + 1) {
+                let hik: f64 = w.iter().zip(bi).map(|(a, b)| a * b).sum();
+                h[i][k] = hik;
+                for (wj, bj) in w.iter_mut().zip(bi) {
+                    *wj -= hik * bj;
+                }
+            }
+            let w_norm = norm2(&w);
+            h[k + 1][k] = w_norm;
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..k {
+                let tmp = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
+                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+                h[i][k] = tmp;
+            }
+            // New rotation annihilating h[k+1][k].
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt();
+            if denom < 1e-300 {
+                k_used = k + 1;
+                break;
+            }
+            cs[k] = h[k][k] / denom;
+            sn[k] = h[k + 1][k] / denom;
+            h[k][k] = denom;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+            k_used = k + 1;
+
+            let rel = g[k + 1].abs() / b_norm;
+            if rel <= options.tolerance {
+                break;
+            }
+            if w_norm < 1e-300 {
+                break; // happy breakdown: Krylov space exhausted
+            }
+            for v in w.iter_mut() {
+                *v /= w_norm;
+            }
+            basis.push(w);
+        }
+
+        // Back-substitute the k_used x k_used triangular system.
+        let mut y = vec![0.0; k_used];
+        for i in (0..k_used).rev() {
+            let mut sum = g[i];
+            for j in (i + 1)..k_used {
+                sum -= h[i][j] * y[j];
+            }
+            y[i] = sum / h[i][i];
+        }
+        for (j, yj) in y.iter().enumerate() {
+            for (xi, bi) in x.iter_mut().zip(&basis[j]) {
+                *xi += yj * bi;
+            }
+        }
+
+        let ax = apply(&x);
+        let res = norm2(&b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect::<Vec<_>>());
+        if res / b_norm <= options.tolerance {
+            return Ok(GmresOutcome { solution: x, residual: res / b_norm, iterations: total_iters });
+        }
+    }
+
+    let ax = apply(&x);
+    let res = norm2(&b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect::<Vec<_>>());
+    Err(Error::LinalgFailure(format!(
+        "GMRES failed to converge: relative residual {:.3e} after {} iterations",
+        res / b_norm,
+        total_iters
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn solves_identity_instantly() {
+        let b = vec![1.0, 2.0, 3.0];
+        let out = gmres(|x| x.to_vec(), &b, &GmresOptions::default()).unwrap();
+        for (s, t) in out.solution.iter().zip(&b) {
+            assert!((s - t).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let out = gmres(|x| x.to_vec(), &[0.0, 0.0], &GmresOptions::default()).unwrap();
+        assert_eq!(out.solution, vec![0.0, 0.0]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn solves_diagonally_dominant_system() {
+        let n = 20;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, if i == j { 5.0 } else { 0.3 / (1.0 + (i as f64 - j as f64).abs()) });
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let out = gmres(|x| a.matvec(x).unwrap(), &b, &GmresOptions::default()).unwrap();
+        for (s, t) in out.solution.iter().zip(&x_true) {
+            assert!((s - t).abs() < 1e-7, "got {s}, want {t}");
+        }
+    }
+
+    #[test]
+    fn matches_lu_on_noise_like_matrix() {
+        // Column-stochastic, diagonally dominant: the shape of readout noise.
+        let a = Matrix::from_rows(&[
+            &[0.92, 0.05, 0.03, 0.01],
+            &[0.04, 0.89, 0.02, 0.04],
+            &[0.03, 0.02, 0.93, 0.05],
+            &[0.01, 0.04, 0.02, 0.90],
+        ])
+        .unwrap();
+        let b = [0.4, 0.3, 0.2, 0.1];
+        let lu_x = a.solve(&b).unwrap();
+        let g = gmres(|x| a.matvec(x).unwrap(), &b, &GmresOptions::default()).unwrap();
+        for (a, b) in g.solution.iter().zip(&lu_x) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn restart_smaller_than_dimension_still_converges() {
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, i, 2.0 + (i as f64) * 0.1);
+            if i + 1 < n {
+                a.set(i, i + 1, 0.5);
+                a.set(i + 1, i, 0.25);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let opts = GmresOptions { restart: 4, max_restarts: 200, tolerance: 1e-9 };
+        let out = gmres(|x| a.matvec(x).unwrap(), &b, &opts).unwrap();
+        let ax = a.matvec(&out.solution).unwrap();
+        let res: f64 =
+            ax.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        assert!(res < 1e-7);
+    }
+
+    #[test]
+    fn reports_nonconvergence() {
+        // Rotation-like (skew) operator with tiny iteration budget.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        let opts = GmresOptions { restart: 1, max_restarts: 1, tolerance: 1e-14 };
+        let r = gmres(|x| a.matvec(x).unwrap(), &[1.0, 1.0], &opts);
+        assert!(r.is_err());
+    }
+}

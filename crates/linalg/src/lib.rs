@@ -1,0 +1,35 @@
+//! Self-contained dense linear algebra for the QuFEM workspace.
+//!
+//! The matrices QuFEM manipulates are small (per-group noise matrices are at
+//! most `2^K × 2^K` for group size `K ≤ 5`) or moderately sized restricted
+//! subspace systems (the M3 baseline). A purpose-built dense implementation
+//! keeps the workspace dependency-free and bit-reproducible:
+//!
+//! * [`Matrix`] — dense row-major matrix with multiplication, Kronecker
+//!   products, and norms.
+//! * [`Lu`] — LU factorization with partial pivoting; solve / inverse / det.
+//! * [`gmres`] — restarted GMRES over an abstract operator, used by the M3
+//!   baseline to solve reduced noise-matrix systems without forming inverses.
+//!
+//! # Example
+//!
+//! ```
+//! use qufem_linalg::Matrix;
+//!
+//! let m = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]).unwrap();
+//! let inv = m.inverse().unwrap();
+//! let id = m.matmul(&inv).unwrap();
+//! assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+//! assert!(id.get(0, 1).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gmres_impl;
+mod lu;
+mod matrix;
+
+pub use gmres_impl::{gmres, GmresOptions, GmresOutcome};
+pub use lu::Lu;
+pub use matrix::Matrix;

@@ -1,0 +1,253 @@
+//! LU factorization with partial pivoting.
+
+use crate::Matrix;
+use qufem_types::{Error, Result};
+
+/// An LU factorization `P·A = L·U` of a square matrix, with partial
+/// (row) pivoting.
+///
+/// Noise matrices are diagonally dominant for realistic readout error rates
+/// (flip probabilities well below 50%), so partial pivoting is numerically
+/// comfortable here.
+///
+/// ```
+/// use qufem_linalg::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]).unwrap();
+/// let lu = Lu::factorize(&a).unwrap();
+/// let x = lu.solve(&[10.0, 12.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// Combined storage: strictly-lower entries hold L (unit diagonal
+    /// implied), diagonal and upper hold U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LinalgFailure`] if the matrix is not square or is
+    /// numerically singular (pivot below `1e-300`).
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::LinalgFailure(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(Error::LinalgFailure(format!(
+                    "singular matrix: no usable pivot in column {k}"
+                )));
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        lu.add_to(r, c, -factor * lu.get(k, c));
+                    }
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A · x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(Error::WidthMismatch { expected: self.n, actual: b.len() });
+        }
+        // Apply permutation, then forward-substitute L, then back-substitute U.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for r in 1..self.n {
+            let mut sum = x[r];
+            for (c, xc) in x.iter().enumerate().take(r) {
+                sum -= self.lu.get(r, c) * xc;
+            }
+            x[r] = sum;
+        }
+        for r in (0..self.n).rev() {
+            let mut sum = x[r];
+            for (c, xc) in x.iter().enumerate().take(self.n).skip(r + 1) {
+                sum -= self.lu.get(r, c) * xc;
+            }
+            x[r] = sum / self.lu.get(r, r);
+        }
+        Ok(x)
+    }
+
+    /// Computes the full inverse matrix (solve against each unit vector).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures (cannot occur after successful
+    /// factorization, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let mut inv = Matrix::zeros(self.n, self.n);
+        let mut e = vec![0.0; self.n];
+        for c in 0..self.n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for (r, v) in col.iter().enumerate() {
+                inv.set(r, c, *v);
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Lu::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(Lu::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn solve_requires_matching_length() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factorize(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_identity() {
+        let lu = Lu::factorize(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_with_pivoting_needed() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+        let id = Lu::factorize(&Matrix::identity(5)).unwrap();
+        assert!((id.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_flips_with_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[0.93, 0.05, 0.01, 0.00],
+            &[0.04, 0.90, 0.01, 0.02],
+            &[0.02, 0.02, 0.95, 0.03],
+            &[0.01, 0.03, 0.03, 0.95],
+        ])
+        .unwrap();
+        let inv = Lu::factorize(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (prod.get(i, j) - expect).abs() < 1e-10,
+                    "entry ({i},{j}) = {}",
+                    prod.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_larger_random_like_system() {
+        // Deterministic diagonally-dominant 8x8 system.
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j { 10.0 + i as f64 } else { ((i * 7 + j * 3) % 5) as f64 * 0.1 };
+                a.set(i, j, v);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::factorize(&a).unwrap().solve(&b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Dense row-major matrices.
+
+use qufem_types::{Error, Result};
+use std::fmt;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// QuFEM's sub-noise matrices are column-stochastic: column `y` holds
+/// `P(measure = x | prepare = y)` for every outcome `x` (paper Eq. 3). The
+/// helpers [`Matrix::is_column_stochastic`] and [`Matrix::normalize_columns`]
+/// encode that convention.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(Error::WidthMismatch { expected: ncols, actual: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::WidthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of range");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix × matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(Error::WidthMismatch { expected: self.cols, actual: other.rows });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix × vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(Error::WidthMismatch { expected: self.cols, actual: x.len() });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// Index convention: row `(i, k)` of the product maps to `i * other.rows + k`,
+    /// so `self` owns the *high-order* index — matching the sub-bit-string
+    /// segmentation `|x⟩ = |x_{g1}⟩|x_{g2}⟩…` in the paper when group 1's bits
+    /// are the most significant.
+    pub fn kron(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self.get(i, j);
+                if a == 0.0 {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out.set(i * other.rows + k, j * other.cols + l, a * other.get(k, l));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Entry-wise maximum absolute value.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Checks that every column sums to 1 within `tol` and all entries are
+    /// ≥ `-tol` (noise-matrix well-formedness, paper Eq. 3).
+    pub fn is_column_stochastic(&self, tol: f64) -> bool {
+        if !self.is_square() && self.rows == 0 {
+            return false;
+        }
+        for c in 0..self.cols {
+            let mut sum = 0.0;
+            for r in 0..self.rows {
+                let v = self.get(r, c);
+                if v < -tol {
+                    return false;
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rescales each column to sum to 1. Columns with zero sum are set to a
+    /// unit mass on the diagonal (identity behaviour for unobserved
+    /// preparations).
+    pub fn normalize_columns(&mut self) {
+        for c in 0..self.cols {
+            let sum: f64 = (0..self.rows).map(|r| self.get(r, c)).sum();
+            if sum.abs() < f64::MIN_POSITIVE {
+                for r in 0..self.rows {
+                    self.set(r, c, if r == c && c < self.rows { 1.0 } else { 0.0 });
+                }
+            } else {
+                for r in 0..self.rows {
+                    let v = self.get(r, c) / sum;
+                    self.set(r, c, v);
+                }
+            }
+        }
+    }
+
+    /// Convenience: LU-factorize and invert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LinalgFailure`] if the matrix is singular or not
+    /// square.
+    pub fn inverse(&self) -> Result<Matrix> {
+        crate::Lu::factorize(self)?.inverse()
+    }
+
+    /// Convenience: solve `self · x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LinalgFailure`] if singular or not square, and
+    /// [`Error::WidthMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        crate::Lu::factorize(self)?.solve(b)
+    }
+
+    /// Approximate heap usage in bytes (benchmark memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:9.5}", self.get(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.5];
+        assert_eq!(id.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn kron_2x2_structure() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 3.0], &[4.0, 0.0]]).unwrap();
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.get(0, 1), 3.0); // a[0][0] * b[0][1]
+        assert_eq!(k.get(3, 2), 8.0); // a[1][1] * b[1][0]
+        assert_eq!(k.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_identity() {
+        let a = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]).unwrap();
+        let k = Matrix::identity(2).kron(&a);
+        assert_eq!(k.get(0, 0), 0.9);
+        assert_eq!(k.get(2, 2), 0.9);
+        assert_eq!(k.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn column_stochastic_checks() {
+        let good = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]).unwrap();
+        assert!(good.is_column_stochastic(1e-12));
+        let bad = Matrix::from_rows(&[&[0.9, 0.2], &[0.2, 0.8]]).unwrap();
+        assert!(!bad.is_column_stochastic(1e-12));
+    }
+
+    #[test]
+    fn normalize_columns_fixes_sums() {
+        let mut m = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]).unwrap();
+        m.normalize_columns();
+        assert!(m.is_column_stochastic(1e-12));
+        // zero column became identity-like
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn trace_and_norms() {
+        let m = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(m.trace(), 4.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.frobenius_norm() - (26.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_stochastic_2x2() {
+        let m = Matrix::from_rows(&[&[0.95, 0.1], &[0.05, 0.9]]).unwrap();
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = m.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+}

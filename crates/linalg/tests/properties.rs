@@ -1,0 +1,105 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use proptest::prelude::*;
+use qufem_linalg::{gmres, GmresOptions, Lu, Matrix};
+
+/// Strategy: a diagonally dominant square matrix (always invertible), the
+/// shape of readout noise systems.
+fn arb_dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut off_sum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = vals[r * n + c] * 0.1;
+                    m.set(r, c, v);
+                    off_sum += v;
+                }
+            }
+            m.set(r, r, off_sum + 0.5 + vals[r * n + r]);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_satisfies_the_system(
+        m in arb_dd_matrix(6),
+        b in proptest::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let x = m.solve(&b).unwrap();
+        let ax = m.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual {} vs {}", l, r);
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided(m in arb_dd_matrix(5)) {
+        let inv = m.inverse().unwrap();
+        let left = inv.matmul(&m).unwrap();
+        let right = m.matmul(&inv).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((left.get(i, j) - e).abs() < 1e-8);
+                prop_assert!((right.get(i, j) - e).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in arb_dd_matrix(4), b in arb_dd_matrix(4)) {
+        let da = Lu::factorize(&a).unwrap().det();
+        let db = Lu::factorize(&b).unwrap().det();
+        let dab = Lu::factorize(&a.matmul(&b).unwrap()).unwrap().det();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+
+    #[test]
+    fn gmres_agrees_with_lu(
+        m in arb_dd_matrix(8),
+        b in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let lu_x = m.solve(&b).unwrap();
+        let g = gmres(|v| m.matvec(v).unwrap(), &b, &GmresOptions::default()).unwrap();
+        for (a, c) in g.solution.iter().zip(&lu_x) {
+            prop_assert!((a - c).abs() < 1e-6, "gmres {} vs lu {}", a, c);
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_norm(a in arb_dd_matrix(3), b in arb_dd_matrix(2)) {
+        let k = a.kron(&b);
+        prop_assert_eq!(k.rows(), 6);
+        prop_assert_eq!(k.cols(), 6);
+        // ‖A ⊗ B‖_F = ‖A‖_F · ‖B‖_F.
+        let expect = a.frobenius_norm() * b.frobenius_norm();
+        prop_assert!((k.frobenius_norm() - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn transpose_preserves_trace_and_norm(m in arb_dd_matrix(5)) {
+        let t = m.transpose();
+        prop_assert!((m.trace() - t.trace()).abs() < 1e-12);
+        prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_normalization_is_idempotent(m in arb_dd_matrix(4)) {
+        let mut a = m.clone();
+        a.normalize_columns();
+        prop_assert!(a.is_column_stochastic(1e-9));
+        let mut b = a.clone();
+        b.normalize_columns();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+}

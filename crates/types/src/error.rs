@@ -1,0 +1,88 @@
+//! Common error type for the QuFEM workspace.
+
+use std::fmt;
+
+/// Errors produced by QuFEM data types and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two values that must share a bit width did not.
+    WidthMismatch {
+        /// Width expected by the operation.
+        expected: usize,
+        /// Width actually supplied.
+        actual: usize,
+    },
+    /// A qubit index was outside the valid range for the device or string.
+    QubitOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of qubits available.
+        width: usize,
+    },
+    /// A probability value was negative, NaN, or otherwise invalid.
+    InvalidProbability(f64),
+    /// A string could not be parsed as a binary bit string.
+    ParseBitString(String),
+    /// A matrix was singular or an iterative solver failed to converge.
+    LinalgFailure(String),
+    /// The requested operation would exceed a configured resource bound.
+    ResourceExhausted(String),
+    /// A configuration value was invalid for the algorithm.
+    InvalidConfig(String),
+    /// Characterization data required by calibration is missing.
+    MissingCharacterization(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WidthMismatch { expected, actual } => {
+                write!(f, "bit-width mismatch: expected {expected}, got {actual}")
+            }
+            Error::QubitOutOfRange { index, width } => {
+                write!(f, "qubit index {index} out of range for width {width}")
+            }
+            Error::InvalidProbability(p) => write!(f, "invalid probability value {p}"),
+            Error::ParseBitString(s) => write!(f, "cannot parse {s:?} as a bit string"),
+            Error::LinalgFailure(msg) => write!(f, "linear algebra failure: {msg}"),
+            Error::ResourceExhausted(msg) => write!(f, "resource bound exceeded: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MissingCharacterization(msg) => {
+                write!(f, "missing characterization data: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_width_mismatch() {
+        let e = Error::WidthMismatch { expected: 3, actual: 5 };
+        assert_eq!(e.to_string(), "bit-width mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_out_of_range() {
+        let e = Error::QubitOutOfRange { index: 9, width: 4 };
+        assert!(e.to_string().contains("index 9"));
+        assert!(e.to_string().contains("width 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+
+    #[test]
+    fn display_parse_error_quotes_input() {
+        let e = Error::ParseBitString("01x".into());
+        assert!(e.to_string().contains("\"01x\""));
+    }
+}

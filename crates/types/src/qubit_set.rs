@@ -1,0 +1,240 @@
+//! Ordered sets of qubit indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered (ascending, duplicate-free) set of qubit indices.
+///
+/// Used for measured-qubit sets `Q_M` and qubit groups `g_{i,j}` in the
+/// QuFEM formulation. Construction sorts and deduplicates, so the in-memory
+/// order is canonical and two sets with the same members always compare
+/// equal.
+///
+/// ```
+/// use qufem_types::QubitSet;
+///
+/// let g = QubitSet::from_iter([3, 1, 3, 0]);
+/// assert_eq!(g.as_slice(), &[0, 1, 3]);
+/// assert!(g.contains(1));
+/// assert!(!g.contains(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct QubitSet {
+    qubits: Vec<usize>,
+}
+
+impl QubitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        QubitSet::default()
+    }
+
+    /// The full register `{0, 1, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        QubitSet { qubits: (0..n).collect() }
+    }
+
+    /// Number of qubits in the set.
+    pub fn len(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.qubits.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, q: usize) -> bool {
+        self.qubits.binary_search(&q).is_ok()
+    }
+
+    /// Position of qubit `q` within the ascending order, if present.
+    ///
+    /// This is the index of `q`'s bit inside a sub-bit-string extracted for
+    /// this set.
+    pub fn position(&self, q: usize) -> Option<usize> {
+        self.qubits.binary_search(&q).ok()
+    }
+
+    /// The members as an ascending slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// Inserts a qubit, keeping order; returns `true` if newly inserted.
+    pub fn insert(&mut self, q: usize) -> bool {
+        match self.qubits.binary_search(&q) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.qubits.insert(pos, q);
+                true
+            }
+        }
+    }
+
+    /// Removes a qubit; returns `true` if it was present.
+    pub fn remove(&mut self, q: usize) -> bool {
+        match self.qubits.binary_search(&q) {
+            Ok(pos) => {
+                self.qubits.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.qubits.iter().copied().filter(|q| other.contains(*q)).collect()
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        self.qubits.iter().copied().filter(|q| !other.contains(*q)).collect()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        self.qubits.iter().chain(other.qubits.iter()).copied().collect()
+    }
+
+    /// Iterator over members, ascending.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+        self.qubits.iter().copied()
+    }
+}
+
+impl FromIterator<usize> for QubitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut qubits: Vec<usize> = iter.into_iter().collect();
+        qubits.sort_unstable();
+        qubits.dedup();
+        QubitSet { qubits }
+    }
+}
+
+impl Extend<usize> for QubitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for q in iter {
+            self.insert(q);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a QubitSet {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for QubitSet {
+    type Item = usize;
+    type IntoIter = std::vec::IntoIter<usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.qubits.into_iter()
+    }
+}
+
+impl From<Vec<usize>> for QubitSet {
+    fn from(v: Vec<usize>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl fmt::Debug for QubitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QubitSet{:?}", self.qubits)
+    }
+}
+
+impl fmt::Display for QubitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = QubitSet::from_iter([5, 2, 5, 1]);
+        assert_eq!(s.as_slice(), &[1, 2, 5]);
+    }
+
+    #[test]
+    fn full_register() {
+        let s = QubitSet::full(4);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = QubitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn insert_keeps_order_and_reports_novelty() {
+        let mut s = QubitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert_eq!(s.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut s = QubitSet::from_iter([1, 2]);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn position_matches_extract_order() {
+        let s = QubitSet::from_iter([4, 1, 7]);
+        assert_eq!(s.position(1), Some(0));
+        assert_eq!(s.position(4), Some(1));
+        assert_eq!(s.position(7), Some(2));
+        assert_eq!(s.position(5), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = QubitSet::from_iter([0, 1, 2, 3]);
+        let b = QubitSet::from_iter([2, 3, 4]);
+        assert_eq!(a.intersection(&b).as_slice(), &[2, 3]);
+        assert_eq!(a.difference(&b).as_slice(), &[0, 1]);
+        assert_eq!(a.union(&b).as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = QubitSet::from_iter([0, 2]);
+        assert_eq!(s.to_string(), "{q0, q2}");
+    }
+
+    #[test]
+    fn iterate_by_reference() {
+        let s = QubitSet::from_iter([2, 0]);
+        let v: Vec<usize> = (&s).into_iter().collect();
+        assert_eq!(v, vec![0, 2]);
+    }
+}

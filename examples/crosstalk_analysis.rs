@@ -1,0 +1,67 @@
+//! Crosstalk analysis: inspect the interaction graph QuFEM discovers on a
+//! noisy 18-qubit device and how it drives the qubit grouping.
+//!
+//! ```bash
+//! cargo run --release --example crosstalk_analysis
+//! ```
+
+use qufem::benchgen;
+use qufem::device::presets;
+use qufem::{InteractionTable, QuFemConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+fn main() -> qufem::Result<()> {
+    let device = presets::quafu_18(3);
+    println!("device: {} ({} qubits)", device.name(), device.n_qubits());
+    println!(
+        "ground truth: {} crosstalk terms (hidden from the calibration code)",
+        device.ground_truth().crosstalk_terms().len()
+    );
+
+    // Run the adaptive benchmark generation and build the interaction table
+    // from the collected data — knowledge derived purely from measurements.
+    let config = QuFemConfig::builder().shots(2000).seed(5).build()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let (snapshot, report) = benchgen::generate(&device, &config, &mut rng)?;
+    println!("executed {} benchmarking circuits", report.total_circuits);
+
+    let table = InteractionTable::build(&snapshot);
+    println!("average interaction strength: {:.5}", table.average_interact());
+
+    // The ten strongest pairwise weights (paper Eq. 9).
+    let n = device.n_qubits();
+    let mut weights: Vec<(f64, usize, usize)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            weights.push((table.weight(a, b), a, b));
+        }
+    }
+    weights.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    println!("\nstrongest discovered interactions:");
+    for (w, a, b) in weights.iter().take(10) {
+        let edge = if device.topology().has_edge(*a, *b) { "edge" } else { "long-range" };
+        println!("  q{a:<2} — q{b:<2}  weight {w:.5}  ({edge})");
+    }
+
+    // Partition qubits along those weights (paper's MAX-CUT-style grouping).
+    let grouping = qufem::partition::partition_weighted(
+        n,
+        &|a, b| table.weight(a, b),
+        2,
+        &HashSet::new(),
+        1.0,
+    );
+    println!("\ngrouping scheme (K = 2): {grouping:?}");
+
+    // Sanity check: the resonator group {14..17} of this preset should be
+    // heavily represented among the strongest weights.
+    let resonator_hits = weights
+        .iter()
+        .take(10)
+        .filter(|(_, a, b)| (14..18).contains(a) && (14..18).contains(b))
+        .count();
+    println!("resonator-group pairs among top-10 weights: {resonator_hits}");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Method comparison: run all five calibration methods on the seven
+//! benchmark algorithms of the paper (a miniature Figure 9a).
+//!
+//! ```bash
+//! cargo run --release --example method_comparison
+//! ```
+
+use qufem::baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use qufem::circuits::Algorithm;
+use qufem::device::presets;
+use qufem::metrics::relative_fidelity;
+use qufem::{QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> qufem::Result<()> {
+    let device = presets::ibmq_7(11);
+    let n = device.n_qubits();
+    let measured = QubitSet::full(n);
+    let shots = 2000;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    // Characterize every method against the device.
+    let qufem = QuFem::characterize(&device, QuFemConfig::builder().seed(2).build()?)?;
+    let m3 = M3::characterize(&device, shots, &mut rng)?;
+    let ctmp = Ctmp::characterize(&device, shots, &mut rng)?;
+    let ibu = Ibu::characterize(&device, shots, &mut rng)?;
+    let qbeep = QBeep::characterize(&device, shots, &mut rng)?;
+    let methods: [&dyn Calibrator; 5] = [&qufem, &m3, &ctmp, &ibu, &qbeep];
+
+    println!("characterization circuits:");
+    for m in &methods {
+        println!("  {:>7}: {}", m.name(), m.characterization_circuits());
+    }
+
+    println!("\nrelative fidelity (calibrated / uncalibrated; > 1 is an improvement):");
+    print!("{:>8}", "algo");
+    for m in &methods {
+        print!("{:>9}", m.name());
+    }
+    println!();
+
+    for alg in Algorithm::ALL {
+        let ideal = alg.ideal_distribution(n, 4);
+        let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
+        print!("{:>8}", alg.name());
+        for method in &methods {
+            let calibrated = method.calibrate(&noisy, &measured)?.project_to_probabilities();
+            let rf = relative_fidelity(&ideal, &noisy, &calibrated);
+            print!("{rf:>9.4}");
+        }
+        println!();
+    }
+    Ok(())
+}

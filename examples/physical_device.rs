@@ -1,0 +1,80 @@
+//! Physics-first device modeling: specify qubit/resonator frequencies and
+//! couplings (paper Eq. 1), derive the readout-noise model, and verify that
+//! QuFEM's interaction discovery finds the engineered frequency collision.
+//!
+//! ```bash
+//! cargo run --release --example physical_device
+//! ```
+
+use qufem::benchgen;
+use qufem::device::physical::{PhysicalDeviceSpec, PhysicalQubit};
+use qufem::device::Topology;
+use qufem::{InteractionTable, QuFemConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An eight-qubit 2x4 grid. Resonators are spread over 6.20-6.90 GHz,
+    // except qubits 2 and 6, whose resonators collide at ~6.5 GHz — the
+    // fabrication defect QuFEM should discover from measurements alone.
+    let resonators_ghz =
+        [6.20, 6.30, 6.5000, 6.40, 6.70, 6.80, 6.5015, 6.90];
+    let qubits: Vec<PhysicalQubit> = resonators_ghz
+        .iter()
+        .enumerate()
+        .map(|(i, &res)| PhysicalQubit {
+            qubit_freq_ghz: 4.9 + 0.07 * i as f64,
+            resonator_freq_ghz: res,
+            coupling_mhz: 95.0 + 5.0 * (i % 3) as f64,
+            detection_noise_mhz: 2.4,
+            relaxation_during_readout: 0.012,
+        })
+        .collect();
+    let spec = PhysicalDeviceSpec {
+        name: "physical-2x4".into(),
+        topology: Topology::grid(2, 4),
+        qubits,
+        collision_strength: 0.05,
+        collision_window_mhz: 40.0,
+    };
+
+    for (i, q) in spec.qubits.iter().enumerate() {
+        println!(
+            "q{i}: χ = {:.2} MHz, discrimination error = {:.3}%",
+            q.dispersive_shift_mhz(),
+            q.discrimination_error() * 100.0
+        );
+    }
+
+    let device = spec.to_device()?;
+    println!(
+        "\nderived noise model has {} crosstalk terms (from frequency collisions)",
+        device.ground_truth().crosstalk_terms().len()
+    );
+
+    // Characterize from measurements only and rank the discovered weights.
+    let config = QuFemConfig::builder().shots(2000).seed(7).build()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let (snapshot, report) = benchgen::generate(&device, &config, &mut rng)?;
+    println!("ran {} benchmarking circuits", report.total_circuits);
+
+    let table = InteractionTable::build(&snapshot);
+    let mut weights: Vec<(f64, usize, usize)> = Vec::new();
+    for a in 0..8 {
+        for b in (a + 1)..8 {
+            weights.push((table.weight(a, b), a, b));
+        }
+    }
+    weights.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    println!("\nstrongest measured interactions:");
+    for (w, a, b) in weights.iter().take(3) {
+        println!("  q{a} - q{b}: weight {w:.5}");
+    }
+    let (_, top_a, top_b) = weights[0];
+    if (top_a, top_b) == (2, 6) {
+        println!("\n=> QuFEM correctly identified the engineered q2/q6 resonator collision.");
+    } else {
+        println!("\n=> strongest pair was q{top_a}/q{top_b} (expected q2/q6).");
+    }
+    Ok(())
+}

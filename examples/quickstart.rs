@@ -1,0 +1,54 @@
+//! Quickstart: characterize a simulated 7-qubit device and calibrate a GHZ
+//! measurement.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use qufem::device::presets;
+use qufem::metrics::hellinger_fidelity;
+use qufem::{QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> qufem::Result<()> {
+    // A simulated IBMQ-Perth-like device. On real hardware this would be a
+    // connection to the quantum cloud provider.
+    let device = presets::ibmq_7(42);
+    println!("device: {} ({} qubits)", device.name(), device.n_qubits());
+
+    // Step 1 — characterization flow (paper Algorithm 1): adaptively run
+    // benchmarking circuits, quantify qubit interactions, partition qubits,
+    // and store the per-iteration calibration parameters.
+    let config = QuFemConfig::builder()
+        .iterations(2)
+        .max_group_size(2)
+        .shots(2000)
+        .seed(1)
+        .build()?;
+    let qufem = QuFem::characterize(&device, config)?;
+    let report = qufem.benchgen_report().expect("characterized against a device");
+    println!(
+        "characterization: {} benchmarking circuits ({} adaptive rounds)",
+        report.total_circuits, report.rounds
+    );
+    for (i, params) in qufem.iterations().iter().enumerate() {
+        println!("iteration {}: grouping {:?}", i + 1, params.grouping());
+    }
+
+    // Step 2 — run a GHZ circuit on the device and read it out noisily.
+    let measured = QubitSet::full(7);
+    let ideal = qufem::circuits::ghz(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let noisy = device.measure_distribution(&ideal, &measured, 2000, &mut rng);
+
+    // Step 3 — calibration flow (paper Algorithm 2).
+    let calibrated = qufem.calibrate(&noisy, &measured)?.project_to_probabilities();
+
+    let before = hellinger_fidelity(&noisy, &ideal);
+    let after = hellinger_fidelity(&calibrated, &ideal);
+    println!("GHZ fidelity before calibration: {before:.4}");
+    println!("GHZ fidelity after calibration:  {after:.4}");
+    println!("relative fidelity improvement:   {:.3}x", after / before);
+    Ok(())
+}

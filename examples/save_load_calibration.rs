@@ -1,0 +1,61 @@
+//! Persisting calibration parameters: characterize once, save to disk,
+//! reload in a fresh process, and calibrate without touching the device.
+//!
+//! The paper observes that "for a target quantum device, the calibration
+//! parameters are static" (§3.2) — interactions are fixed by the hardware
+//! deployment — so the expensive characterization flow only needs to run
+//! when the device is retuned.
+//!
+//! ```bash
+//! cargo run --release --example save_load_calibration
+//! ```
+
+use qufem::device::presets;
+use qufem::metrics::{expectation_z, hellinger_fidelity};
+use qufem::{QuFem, QuFemConfig, QuFemData, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = presets::ibmq_7(21);
+
+    // --- Day 1: characterize and persist -------------------------------
+    let qufem = QuFem::characterize(
+        &device,
+        QuFemConfig::builder().shots(2000).seed(11).build()?,
+    )?;
+    let path = std::env::temp_dir().join("qufem_calibration.json");
+    std::fs::write(&path, serde_json::to_string(&qufem.export())?)?;
+    println!(
+        "characterized with {} circuits; parameters saved to {}",
+        qufem.benchgen_report().expect("device characterization").total_circuits,
+        path.display()
+    );
+    drop(qufem); // pretend the process exits
+
+    // --- Day 2: reload and calibrate (no device access needed) ---------
+    let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let restored = QuFem::import(data)?;
+    println!("restored calibrator for {} qubits", restored.n_qubits());
+
+    let measured = QubitSet::full(7);
+    let ideal = qufem::circuits::ghz(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let noisy = device.measure_distribution(&ideal, &measured, 2000, &mut rng);
+    let calibrated = restored.calibrate(&noisy, &measured)?.project_to_probabilities();
+
+    println!(
+        "GHZ fidelity: {:.4} -> {:.4}",
+        hellinger_fidelity(&noisy, &ideal),
+        hellinger_fidelity(&calibrated, &ideal)
+    );
+    // Pairwise parity ⟨Z₀Z₁⟩ of an ideal GHZ state is 1 (all qubits agree).
+    let parity_support: QubitSet = [0usize, 1].into_iter().collect();
+    println!(
+        "⟨Z0·Z1⟩: noisy {:.4} -> calibrated {:.4} (ideal 1.0)",
+        expectation_z(&noisy, &parity_support),
+        expectation_z(&calibrated, &parity_support)
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Prints a compact digest of every table in results/ for EXPERIMENTS.md."""
+import json
+import pathlib
+import sys
+
+results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+for path in sorted(results.glob("*.json")):
+    data = json.loads(path.read_text())
+    print(f"=== {path.stem} :: {data['title']}")
+    print("    " + " | ".join(data["headers"]))
+    for row in data["rows"]:
+        print("    " + " | ".join(row))
+    for note in data.get("notes", []):
+        print(f"    note: {note}")
+    print()

@@ -1,0 +1,228 @@
+//! `qufem` — command-line interface to the QuFEM calibration pipeline.
+//!
+//! ```text
+//! qufem characterize --device quafu-18 --out params.json [--shots 2000]
+//!        [--alpha 2.5e-5] [--beta 1e-5] [--iterations 2] [--group-size 2] [--seed 0]
+//! qufem simulate     --device quafu-18 --algorithm ghz --shots 2000 --out noisy.json [--seed 0]
+//! qufem calibrate    --params params.json --input noisy.json --out calibrated.json
+//!        [--measured 0,1,2] [--project]
+//! qufem inspect      --params params.json
+//! ```
+//!
+//! Devices are the built-in presets (`ibmq-7`, `quafu-18`, `custom-36`,
+//! `rigetti-79`, `quafu-136`, or `grid-N`); distributions are the JSON
+//! encoding of [`qufem::ProbDist`].
+
+use qufem::circuits::Algorithm;
+use qufem::device::{presets, Device};
+use qufem::{ProbDist, QuFem, QuFemConfig, QuFemData, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  qufem characterize --device <preset> --out <params.json> \
+         [--shots N] [--alpha A] [--beta B] [--iterations L] [--group-size K] [--seed S]\n  \
+         qufem simulate --device <preset> --algorithm <ghz|bv|dj|simon|vqc|qsvm|hs> \
+         --shots N --out <dist.json> [--seed S]\n  \
+         qufem calibrate --params <params.json> --input <dist.json> --out <out.json> \
+         [--measured 0,1,2] [--project]\n  \
+         qufem inspect --params <params.json>\n\n\
+         presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                switches.push(name.to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        }
+    }
+    (flags, switches)
+}
+
+fn device_by_name(name: &str, seed: u64) -> Option<Device> {
+    match name {
+        "ibmq-7" => Some(presets::ibmq_7(seed)),
+        "quafu-18" => Some(presets::quafu_18(seed)),
+        "custom-36" => Some(presets::custom_36(seed)),
+        "rigetti-79" => Some(presets::rigetti_79(seed)),
+        "quafu-136" => Some(presets::quafu_136(seed)),
+        other => other
+            .strip_prefix("grid-")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| (2..=1000).contains(&n))
+            .map(|n| presets::scale_grid(n, seed)),
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    match name.to_ascii_lowercase().as_str() {
+        "ghz" => Some(Algorithm::Ghz),
+        "bv" => Some(Algorithm::BernsteinVazirani),
+        "dj" => Some(Algorithm::DeutschJozsa),
+        "simon" => Some(Algorithm::Simon),
+        "vqc" => Some(Algorithm::Vqc),
+        "qsvm" => Some(Algorithm::Qsvm),
+        "hs" => Some(Algorithm::HamiltonianSimulation),
+        _ => None,
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else { usage() };
+    let (flags, switches) = parse_flags(rest);
+    let get = |name: &str| flags.get(name).cloned();
+    let require = |name: &str| -> String {
+        get(name).unwrap_or_else(|| {
+            eprintln!("missing required flag --{name}");
+            usage();
+        })
+    };
+    let seed: u64 = get("seed").map(|s| s.parse()).transpose()?.unwrap_or(0);
+
+    match command.as_str() {
+        "characterize" => {
+            let device_name = require("device");
+            let out = require("out");
+            let device = device_by_name(&device_name, seed)
+                .ok_or_else(|| format!("unknown device preset {device_name:?}"))?;
+            let mut builder = QuFemConfig::builder().seed(seed);
+            if let Some(v) = get("shots") {
+                builder = builder.shots(v.parse()?);
+            }
+            if let Some(v) = get("alpha") {
+                builder = builder.characterization_threshold(v.parse()?);
+            }
+            if let Some(v) = get("beta") {
+                builder = builder.pruning_threshold(v.parse()?);
+            }
+            if let Some(v) = get("iterations") {
+                builder = builder.iterations(v.parse()?);
+            }
+            if let Some(v) = get("group-size") {
+                builder = builder.max_group_size(v.parse()?);
+            }
+            let config = builder.build()?;
+            eprintln!("characterizing {} …", device.name());
+            let qufem = QuFem::characterize(&device, config)?;
+            let report = qufem.benchgen_report().expect("device characterization");
+            eprintln!(
+                "done: {} benchmarking circuits, {} iterations",
+                report.total_circuits,
+                qufem.iterations().len()
+            );
+            std::fs::write(&out, serde_json::to_string(&qufem.export())?)?;
+            eprintln!("parameters written to {out}");
+        }
+        "simulate" => {
+            let device_name = require("device");
+            let out = require("out");
+            let algorithm = algorithm_by_name(&require("algorithm"))
+                .ok_or("unknown algorithm (use ghz|bv|dj|simon|vqc|qsvm|hs)")?;
+            let shots: u64 = require("shots").parse()?;
+            let device = device_by_name(&device_name, seed)
+                .ok_or_else(|| format!("unknown device preset {device_name:?}"))?;
+            let n = device.n_qubits();
+            let measured = QubitSet::full(n);
+            let ideal = algorithm.ideal_distribution(n, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC11);
+            let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
+            std::fs::write(&out, serde_json::to_string(&noisy)?)?;
+            eprintln!(
+                "{} on {}: {} shots, {} distinct outcomes -> {out}",
+                algorithm.name(),
+                device.name(),
+                shots,
+                noisy.support_len()
+            );
+        }
+        "calibrate" => {
+            let params_path = require("params");
+            let input = require("input");
+            let out = require("out");
+            let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
+            let qufem = QuFem::import(data)?;
+            let dist: ProbDist = serde_json::from_str(&std::fs::read_to_string(&input)?)?;
+            let measured: QubitSet = match get("measured") {
+                Some(spec) => spec
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .collect(),
+                None => QubitSet::full(qufem.n_qubits()),
+            };
+            let calibrated = qufem.calibrate(&dist, &measured)?;
+            let result = if switches.contains(&"project".to_string()) {
+                calibrated.project_to_probabilities()
+            } else {
+                calibrated
+            };
+            std::fs::write(&out, serde_json::to_string(&result)?)?;
+            eprintln!(
+                "calibrated {} -> {} outcomes, total mass {:.6} -> {out}",
+                dist.support_len(),
+                result.support_len(),
+                result.total_mass()
+            );
+        }
+        "inspect" => {
+            let params_path = require("params");
+            let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
+            println!("qubits: {}", data.n_qubits);
+            println!(
+                "config: L={}, K={}, alpha={:.1e}, beta={:.1e}, shots={}",
+                data.config.iterations,
+                data.config.max_group_size,
+                data.config.alpha,
+                data.config.beta,
+                data.config.shots
+            );
+            if let Some(report) = &data.benchgen_report {
+                println!(
+                    "characterization: {} circuits ({} adaptive rounds)",
+                    report.total_circuits, report.rounds
+                );
+            }
+            for (i, iter) in data.iterations.iter().enumerate() {
+                println!(
+                    "iteration {}: {} groups, {} benchmark records",
+                    i + 1,
+                    iter.grouping.len(),
+                    iter.records.len()
+                );
+                println!("  grouping: {:?}", iter.grouping);
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end test of the `qufem` command-line interface: characterize →
+//! simulate → calibrate → inspect, exercising the JSON file formats.
+
+use std::process::Command;
+
+fn qufem() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qufem"))
+}
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qufem_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let params = tmpfile("params.json");
+    let noisy = tmpfile("noisy.json");
+    let calibrated = tmpfile("calibrated.json");
+
+    let status = qufem()
+        .args([
+            "characterize",
+            "--device",
+            "ibmq-7",
+            "--out",
+            params.to_str().unwrap(),
+            "--shots",
+            "300",
+            "--alpha",
+            "5e-4",
+            "--seed",
+            "3",
+        ])
+        .status()
+        .expect("spawn qufem");
+    assert!(status.success(), "characterize failed");
+    assert!(params.exists());
+
+    let status = qufem()
+        .args([
+            "simulate",
+            "--device",
+            "ibmq-7",
+            "--algorithm",
+            "ghz",
+            "--shots",
+            "1000",
+            "--out",
+            noisy.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .status()
+        .expect("spawn qufem");
+    assert!(status.success(), "simulate failed");
+
+    let status = qufem()
+        .args([
+            "calibrate",
+            "--params",
+            params.to_str().unwrap(),
+            "--input",
+            noisy.to_str().unwrap(),
+            "--out",
+            calibrated.to_str().unwrap(),
+            "--project",
+        ])
+        .status()
+        .expect("spawn qufem");
+    assert!(status.success(), "calibrate failed");
+
+    // The calibrated file parses as a distribution and improves GHZ fidelity.
+    let noisy_dist: qufem::ProbDist =
+        serde_json::from_str(&std::fs::read_to_string(&noisy).unwrap()).unwrap();
+    let cal_dist: qufem::ProbDist =
+        serde_json::from_str(&std::fs::read_to_string(&calibrated).unwrap()).unwrap();
+    let ideal = qufem::circuits::ghz(7);
+    let before = qufem::metrics::hellinger_fidelity(&noisy_dist, &ideal);
+    let after = qufem::metrics::hellinger_fidelity(&cal_dist, &ideal);
+    assert!(after > before, "CLI calibration should help: {before:.4} -> {after:.4}");
+
+    // Inspect prints the configuration.
+    let output = qufem()
+        .args(["inspect", "--params", params.to_str().unwrap()])
+        .output()
+        .expect("spawn qufem");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("qubits: 7"), "inspect output: {text}");
+    assert!(text.contains("iteration 1"), "inspect output: {text}");
+}
+
+#[test]
+fn unknown_device_fails_cleanly() {
+    let out = tmpfile("never.json");
+    let output = qufem()
+        .args(["characterize", "--device", "nonsense-99", "--out", out.to_str().unwrap()])
+        .output()
+        .expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown device"), "stderr: {err}");
+}
+
+#[test]
+fn missing_flags_show_usage() {
+    let output = qufem().args(["calibrate"]).output().expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("usage"), "stderr: {err}");
+}

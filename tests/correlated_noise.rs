@@ -1,0 +1,98 @@
+//! Integration test of the correlated-readout extension: a device whose
+//! noise violates the paper's per-qubit factorization, calibrated with the
+//! product form (Eq. 11) and with joint group estimation.
+
+use qufem::circuits::Algorithm;
+use qufem::device::{presets, Device, Topology};
+use qufem::metrics::hellinger_fidelity;
+use qufem::{QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn correlated_device(seed: u64) -> Device {
+    let profile = presets::NoiseProfile {
+        eps0_range: (0.01, 0.02),
+        eps1_range: (0.015, 0.03),
+        edge_crosstalk: 0.008,
+        unmeasured_relief: 0.002,
+        long_range_fraction: 0.0,
+        long_range_strength: 0.0,
+        resonator_groups: vec![],
+        resonator_strength: 0.0,
+    };
+    let base = presets::build_device("corr-6", Topology::linear(6), &profile, seed);
+    let mut model = base.ground_truth().clone();
+    model.add_correlated_flip(1, 2, 0.06).unwrap();
+    model.add_correlated_flip(4, 5, 0.06).unwrap();
+    Device::new("corr-6", Topology::linear(6), model).unwrap()
+}
+
+fn config(joint: bool) -> QuFemConfig {
+    QuFemConfig::builder()
+        .characterization_threshold(2e-4)
+        .shots(2000)
+        .joint_group_estimation(joint)
+        .seed(4)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn partitioner_discovers_correlated_pairs() {
+    // Correlated flips inflate the conditional error statistics of the
+    // involved pairs, so the interaction graph should group them.
+    let device = correlated_device(2);
+    let qufem = QuFem::characterize(&device, config(false)).unwrap();
+    let pairs = qufem::partition::grouped_pairs(qufem.iterations()[0].grouping());
+    assert!(
+        pairs.contains(&(1, 2)) || pairs.contains(&(4, 5)),
+        "at least one correlated pair should be grouped in iteration 1: {:?}",
+        qufem.iterations()[0].grouping()
+    );
+}
+
+#[test]
+fn joint_estimation_outperforms_product_on_correlated_ghz() {
+    let device = correlated_device(2);
+    let measured = QubitSet::full(6);
+    let product = QuFem::characterize(&device, config(false)).unwrap();
+    let joint = QuFem::characterize(&device, config(true)).unwrap();
+
+    let mut product_total = 0.0;
+    let mut joint_total = 0.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for seed in 0..4u64 {
+        let ideal = Algorithm::Ghz.ideal_distribution(6, seed);
+        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let p = product.calibrate(&noisy, &measured).unwrap().project_to_probabilities();
+        let j = joint.calibrate(&noisy, &measured).unwrap().project_to_probabilities();
+        product_total += hellinger_fidelity(&p, &ideal);
+        joint_total += hellinger_fidelity(&j, &ideal);
+    }
+    assert!(
+        joint_total > product_total,
+        "joint ({joint_total:.4}) should beat product ({product_total:.4}) under correlated noise"
+    );
+}
+
+#[test]
+fn joint_and_product_agree_on_independent_devices() {
+    // Without correlated terms, joint estimation reduces to the product form
+    // up to shot noise — both should land within noise of each other.
+    let device = presets::ibmq_7(8);
+    let measured = QubitSet::full(7);
+    let product = QuFem::characterize(&device, config(false)).unwrap();
+    let joint = QuFem::characterize(&device, config(true)).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let ideal = Algorithm::Ghz.ideal_distribution(7, 0);
+    let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+    let p = hellinger_fidelity(
+        &product.calibrate(&noisy, &measured).unwrap().project_to_probabilities(),
+        &ideal,
+    );
+    let j = hellinger_fidelity(
+        &joint.calibrate(&noisy, &measured).unwrap().project_to_probabilities(),
+        &ideal,
+    );
+    assert!((p - j).abs() < 0.05, "product {p:.4} vs joint {j:.4} should be close");
+}
