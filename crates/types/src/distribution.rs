@@ -2,9 +2,7 @@
 
 use crate::{BitString, Error, QubitSet, Result};
 use rand::Rng;
-use serde::de::{SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -383,47 +381,38 @@ impl fmt::Debug for ProbDist {
 }
 
 impl Serialize for ProbDist {
-    /// Serializes as `(width, [[bitstring, value], …])` with entries in
-    /// sorted order, so the representation is deterministic.
-    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
-        let pairs = self.sorted_pairs();
-        let mut seq = serializer.serialize_seq(Some(pairs.len() + 1))?;
-        seq.serialize_element(&self.width)?;
-        for pair in &pairs {
-            seq.serialize_element(pair)?;
+    /// Serializes as `[width, [bitstring, value], …]` with entries in sorted
+    /// order, so the representation is deterministic.
+    fn to_value(&self) -> serde::Value {
+        let mut seq = Vec::with_capacity(self.entries.len() + 1);
+        seq.push(self.width.to_value());
+        for pair in self.sorted_pairs() {
+            seq.push(pair.to_value());
         }
-        seq.end()
+        serde::Value::Seq(seq)
     }
 }
 
-impl<'de> Deserialize<'de> for ProbDist {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
-        struct DistVisitor;
-        impl<'de> Visitor<'de> for DistVisitor {
-            type Value = ProbDist;
-
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("a sequence starting with the width followed by (bitstring, value) pairs")
+impl Deserialize for ProbDist {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let seq = v.as_seq().ok_or_else(|| {
+            serde::de::Error::custom(
+                "expected a sequence starting with the width followed by (bitstring, value) pairs",
+            )
+        })?;
+        let width = match seq.first() {
+            Some(first) => usize::from_value(first)?,
+            None => return Err(serde::de::Error::custom("missing width")),
+        };
+        let mut dist = ProbDist::new(width);
+        for item in &seq[1..] {
+            let (key, value) = <(BitString, f64)>::from_value(item)?;
+            if key.width() != width {
+                return Err(serde::de::Error::custom("bit-string width mismatch"));
             }
-
-            fn visit_seq<A: SeqAccess<'de>>(
-                self,
-                mut seq: A,
-            ) -> std::result::Result<ProbDist, A::Error> {
-                let width: usize = seq
-                    .next_element()?
-                    .ok_or_else(|| serde::de::Error::custom("missing width"))?;
-                let mut dist = ProbDist::new(width);
-                while let Some((key, value)) = seq.next_element::<(BitString, f64)>()? {
-                    if key.width() != width {
-                        return Err(serde::de::Error::custom("bit-string width mismatch"));
-                    }
-                    dist.add(key, value);
-                }
-                Ok(dist)
-            }
+            dist.add(key, value);
         }
-        deserializer.deserialize_seq(DistVisitor)
+        Ok(dist)
     }
 }
 

@@ -1,0 +1,104 @@
+//! Vendored subset of the `crossbeam` API, implemented on `std::thread::scope`
+//! (offline build: no crates.io access). Only `crossbeam::thread::scope` and
+//! scoped spawn/join are provided — exactly what the workspace's parallel
+//! batch calibration uses.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention.
+
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Like crossbeam (and unlike std), the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// With `std::thread::scope` underneath, a panic in an unjoined thread
+    /// propagates as a panic rather than an `Err` — the workspace joins every
+    /// handle explicitly, where panics surface through `join()` exactly as
+    /// they do in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns_values() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let out = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,503 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment is fully offline, so the workspace carries its own
+//! minimal implementations of the external crates it depends on. This crate
+//! re-implements exactly the surface the QuFEM workspace uses:
+//!
+//! - [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! - `gen::<bool>()`, `gen::<f64>()`, `gen_range(..)` for integers and floats,
+//! - [`seq::SliceRandom::shuffle`] / `choose`,
+//! - the `Standard` distribution.
+//!
+//! The value streams are intentionally bit-compatible with upstream
+//! `rand` 0.8.5 / `rand_core` 0.6 (PCG-based `seed_from_u64`, sign-test bool,
+//! 53-bit float conversion, widening-multiply range sampling, Fisher–Yates
+//! shuffle), so fixed-seed experiments reproduce the same draws the upstream
+//! stack would produce.
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators: construction from a byte seed or a convenience `u64`.
+pub trait SeedableRng: Sized {
+    /// The byte-array seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the same PCG32 stream upstream
+    /// `rand_core` 0.6 uses, so seeded runs match the real crate bit-for-bit.
+    fn seed_from_u64(state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all representable
+/// values for integers/bool, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream uses the sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$method() as $t
+            }
+        }
+    )*};
+}
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+/// Widening multiply helpers used by the uniform integer sampler.
+trait WideningMul: Sized {
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, rhs: u32) -> (u32, u32) {
+        let t = (self as u64) * (rhs as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, rhs: u64) -> (u64, u64) {
+        let t = (self as u128) * (rhs as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Samples a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! uniform_int_range {
+    ($($ty:ty, $unsigned:ty, $large:ty);* $(;)?) => {$(
+        impl SampleRange for core::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_int_inclusive::<$ty, R>(self.start, self.end - 1, rng)
+            }
+        }
+
+        impl SampleRange for core::ops::RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                sample_int_inclusive::<$ty, R>(low, high, rng)
+            }
+        }
+
+        impl SampleIntInclusive for $ty {
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                // Upstream `UniformInt::sample_single_inclusive`: widening
+                // multiply with a bitmask-free rejection zone.
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                if range == 0 {
+                    // Full integer range: every value is acceptable.
+                    return Standard.sample(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = Standard.sample(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Internal dispatch for integer inclusive-range sampling.
+trait SampleIntInclusive: Sized {
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+fn sample_int_inclusive<T: SampleIntInclusive, R: RngCore + ?Sized>(
+    low: T,
+    high: T,
+    rng: &mut R,
+) -> T {
+    T::sample_inclusive(low, high, rng)
+}
+
+uniform_int_range! {
+    i32, u32, u32;
+    u32, u32, u32;
+    i64, u64, u64;
+    u64, u64, u64;
+    usize, usize, u64;
+    isize, usize, u64;
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        // Upstream `UniformFloat::<f64>::sample_single`: draw in [1, 2),
+        // shift to [0, 1), scale into [low, high).
+        let scale = high - low;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange for core::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+/// User-facing extension trait with convenience sampling methods.
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Distribution types (subset).
+    pub use crate::{Distribution, Standard};
+}
+
+pub mod seq {
+    //! Sequence-related random operations (subset).
+
+    use crate::{Rng, RngCore};
+
+    /// Uniform index in `0..ubound`, matching upstream `gen_index`.
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Extension methods on slices: shuffle and random element choice.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, upstream order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Named generator types (subset).
+
+    use crate::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PCG-style generator.
+    ///
+    /// Unlike upstream (which uses xoshiro), this is only stream-stable within
+    /// this vendored crate; the workspace seeds every experiment through
+    /// `ChaCha8Rng`, which *is* upstream-bit-compatible.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+        inc: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            const MUL: u64 = 6364136223846793005;
+            self.state = self.state.wrapping_mul(MUL).wrapping_add(self.inc);
+            let xorshifted = (((self.state >> 18) ^ self.state) >> 27) as u32;
+            let rot = (self.state >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 16];
+
+        fn from_seed(seed: [u8; 16]) -> Self {
+            let state = u64::from_le_bytes(seed[..8].try_into().unwrap());
+            let inc = u64::from_le_bytes(seed[8..].try_into().unwrap()) | 1;
+            let mut rng = SmallRng { state, inc };
+            // Warm up so near-zero seeds decorrelate.
+            rng.next_u32();
+            rng
+        }
+    }
+}
+
+/// Prelude matching `rand::prelude` closely enough for glob imports.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Distribution, Rng, RngCore, SeedableRng, Standard};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    /// Deterministic counter RNG for unit-testing the samplers.
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_int_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..3);
+            assert!((0..3).contains(&v));
+            let u = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&u));
+            let i = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_covers_all_values() {
+        let mut rng = StepRng(7);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[rng.gen_range(0..3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_float_in_bounds() {
+        let mut rng = StepRng(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_f64_unit_interval() {
+        let mut rng = StepRng(11);
+        let mut sum = 0.0;
+        const N: usize = 4096;
+        for _ in 0..N {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut rng = StepRng(13);
+        let trues = (0..4096).filter(|_| rng.gen::<bool>()).count();
+        assert!((1800..2300).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StepRng(17);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StepRng(19);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut rng), Some(&42));
+    }
+
+    #[test]
+    fn seed_from_u64_matches_upstream_pcg_expansion() {
+        // Reference bytes produced by upstream rand_core 0.6
+        // `seed_from_u64(0)` for a 32-byte seed (first PCG32 outputs).
+        struct CaptureSeed([u8; 32]);
+        impl RngCore for CaptureSeed {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        impl SeedableRng for CaptureSeed {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                CaptureSeed(seed)
+            }
+        }
+        let seed = CaptureSeed::seed_from_u64(0).0;
+        // First word of the PCG stream seeded with 0:
+        // state = 0*MUL + INC = 11634580027462260723
+        let state: u64 = 11634580027462260723;
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        let expect0 = xorshifted.rotate_right(rot);
+        assert_eq!(&seed[..4], &expect0.to_le_bytes());
+    }
+}

@@ -1,0 +1,206 @@
+//! Vendored ChaCha random number generators, stream-compatible with the
+//! upstream `rand_chacha` 0.3 crate (offline build: no crates.io access).
+//!
+//! The generator runs the ChaCha block function (djb variant, 64-bit counter)
+//! and serves words through the same 4-block / 64-word buffer discipline as
+//! `rand_core::block::BlockRng`, so `next_u32`/`next_u64` sequences match the
+//! real crate bit-for-bit for any seed.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four ChaCha blocks per refill, like upstream
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// Computes one ChaCha block (`double_rounds` × 2 rounds) into `out`.
+fn chacha_block(key: &[u32; 8], counter: u64, double_rounds: usize, out: &mut [u32]) {
+    let mut x: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = x;
+    for _ in 0..double_rounds {
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(initial[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $double_rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; BUF_WORDS],
+            /// Next unread word; `BUF_WORDS` means "buffer exhausted".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                for block in 0..(BUF_WORDS / 16) {
+                    let start = block * 16;
+                    chacha_block(
+                        &self.key,
+                        self.counter.wrapping_add(block as u64),
+                        $double_rounds,
+                        &mut self.buf[start..start + 16],
+                    );
+                }
+                self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+            }
+
+            /// Refills the buffer and sets the read index (BlockRng's
+            /// `generate_and_set`).
+            fn generate_and_set(&mut self, index: usize) {
+                self.refill();
+                self.index = index;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name { key, counter: 0, buf: [0; BUF_WORDS], index: BUF_WORDS }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= BUF_WORDS {
+                    self.generate_and_set(0);
+                }
+                let value = self.buf[self.index];
+                self.index += 1;
+                value
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                // Mirror BlockRng::next_u64's three-way word consumption.
+                let read = |buf: &[u32; BUF_WORDS], i: usize| {
+                    (u64::from(buf[i + 1]) << 32) | u64::from(buf[i])
+                };
+                let index = self.index;
+                if index < BUF_WORDS - 1 {
+                    self.index += 2;
+                    read(&self.buf, index)
+                } else if index >= BUF_WORDS {
+                    self.generate_and_set(2);
+                    read(&self.buf, 0)
+                } else {
+                    let x = u64::from(self.buf[BUF_WORDS - 1]);
+                    self.generate_and_set(1);
+                    let y = u64::from(self.buf[0]);
+                    (y << 32) | x
+                }
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 4, "ChaCha with 8 rounds: the workspace's workhorse seeded generator.");
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds (IETF test-vector compatible core).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_block_matches_rfc7539_vector() {
+        // All-zero key, counter 0, nonce 0: keystream block 0 of reference
+        // ChaCha20 starts 76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 ... (djb variant).
+        let key = [0u32; 8];
+        let mut out = [0u32; 16];
+        chacha_block(&key, 0, 10, &mut out);
+        assert_eq!(out[0], 0xade0b876);
+        assert_eq!(out[1], 0x903df1a0);
+        assert_eq!(out[2], 0xe56a5d40);
+    }
+
+    #[test]
+    fn next_u64_combines_two_words_le() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let lo = a.next_u32() as u64;
+        let hi = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn buffer_boundary_next_u64_is_consistent() {
+        // Drive the index to 63 and confirm the split-word path stays
+        // deterministic and agrees between clones.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_works_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = rng.gen_range(0..10usize);
+            assert!(v < 10);
+        }
+    }
+}

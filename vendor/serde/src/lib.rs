@@ -1,0 +1,598 @@
+//! Vendored, std-only serialization framework for the offline workspace build.
+//!
+//! The public names mirror the real `serde` crate — `Serialize`,
+//! `Deserialize`, derive macros, `serde_json::to_string`/`from_str` — but the
+//! machinery is a deliberately simple **value tree**: types convert to and
+//! from [`Value`], and `serde_json` prints/parses that tree. This keeps the
+//! whole stack a few hundred lines while preserving the workspace's on-disk
+//! JSON formats:
+//!
+//! - structs are JSON objects keyed by field name (`#[serde(default)]`
+//!   honoured on deserialize),
+//! - enums use serde's externally-tagged convention (`"Ghz"`,
+//!   `{"Rx": [0, 1.5]}`),
+//! - maps with non-string keys serialize as sequences of `[key, value]`
+//!   pairs (deterministically ordered).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/serializable JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| map_get(m, key))
+    }
+
+    /// A short name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message (serde-compatible name).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Module alias so `serde::de::Error::custom(..)` keeps compiling.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// Module alias mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Error;
+}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} overflows i64")))?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {}", v.kind())))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected {}-tuple, got {}", $len, v.kind()))
+                })?;
+                if seq.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got sequence of {}",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+
+/// Total ordering on values so map exports are deterministic.
+fn cmp_value(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    use Value::*;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Null => 0,
+            Bool(_) => 1,
+            UInt(_) | Int(_) | Float(_) => 2,
+            Str(_) => 3,
+            Seq(_) => 4,
+            Map(_) => 5,
+        }
+    }
+    fn as_float(v: &Value) -> f64 {
+        match v {
+            UInt(n) => *n as f64,
+            Int(n) => *n as f64,
+            Float(f) => *f,
+            _ => 0.0,
+        }
+    }
+    match (a, b) {
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (UInt(x), UInt(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Str(x), Str(y)) => x.cmp(y),
+        (Seq(x), Seq(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let c = cmp_value(i, j);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Map(x), Map(y)) => {
+            for ((ki, vi), (kj, vj)) in x.iter().zip(y.iter()) {
+                let c = ki.cmp(kj).then_with(|| cmp_value(vi, vj));
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (x, y) if rank(x) == 2 && rank(y) == 2 => as_float(x).total_cmp(&as_float(y)),
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+/// Maps serialize as a deterministically ordered sequence of `[key, value]`
+/// pairs. This sidesteps JSON's string-only object keys (the workspace keys
+/// maps by qubit pairs) and keeps exports reproducible.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect();
+        pairs.sort_by(|a, b| cmp_value(&a.0, &b.0));
+        Value::Seq(pairs.into_iter().map(|(k, v)| Value::Seq(vec![k, v])).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected map pairs, got {}", v.kind())))?;
+        let mut out = HashMap::with_capacity_and_hasher(seq.len(), S::default());
+        for pair in seq {
+            let (k, val) = <(K, V)>::from_value(pair)?;
+            out.insert(k, val);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected map pairs, got {}", v.kind())))?;
+        seq.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Looks up a key in object entries.
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Derive support: unwraps a struct's object representation.
+pub fn de_struct<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    v.as_map().ok_or_else(|| Error::custom(format!("expected map for struct {ty}, got {}", v.kind())))
+}
+
+/// Derive support: extracts and parses one required struct field.
+pub fn de_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match map_get(fields, name) {
+        Some(v) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+        }
+        None => Err(Error::custom(format!("missing field `{name}` for struct {ty}"))),
+    }
+}
+
+/// Derive support: like [`de_field`] but missing fields fall back to
+/// `Default::default()` (`#[serde(default)]`).
+pub fn de_field_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match map_get(fields, name) {
+        Some(Value::Null) | None => Ok(T::default()),
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
+    }
+}
+
+/// Derive support: wraps a non-unit enum variant payload (externally tagged).
+pub fn variant_value(name: &str, payload: Value) -> Value {
+    Value::Map(vec![(name.to_owned(), payload)])
+}
+
+/// Derive support: splits an externally-tagged enum value into
+/// `(variant_name, payload)`.
+pub fn de_enum<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, Option<&'a Value>), Error> {
+    match v {
+        Value::Str(s) => Ok((s, None)),
+        Value::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), Some(&m[0].1))),
+        other => Err(Error::custom(format!(
+            "expected enum {ty} (string or single-key map), got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Derive support: a unit variant must not carry a payload.
+pub fn de_unit_payload(payload: Option<&Value>, variant: &str) -> Result<(), Error> {
+    match payload {
+        None | Some(Value::Null) => Ok(()),
+        Some(_) => Err(Error::custom(format!("unit variant `{variant}` carries a payload"))),
+    }
+}
+
+/// Derive support: a newtype variant's single payload value.
+pub fn de_newtype_payload<'a>(payload: Option<&'a Value>, variant: &str) -> Result<&'a Value, Error> {
+    payload.ok_or_else(|| Error::custom(format!("variant `{variant}` is missing its payload")))
+}
+
+/// Derive support: a tuple variant's payload sequence, arity-checked.
+pub fn de_tuple_payload<'a>(
+    payload: Option<&'a Value>,
+    variant: &str,
+    arity: usize,
+) -> Result<&'a [Value], Error> {
+    let v = payload
+        .ok_or_else(|| Error::custom(format!("variant `{variant}` is missing its payload")))?;
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| Error::custom(format!("variant `{variant}` expects a sequence payload")))?;
+    if seq.len() != arity {
+        return Err(Error::custom(format!(
+            "variant `{variant}` expects {arity} fields, got {}",
+            seq.len()
+        )));
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let val = v.to_value();
+        let back: Vec<(usize, f64)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn hashmap_pair_encoding_is_sorted_and_roundtrips() {
+        let mut m: HashMap<(usize, usize), f64> = HashMap::new();
+        m.insert((3, 1), 0.25);
+        m.insert((0, 2), 0.5);
+        let val = m.to_value();
+        let seq = val.as_seq().unwrap();
+        // Deterministic order: (0,2) before (3,1).
+        assert_eq!(seq[0].as_seq().unwrap()[0], (0usize, 2usize).to_value());
+        let back: HashMap<(usize, usize), f64> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let some: Option<u32> = Some(9);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(usize::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's minimal serde (offline build: no crates.io access, no `syn`).
+//!
+//! Supports exactly the shapes the QuFEM workspace uses:
+//!
+//! - structs with named fields (with optional `#[serde(default)]` per field),
+//! - enums whose variants are unit (`Ghz`) or tuple (`Rx(usize, f64)`).
+//!
+//! Generated code targets the simplified value-tree API in the vendored
+//! `serde` crate (`Serialize::to_value` / `Deserialize::from_value`), using
+//! serde's externally-tagged JSON conventions for enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    arity: Option<usize>, // None = unit, Some(n) = tuple with n fields
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match (&shape, mode) {
+                (Shape::Struct(fields), Mode::Serialize) => gen_struct_ser(&name, fields),
+                (Shape::Struct(fields), Mode::Deserialize) => gen_struct_de(&name, fields),
+                (Shape::Enum(variants), Mode::Serialize) => gen_enum_ser(&name, variants),
+                (Shape::Enum(variants), Mode::Deserialize) => gen_enum_de(&name, variants),
+            };
+            code.parse().expect("serde_derive generated invalid code")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Skips attributes (`#[...]`), reporting whether a `#[serde(default)]` was
+/// among them.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let txt = args.stream().to_string();
+                            if txt.split(',').any(|a| a.trim() == "default") {
+                                has_default = true;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` not supported by the vendored macro"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde derive: `{name}` must have a brace-delimited body (tuple/unit \
+                 structs unsupported), got {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok((name, Shape::Struct(parse_named_fields(body)?))),
+        "enum" => Ok((name, Shape::Enum(parse_variants(body)?))),
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, has_default) = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde derive: expected `:` after field, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive: struct variant `{name}` unsupported by the vendored macro"
+                ));
+            }
+            _ => None,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("serde derive: expected `,` after variant, got {other:?}")),
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+/// Number of fields in a tuple-variant payload (top-level comma count).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let helper = if f.has_default { "de_field_default" } else { "de_field" };
+            format!("{n}: ::serde::{helper}(fields, {n:?}, {name:?})?,", n = f.name)
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let fields = ::serde::de_struct(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match v.arity {
+                None => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                ),
+                Some(1) => format!(
+                    "{name}::{vn}(f0) => \
+                     ::serde::variant_value({vn:?}, ::serde::Serialize::to_value(f0)),"
+                ),
+                Some(n) => {
+                    let binds: Vec<String> = (0..n).map(|k| format!("f{k}")).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::variant_value({vn:?}, \
+                         ::serde::Value::Seq(::std::vec![{items}])),",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match v.arity {
+                None => format!(
+                    "{vn:?} => {{ ::serde::de_unit_payload(payload, {vn:?})?; \
+                     ::std::result::Result::Ok({name}::{vn}) }}"
+                ),
+                Some(1) => format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(\
+                     ::serde::de_newtype_payload(payload, {vn:?})?)?)),"
+                ),
+                Some(n) => {
+                    let items: String = (0..n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?,"))
+                        .collect();
+                    format!(
+                        "{vn:?} => {{ let seq = ::serde::de_tuple_payload(payload, {vn:?}, {n})?; \
+                         ::std::result::Result::Ok({name}::{vn}({items})) }}"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let (variant, payload) = ::serde::de_enum(v, {name:?})?;\n\
+                 match variant {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
