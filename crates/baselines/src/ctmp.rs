@@ -121,7 +121,9 @@ mod tests {
         let eps = vec![0.05; 8];
         let ctmp_full = Ctmp {
             cutoff: 0.0,
-            ..Ctmp::from_matrices(QubitMatrices::from_snapshot(&independent_snapshot(&eps[..3])).unwrap())
+            ..Ctmp::from_matrices(
+                QubitMatrices::from_snapshot(&independent_snapshot(&eps[..3])).unwrap(),
+            )
         };
         let mut ctmp_cut = ctmp_full.clone();
         ctmp_cut.cutoff = 1e-3;

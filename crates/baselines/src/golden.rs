@@ -70,9 +70,7 @@ impl Golden {
             let mut ideal_full = BitString::zeros(device.n_qubits());
             ideal_full.scatter(&positions, &sub);
             let ops: Vec<qufem_device::QubitOp> = (0..device.n_qubits())
-                .map(|q| {
-                    qufem_device::QubitOp::from_parts(ideal_full.get(q), measured.contains(q))
-                })
+                .map(|q| qufem_device::QubitOp::from_parts(ideal_full.get(q), measured.contains(q)))
                 .collect();
             let circuit = qufem_device::BenchmarkCircuit::new(ops);
             let dist = device.execute(&circuit, shots, rng);
@@ -100,10 +98,7 @@ impl Golden {
     pub fn exact(device: &Device, measured_sets: &[QubitSet], max_qubits: usize) -> Result<Self> {
         let mut matrices = HashMap::new();
         for measured in measured_sets {
-            matrices.insert(
-                measured.clone(),
-                device.golden_noise_matrix(measured, max_qubits)?,
-            );
+            matrices.insert(measured.clone(), device.golden_noise_matrix(measured, max_qubits)?);
         }
         Ok(Golden {
             max_qubits,
@@ -225,8 +220,7 @@ mod tests {
         let golden = Golden::characterize(&device, &measured, 4000, 8, &mut rng).unwrap();
         let ideal = qufem_circuits::ghz(3);
         let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
-        let calibrated =
-            golden.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
+        let calibrated = golden.calibrate(&noisy, &measured).unwrap().clip_to_probabilities();
         let before = hellinger_fidelity(&noisy, &ideal);
         let after = hellinger_fidelity(&calibrated, &ideal);
         assert!(after > before, "golden calibration should help: {before} → {after}");
@@ -250,10 +244,7 @@ mod tests {
         let b: QubitSet = [2usize, 3].into_iter().collect();
         let golden = Golden::exact(&device, &[a], 8).unwrap();
         let dist = ProbDist::point_mass(BitString::zeros(2));
-        assert!(matches!(
-            golden.calibrate(&dist, &b),
-            Err(Error::MissingCharacterization(_))
-        ));
+        assert!(matches!(golden.calibrate(&dist, &b), Err(Error::MissingCharacterization(_))));
     }
 
     #[test]

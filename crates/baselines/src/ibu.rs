@@ -218,11 +218,9 @@ mod tests {
     fn output_is_always_nonnegative() {
         let ibu = exact_ibu(&[0.15, 0.05, 0.1]);
         let measured = QubitSet::full(3);
-        let noisy = ProbDist::from_pairs(
-            3,
-            [(bs("000"), 0.6), (bs("111"), 0.25), (bs("010"), 0.15)],
-        )
-        .unwrap();
+        let noisy =
+            ProbDist::from_pairs(3, [(bs("000"), 0.6), (bs("111"), 0.25), (bs("010"), 0.15)])
+                .unwrap();
         let out = ibu.calibrate(&noisy, &measured).unwrap();
         for (_, v) in out.iter() {
             assert!(v >= 0.0, "IBU must not produce negative mass");
@@ -236,8 +234,7 @@ mod tests {
         // the Hamming-1 expansion must still include it.
         let ibu = exact_ibu(&[0.2, 0.2]);
         let measured = QubitSet::full(2);
-        let noisy =
-            ProbDist::from_pairs(2, [(bs("01"), 0.5), (bs("10"), 0.5)]).unwrap();
+        let noisy = ProbDist::from_pairs(2, [(bs("01"), 0.5), (bs("10"), 0.5)]).unwrap();
         let out = ibu.calibrate(&noisy, &measured).unwrap();
         assert!(out.prob(&bs("11")) > 0.0, "domain should include Hamming-1 neighbors");
     }

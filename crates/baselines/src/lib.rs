@@ -93,11 +93,8 @@ mod tests {
     #[test]
     fn qufem_implements_calibrator() {
         let device = presets::ibmq_7(1);
-        let config = QuFemConfig::builder()
-            .characterization_threshold(5e-4)
-            .shots(300)
-            .build()
-            .unwrap();
+        let config =
+            QuFemConfig::builder().characterization_threshold(5e-4).shots(300).build().unwrap();
         let qufem = QuFem::characterize(&device, config).unwrap();
         let c: &dyn Calibrator = &qufem;
         assert_eq!(c.name(), "QuFEM");

@@ -206,8 +206,7 @@ mod tests {
         strict.hamming_threshold = 0; // prune everything off-diagonal
         let loose = exact_m3(&[0.2, 0.2, 0.2, 0.2]);
         let measured = QubitSet::full(4);
-        let noisy =
-            ProbDist::from_pairs(4, [(bs("0000"), 0.8), (bs("1100"), 0.2)]).unwrap();
+        let noisy = ProbDist::from_pairs(4, [(bs("0000"), 0.8), (bs("1100"), 0.2)]).unwrap();
         let a = strict.calibrate(&noisy, &measured).unwrap();
         let b = loose.calibrate(&noisy, &measured).unwrap();
         // With D = 0 the matrix is diagonal → output equals renormalized input.
@@ -221,10 +220,7 @@ mod tests {
         m3.max_subspace = 1;
         let measured = QubitSet::full(3);
         let noisy = ProbDist::from_pairs(3, [(bs("000"), 0.5), (bs("111"), 0.5)]).unwrap();
-        assert!(matches!(
-            m3.calibrate(&noisy, &measured),
-            Err(Error::ResourceExhausted(_))
-        ));
+        assert!(matches!(m3.calibrate(&noisy, &measured), Err(Error::ResourceExhausted(_))));
     }
 
     #[test]

@@ -90,15 +90,13 @@ impl Calibrator for QBeep {
 
         // State graph: starts at the observed support and grows by Hamming-1
         // neighbors of the current top-mass nodes each iteration.
-        let mut node_set: HashSet<BitString> =
-            observed.iter().map(|(k, _)| k.clone()).collect();
+        let mut node_set: HashSet<BitString> = observed.iter().map(|(k, _)| k.clone()).collect();
         let mut t: HashMap<BitString, f64> =
             observed.iter().map(|(k, v)| (k.clone(), *v)).collect();
 
         for _iter in 0..self.iterations {
             // Expand the graph around the current heaviest nodes.
-            let mut heavy: Vec<(&BitString, f64)> =
-                t.iter().map(|(k, &v)| (k, v)).collect();
+            let mut heavy: Vec<(&BitString, f64)> = t.iter().map(|(k, &v)| (k, v)).collect();
             heavy.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
             });

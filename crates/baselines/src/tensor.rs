@@ -40,9 +40,7 @@ impl QubitMatrices {
                 .unwrap_or(0.0)
                 .clamp(0.0, 0.499);
             let eps1 = (1.0
-                - snapshot
-                    .cond_prob_one(q, &[(q, IdealCondition::One)])
-                    .unwrap_or(1.0))
+                - snapshot.cond_prob_one(q, &[(q, IdealCondition::One)]).unwrap_or(1.0))
             .clamp(0.0, 0.499);
             let m = Matrix::from_rows(&[&[1.0 - eps0, eps1], &[eps0, 1.0 - eps1]])
                 .expect("2x2 rows are well-formed");
@@ -154,11 +152,7 @@ impl QubitMatrices {
 
     /// Approximate heap usage in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.matrices
-            .iter()
-            .chain(self.inverses.iter())
-            .map(Matrix::heap_bytes)
-            .sum()
+        self.matrices.iter().chain(self.inverses.iter()).map(Matrix::heap_bytes).sum()
     }
 }
 

@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of QuFEM's computational kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qufem_core::{benchgen, build_group_matrices, engine, EngineStats, InteractionTable, QuFemConfig};
+use qufem_core::{
+    benchgen, build_group_matrices, engine, EngineStats, InteractionTable, QuFemConfig,
+};
 use qufem_device::presets;
 use qufem_linalg::{Lu, Matrix};
 use qufem_types::QubitSet;
@@ -29,11 +31,8 @@ fn bench_lu(c: &mut Criterion) {
 
 fn bench_engine(c: &mut Criterion) {
     let device = presets::quafu_18(1);
-    let config = QuFemConfig::builder()
-        .characterization_threshold(5e-4)
-        .shots(500)
-        .build()
-        .unwrap();
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
     let table = InteractionTable::build(&snapshot);
@@ -47,32 +46,29 @@ fn bench_engine(c: &mut Criterion) {
     let measured = QubitSet::full(18);
     let groups = build_group_matrices(&snapshot, &grouping, &measured).unwrap();
     let positions: Vec<usize> = measured.iter().collect();
-    let dist = qufem_circuits::synthetic::generate(
-        qufem_circuits::synthetic::Shape::Uniform,
-        18,
-        200,
-        7,
-    );
+    let dist =
+        qufem_circuits::synthetic::generate(qufem_circuits::synthetic::Shape::Uniform, 18, 200, 7);
 
     let mut group = c.benchmark_group("engine_apply_iteration");
     for &beta in &[0.0, 1e-5, 1e-3] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("beta={beta:e}")), &beta, |b, &beta| {
-            b.iter(|| {
-                let mut stats = EngineStats::default();
-                engine::apply_iteration(&dist, &positions, &groups, beta, &mut stats)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("beta={beta:e}")),
+            &beta,
+            |b, &beta| {
+                b.iter(|| {
+                    let mut stats = EngineStats::default();
+                    engine::apply_iteration(&dist, &positions, &groups, beta, &mut stats)
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_matrix_generation(c: &mut Criterion) {
     let device = presets::quafu_18(1);
-    let config = QuFemConfig::builder()
-        .characterization_threshold(5e-4)
-        .shots(500)
-        .build()
-        .unwrap();
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
     let table = InteractionTable::build(&snapshot);
@@ -91,11 +87,8 @@ fn bench_matrix_generation(c: &mut Criterion) {
 
 fn bench_partition(c: &mut Criterion) {
     let device = presets::quafu_18(1);
-    let config = QuFemConfig::builder()
-        .characterization_threshold(5e-4)
-        .shots(500)
-        .build()
-        .unwrap();
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
     let table = InteractionTable::build(&snapshot);
@@ -114,11 +107,8 @@ fn bench_partition(c: &mut Criterion) {
 
 fn bench_interaction_table(c: &mut Criterion) {
     let device = presets::quafu_18(1);
-    let config = QuFemConfig::builder()
-        .characterization_threshold(5e-4)
-        .shots(500)
-        .build()
-        .unwrap();
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
     c.bench_function("interaction_table_build_18q", |b| {
@@ -187,7 +177,11 @@ fn bench_simplex_projection(c: &mut Criterion) {
         let mut dist = ProbDist::new(20);
         for i in 0..support {
             let key = BitString::from_index(i, 20).unwrap();
-            let v = if i == 0 { 0.9 } else { (1.0 / support as f64) * if i % 3 == 0 { -0.5 } else { 1.0 } };
+            let v = if i == 0 {
+                0.9
+            } else {
+                (1.0 / support as f64) * if i % 3 == 0 { -0.5 } else { 1.0 }
+            };
             dist.add(key, v);
         }
         group.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {

@@ -4,7 +4,8 @@ use qufem_bench::{experiments, RunOptions};
 fn main() {
     let opts = RunOptions::from_args();
     for (i, table) in experiments::table5::run(&opts).iter().enumerate() {
-        let stem = if i == 0 { "table5_memory".to_string() } else { format!("table5_memory_{}", i + 1) };
+        let stem =
+            if i == 0 { "table5_memory".to_string() } else { format!("table5_memory_{}", i + 1) };
         table.emit(&opts.out_dir, &stem).expect("write results");
     }
 }

@@ -4,7 +4,11 @@ use qufem_bench::{experiments, RunOptions};
 fn main() {
     let opts = RunOptions::from_args();
     for (i, table) in experiments::table6::run(&opts).iter().enumerate() {
-        let stem = if i == 0 { "table6_scale_out".to_string() } else { format!("table6_scale_out_{}", i + 1) };
+        let stem = if i == 0 {
+            "table6_scale_out".to_string()
+        } else {
+            format!("table6_scale_out_{}", i + 1)
+        };
         table.emit(&opts.out_dir, &stem).expect("write results");
     }
 }

@@ -23,12 +23,10 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     let shots = crate::experiments::shots_for(n, opts.quick);
     let base = crate::experiments::qufem_config_for(n, opts.quick, opts.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let (snapshot, _) =
-        benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+    let (snapshot, _) = benchgen::generate(&device, &base, &mut rng).expect("generation converges");
     let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
 
-    let penalties: Vec<f64> =
-        if opts.quick { vec![1.0, 0.25] } else { vec![1.0, 0.5, 0.25, 0.0] };
+    let penalties: Vec<f64> = if opts.quick { vec![1.0, 0.25] } else { vec![1.0, 0.5, 0.25, 0.0] };
     let ls: Vec<usize> = if opts.quick { vec![2] } else { vec![2, 3] };
 
     let mut table = Table::new(
@@ -37,13 +35,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     );
     for &l in &ls {
         for &penalty in &penalties {
-            let config = QuFemConfig {
-                iterations: l,
-                regroup_penalty: penalty,
-                ..base.clone()
-            };
-            let qufem =
-                QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
+            let config = QuFemConfig { iterations: l, regroup_penalty: penalty, ..base.clone() };
+            let qufem = QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
             // Count qubit pairs grouped together in more than one iteration.
             let mut seen = std::collections::HashSet::new();
             let mut repeats = 0usize;
@@ -68,7 +61,9 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             ]);
         }
     }
-    table.note("Penalty 1.0 = no mesh adaption (iterations free to re-pick pairs); 0.0 = hard exclusion.");
+    table.note(
+        "Penalty 1.0 = no mesh adaption (iterations free to re-pick pairs); 0.0 = hard exclusion.",
+    );
     table.note("Not part of the paper; isolates the mesh-adaption ingredient of §3.");
     vec![table]
 }

@@ -52,11 +52,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
 
     let base = crate::experiments::qufem_config_for(n, opts.quick, opts.seed);
     let product = QuFem::characterize(&device, base.clone()).expect("characterizes");
-    let joint = QuFem::characterize(
-        &device,
-        QuFemConfig { joint_group_estimation: true, ..base },
-    )
-    .expect("characterizes");
+    let joint = QuFem::characterize(&device, QuFemConfig { joint_group_estimation: true, ..base })
+        .expect("characterizes");
     let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
     ibu.max_iterations = 200;
 

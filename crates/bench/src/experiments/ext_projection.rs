@@ -24,18 +24,12 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
 
     let mut table = Table::new(
         "Extension: quasi-probability post-processing vs. reported fidelity (18-qubit device)",
-        &[
-            "Algorithm",
-            "Uncalibrated",
-            "Clip+renormalize",
-            "Simplex projection",
-        ],
+        &["Algorithm", "Uncalibrated", "Clip+renormalize", "Simplex projection"],
     );
     for w in &ws {
         let out = prepared.apply(&w.noisy).expect("calibration succeeds");
         let clip = qufem_metrics::hellinger_fidelity(&out.clip_to_probabilities(), &w.ideal);
-        let project =
-            qufem_metrics::hellinger_fidelity(&out.project_to_probabilities(), &w.ideal);
+        let project = qufem_metrics::hellinger_fidelity(&out.project_to_probabilities(), &w.ideal);
         table.push_row(vec![
             w.name.clone(),
             format!("{:.4}", w.baseline_fidelity()),

@@ -17,11 +17,7 @@ fn fidelity_for(
     k: usize,
     l: usize,
 ) -> (f64, f64) {
-    let config = QuFemConfig {
-        max_group_size: k,
-        iterations: l,
-        ..base.clone()
-    };
+    let config = QuFemConfig { max_group_size: k, iterations: l, ..base.clone() };
     let qufem = QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
     let measured = ws[0].measured.clone();
     let prepared = qufem.prepare(&measured).expect("prepare succeeds");
@@ -43,8 +39,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     let shots = crate::experiments::shots_for(18, opts.quick);
     let base = crate::experiments::qufem_config_for(18, opts.quick, opts.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let (snapshot, _) =
-        benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+    let (snapshot, _) = benchgen::generate(&device, &base, &mut rng).expect("generation converges");
     let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
 
     let ks: Vec<usize> = if opts.quick { vec![1, 2] } else { vec![1, 2, 3, 4] };

@@ -108,8 +108,7 @@ fn beta_sweep(opts: &RunOptions) -> Table {
         let mut unpruned_time: Option<f64> = None;
         for &beta in &betas {
             let config = QuFemConfig { beta, ..base.clone() };
-            let qufem =
-                QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
+            let qufem = QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed");
             let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
             let mut sum = 0.0;
             let (_, seconds) = crate::experiments::timed(|| {
@@ -135,7 +134,9 @@ fn beta_sweep(opts: &RunOptions) -> Table {
             ]);
         }
     }
-    table.note("Paper: β=1e-5 is the efficiency/accuracy sweet spot (5.5x speedup, 0.001 fidelity loss).");
+    table.note(
+        "Paper: β=1e-5 is the efficiency/accuracy sweet spot (5.5x speedup, 0.001 fidelity loss).",
+    );
     table
 }
 

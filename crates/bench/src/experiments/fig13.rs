@@ -66,8 +66,7 @@ fn grouping_ablation(opts: &RunOptions) -> Table {
     let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
     let base = crate::experiments::qufem_config_for(7, opts.quick, opts.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let (snapshot, _) =
-        benchgen::generate(&device, &base, &mut rng).expect("generation converges");
+    let (snapshot, _) = benchgen::generate(&device, &base, &mut rng).expect("generation converges");
 
     let ls: Vec<usize> = if opts.quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
     let mut table = Table::new(
@@ -75,11 +74,9 @@ fn grouping_ablation(opts: &RunOptions) -> Table {
         &["Iterations L", "QuFEM grouping", "Random grouping"],
     );
     for &l in &ls {
-        let weighted = QuFem::from_snapshot(
-            snapshot.clone(),
-            QuFemConfig { iterations: l, ..base.clone() },
-        )
-        .expect("flows succeed");
+        let weighted =
+            QuFem::from_snapshot(snapshot.clone(), QuFemConfig { iterations: l, ..base.clone() })
+                .expect("flows succeed");
         let random = QuFem::from_snapshot(
             snapshot.clone(),
             QuFemConfig { iterations: l, random_grouping: true, ..base.clone() },
@@ -91,7 +88,8 @@ fn grouping_ablation(opts: &RunOptions) -> Table {
             format!("{:.4}", avg_relative_fidelity(&random, &ws)),
         ]);
     }
-    table.note("Paper: weighted grouping reaches near-optimal fidelity by L = 2; random needs > 5.");
+    table
+        .note("Paper: weighted grouping reaches near-optimal fidelity by L = 2; random needs > 5.");
     table
 }
 
@@ -122,11 +120,9 @@ fn pruning_ablation(opts: &RunOptions) -> Table {
         let mut times = Vec::new();
         let unpruned_beta = if n <= 18 { 1e-7 } else { 1e-6 };
         for beta in [unpruned_beta, 1e-5] {
-            let qufem = QuFem::from_snapshot(
-                snapshot.clone(),
-                QuFemConfig { beta, ..base.clone() },
-            )
-            .expect("flows succeed");
+            let qufem =
+                QuFem::from_snapshot(snapshot.clone(), QuFemConfig { beta, ..base.clone() })
+                    .expect("flows succeed");
             let prepared = qufem.prepare(&ws[0].measured).expect("prepare succeeds");
             let (_, secs) = crate::experiments::timed(|| {
                 for w in &ws {

@@ -4,7 +4,7 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use qufem_baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -37,8 +37,10 @@ fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Figure 9{}: relative fidelity on the {n}-qubit device",
-            if n <= 7 { "a" } else { "b" }),
+        format!(
+            "Figure 9{}: relative fidelity on the {n}-qubit device",
+            if n <= 7 { "a" } else { "b" }
+        ),
         &header_refs,
     );
 
@@ -46,8 +48,7 @@ fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
     for w in &ws {
         let mut row = vec![w.name.clone(), format!("{:.4}", w.baseline_fidelity())];
         for (mi, method) in methods.iter().enumerate() {
-            let calibrated =
-                method.calibrate(&w.noisy, &w.measured).expect("calibration succeeds");
+            let calibrated = method.calibrate(&w.noisy, &w.measured).expect("calibration succeeds");
             let rf = w.relative_fidelity(&calibrated);
             sums[mi] += rf;
             row.push(format!("{rf:.4}"));

@@ -38,13 +38,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         let mut sums = [0.0f64; 3];
         for rep in 0..n_subsets {
             let subset = workloads::random_subset(n, subset_size, &mut rng);
-            let w = workloads::subset_workload(
-                &device,
-                alg,
-                &subset,
-                shots,
-                opts.seed + rep as u64,
-            );
+            let w =
+                workloads::subset_workload(&device, alg, &subset, shots, opts.seed + rep as u64);
             let golden = Golden::characterize(&device, &subset, shots, 12, &mut rng)
                 .expect("10-qubit golden fits");
             let methods: [&dyn Calibrator; 3] = [&qufem, &ibu, &golden];

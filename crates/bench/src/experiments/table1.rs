@@ -95,8 +95,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     device.reset_stats();
     let m3 = M3::characterize(&device, shots, &mut rng).expect("characterization succeeds");
     let m3_matrix = {
-        let snapshot =
-            qufem_core::benchgen::generate_qubit_independent(&device, shots, &mut rng);
+        let snapshot = qufem_core::benchgen::generate_qubit_independent(&device, shots, &mut rng);
         let matrices =
             qufem_baselines::QubitMatrices::from_snapshot(&snapshot).expect("estimation succeeds");
         tensor_full_matrix(&matrices, &positions, Some(m3.hamming_threshold))
@@ -112,8 +111,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     // QuFEM: iterative grouped tensor products.
     device.reset_stats();
     let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
-    let qufem_matrix =
-        qufem.effective_noise_matrix(&measured, 12).expect("7 qubits fit the bound");
+    let qufem_matrix = qufem.effective_noise_matrix(&measured, 12).expect("7 qubits fit the bound");
     table.push_row(vec![
         "QuFEM".into(),
         "FEM (grouped ⊗, iterated)".into(),

@@ -9,14 +9,7 @@ use qufem_types::{BitString, QubitSet};
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let mut table = Table::new(
         "Table 2: simulated quantum devices (presets mirroring the paper's platforms)",
-        &[
-            "Platform",
-            "#Qubits",
-            "Edges",
-            "Mean eps0 (%)",
-            "Mean eps1 (%)",
-            "Crosstalk terms",
-        ],
+        &["Platform", "#Qubits", "Edges", "Mean eps0 (%)", "Mean eps1 (%)", "Crosstalk terms"],
     );
     for device in presets::table2_devices(opts.seed) {
         let n = device.n_qubits();
@@ -26,14 +19,10 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         let ones = BitString::ones(n);
         // Base flip probabilities averaged over qubits (crosstalk included,
         // as a hardware-level tomography would see it).
-        let mean0: f64 = (0..n)
-            .map(|q| model.flip_probability(q, &zeros, &all))
-            .sum::<f64>()
-            / n as f64;
-        let mean1: f64 = (0..n)
-            .map(|q| model.flip_probability(q, &ones, &all))
-            .sum::<f64>()
-            / n as f64;
+        let mean0: f64 =
+            (0..n).map(|q| model.flip_probability(q, &zeros, &all)).sum::<f64>() / n as f64;
+        let mean1: f64 =
+            (0..n).map(|q| model.flip_probability(q, &ones, &all)).sum::<f64>() / n as f64;
         table.push_row(vec![
             device.name().to_string(),
             n.to_string(),

@@ -3,8 +3,8 @@
 
 use crate::fit;
 use crate::report::{fmt_estimate, Table};
-use crate::RunOptions;
 use crate::workloads;
+use crate::RunOptions;
 use qufem_core::benchgen;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,11 +51,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             benchgen::generate(&device, &config, &mut rng).expect("generation converges");
         qufem_counts.push((n as f64, report.total_circuits as f64));
 
-        let golden = if n <= 20 {
-            format!("{}", 1u64 << n)
-        } else {
-            fmt_estimate(2f64.powi(n as i32))
-        };
+        let golden =
+            if n <= 20 { format!("{}", 1u64 << n) } else { fmt_estimate(2f64.powi(n as i32)) };
         let (m3_circuits, m3_is_estimate) = {
             let (observed, estimated) = m3_observed(n, opts.quick, opts.seed);
             (observed * n as f64, estimated)
@@ -64,11 +61,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             n.to_string(),
             (2 * n).to_string(),
             (2 * n).to_string(),
-            if m3_is_estimate {
-                fmt_estimate(m3_circuits)
-            } else {
-                format!("{m3_circuits:.0}")
-            },
+            if m3_is_estimate { fmt_estimate(m3_circuits) } else { format!("{m3_circuits:.0}") },
             golden,
             report.total_circuits.to_string(),
         ]);

@@ -15,7 +15,7 @@ use crate::memwatch::MemoryAccount;
 use crate::report::{fmt_estimate, fmt_mb, fmt_seconds, Table};
 use crate::workloads::{self, Workload};
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use qufem_baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -76,12 +76,14 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
             ibu.max_iterations = 200;
             let (seconds, _) = calibrate_all(&ibu, &ws);
-            let domain =
-                ws.iter().map(|w| (w.noisy.support_len() * (n + 1)).min(ibu.max_domain)).max().unwrap_or(0);
-            let response_bytes =
-                ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64
-                    * domain as f64
-                    * 8.0;
+            let domain = ws
+                .iter()
+                .map(|w| (w.noisy.support_len() * (n + 1)).min(ibu.max_domain))
+                .max()
+                .unwrap_or(0);
+            let response_bytes = ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64
+                * domain as f64
+                * 8.0;
             let mut mem = MemoryAccount::new();
             mem.set("matrices", ibu.heap_bytes());
             mem.add("response", response_bytes as usize);
@@ -127,8 +129,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                         .expect("calibration succeeds");
                 }
             });
-            let bytes = prepared.heap_bytes() as f64
-                + stats.peak_output_support as f64 * entry_bytes(n);
+            let bytes =
+                prepared.heap_bytes() as f64 + stats.peak_output_support as f64 * entry_bytes(n);
             measured[4][si] = Some(Cost { seconds, bytes });
         }
     }
@@ -212,7 +214,7 @@ mod tests {
         assert_eq!(tables.len(), 2);
         let time = &tables[0];
         assert_eq!(time.rows.len(), 3); // 7, 18, 27
-        // Q-BEEP column at 27 qubits must be an estimate.
+                                        // Q-BEEP column at 27 qubits must be an estimate.
         let qbeep_27 = &time.rows[2][4];
         assert!(qbeep_27.starts_with('~'), "expected estimate, got {qbeep_27}");
         // QuFEM measured everywhere.

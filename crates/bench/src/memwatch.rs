@@ -68,7 +68,8 @@ impl MemoryAccount {
 
     /// Labeled sizes, sorted descending, for diagnostics.
     pub fn breakdown(&self) -> Vec<(&'static str, usize)> {
-        let mut v: Vec<(&'static str, usize)> = self.entries.iter().map(|(&k, &b)| (k, b)).collect();
+        let mut v: Vec<(&'static str, usize)> =
+            self.entries.iter().map(|(&k, &b)| (k, b)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }

@@ -88,12 +88,7 @@ pub fn synthetic_workloads(
         .enumerate()
         .map(|(i, ideal)| {
             let noisy = device.measure_distribution(&ideal, &measured, shots, &mut rng);
-            Workload {
-                name: format!("synthetic-{i}"),
-                measured: measured.clone(),
-                ideal,
-                noisy,
-            }
+            Workload { name: format!("synthetic-{i}"), measured: measured.clone(), ideal, noisy }
         })
         .collect()
 }

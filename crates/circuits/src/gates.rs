@@ -187,8 +187,7 @@ impl Circuit {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
             u * std::f64::consts::TAU
         };
         for _ in 0..layers {

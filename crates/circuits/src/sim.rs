@@ -92,9 +92,13 @@ impl StateVector {
                 let h = Complex::new(FRAC_1_SQRT_2, 0.0);
                 self.apply_1q(q, h, h, h, -h);
             }
-            Gate::X(q) => self.apply_1q(q, Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO),
+            Gate::X(q) => {
+                self.apply_1q(q, Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO)
+            }
             Gate::Y(q) => self.apply_1q(q, Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO),
-            Gate::Z(q) => self.apply_1q(q, Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE),
+            Gate::Z(q) => {
+                self.apply_1q(q, Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE)
+            }
             Gate::Sx(q) => {
                 // √X = ½[[1+i, 1−i], [1−i, 1+i]].
                 let p = Complex::new(0.5, 0.5);
@@ -161,10 +165,7 @@ impl StateVector {
         for (index, amp) in self.amps.iter().enumerate() {
             let p = amp.norm_sqr();
             if p > threshold {
-                dist.add(
-                    BitString::from_index(index, self.n).expect("index < 2^n"),
-                    p,
-                );
+                dist.add(BitString::from_index(index, self.n).expect("index < 2^n"), p);
             }
         }
         dist
@@ -287,8 +288,7 @@ mod tests {
             }
             sv.apply(Gate::Ccx(0, 1, 2));
             let p = sv.probabilities(0.0);
-            let expected: BitString =
-                [c1, c2, expect_flip].into_iter().collect();
+            let expected: BitString = [c1, c2, expect_flip].into_iter().collect();
             assert!((p.prob(&expected) - 1.0).abs() < 1e-12);
         }
     }

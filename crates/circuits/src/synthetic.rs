@@ -85,7 +85,13 @@ pub fn generate(shape: Shape, n_qubits: usize, n_strings: usize, seed: u64) -> P
         Shape::SpikeLike => {
             let n_spikes = (k / 20).clamp(1, 8);
             (0..k)
-                .map(|i| if i < n_spikes { 10.0 + rng.gen::<f64>() * 10.0 } else { rng.gen::<f64>() * 0.2 + 0.01 })
+                .map(|i| {
+                    if i < n_spikes {
+                        10.0 + rng.gen::<f64>() * 10.0
+                    } else {
+                        rng.gen::<f64>() * 0.2 + 0.01
+                    }
+                })
                 .collect()
         }
     };

@@ -49,7 +49,8 @@ pub fn random_circuit<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BenchmarkCircui
     if circuit.measured_qubits().is_empty() {
         let mut ops = circuit.ops().to_vec();
         let q = rng.gen_range(0..n);
-        ops[q] = if rng.gen::<bool>() { QubitOp::Prepare1Measured } else { QubitOp::Prepare0Measured };
+        ops[q] =
+            if rng.gen::<bool>() { QubitOp::Prepare1Measured } else { QubitOp::Prepare0Measured };
         BenchmarkCircuit::new(ops)
     } else {
         circuit
@@ -124,10 +125,8 @@ fn pack_round<R: Rng + ?Sized>(
     pin_maps
         .into_iter()
         .map(|map| {
-            let ops: Vec<QubitOp> = map
-                .into_iter()
-                .map(|pin| pin.unwrap_or_else(|| random_op(rng)))
-                .collect();
+            let ops: Vec<QubitOp> =
+                map.into_iter().map(|pin| pin.unwrap_or_else(|| random_op(rng))).collect();
             let circuit = BenchmarkCircuit::new(ops);
             if circuit.measured_qubits().is_empty() {
                 // Degenerate (all pins unmeasured on a tiny device): force one.
@@ -275,11 +274,7 @@ mod tests {
 
     fn small_config() -> QuFemConfig {
         // A loose alpha so tests converge in few rounds.
-        QuFemConfig::builder()
-            .characterization_threshold(5e-4)
-            .shots(300)
-            .build()
-            .unwrap()
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(300).build().unwrap()
     }
 
     #[test]
@@ -376,7 +371,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let snap = generate_qubit_independent(&device, 100, &mut rng);
         assert_eq!(snap.len(), 14); // 2 × 7
-        // Every circuit measures all qubits.
+                                    // Every circuit measures all qubits.
         for r in snap.records() {
             assert_eq!(r.positions().len(), 7);
         }

@@ -287,12 +287,7 @@ mod tests {
         // Noisy observation of ideal |00⟩ under independent 10% flips.
         let noisy = ProbDist::from_pairs(
             2,
-            [
-                (bs("00"), 0.81),
-                (bs("10"), 0.09),
-                (bs("01"), 0.09),
-                (bs("11"), 0.01),
-            ],
+            [(bs("00"), 0.81), (bs("10"), 0.09), (bs("01"), 0.09), (bs("11"), 0.01)],
         )
         .unwrap();
         let mut stats = EngineStats::default();
@@ -326,11 +321,8 @@ mod tests {
         let snap = snapshot_10pct(3);
         let measured = QubitSet::full(3);
         let gms = matrices_for(&snap, &[vec![0, 1], vec![2]], &measured);
-        let noisy = ProbDist::from_pairs(
-            3,
-            [(bs("000"), 0.5), (bs("110"), 0.3), (bs("011"), 0.2)],
-        )
-        .unwrap();
+        let noisy = ProbDist::from_pairs(3, [(bs("000"), 0.5), (bs("110"), 0.3), (bs("011"), 0.2)])
+            .unwrap();
         let mut stats = EngineStats::default();
         let out = apply_iteration(&noisy, &[0, 1, 2], &gms, 0.0, &mut stats);
         assert!((out.total_mass() - 1.0).abs() < 1e-9);
@@ -410,11 +402,8 @@ mod tests {
         let snap = snapshot_10pct(3);
         let measured = QubitSet::full(3);
         let gms = matrices_for(&snap, &[vec![0], vec![1], vec![2]], &measured);
-        let noisy = ProbDist::from_pairs(
-            3,
-            [(bs("000"), 0.7), (bs("111"), 0.2), (bs("010"), 0.1)],
-        )
-        .unwrap();
+        let noisy = ProbDist::from_pairs(3, [(bs("000"), 0.7), (bs("111"), 0.2), (bs("010"), 0.1)])
+            .unwrap();
         let mut stats = EngineStats::default();
         let out = apply_iteration(&noisy, &[0, 1, 2], &gms, 0.5, &mut stats);
         assert!(stats.pruned > 0, "the 0.5 threshold must prune off-diagonals");

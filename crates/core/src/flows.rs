@@ -173,10 +173,7 @@ impl QuFem {
                     char_beta,
                     &mut stats,
                 );
-                next.push(crate::snapshot::BenchmarkRecord::new(
-                    record.circuit().clone(),
-                    updated,
-                ));
+                next.push(crate::snapshot::BenchmarkRecord::new(record.circuit().clone(), updated));
             }
             iterations.push(params);
             current = next;
@@ -329,7 +326,10 @@ impl QuFem {
             .iter()
             .map(|p| {
                 p.snapshot.heap_bytes()
-                    + p.grouping.iter().map(|g| g.len() * std::mem::size_of::<usize>()).sum::<usize>()
+                    + p.grouping
+                        .iter()
+                        .map(|g| g.len() * std::mem::size_of::<usize>())
+                        .sum::<usize>()
             })
             .sum()
     }
@@ -384,11 +384,7 @@ pub fn build_group_matrices_with(
 /// # Errors
 ///
 /// Propagates characterization and calibration failures.
-pub fn calibrate_once(
-    device: &Device,
-    config: QuFemConfig,
-    dist: &ProbDist,
-) -> Result<ProbDist> {
+pub fn calibrate_once(device: &Device, config: QuFemConfig, dist: &ProbDist) -> Result<ProbDist> {
     let qufem = QuFem::characterize(device, config)?;
     qufem.calibrate(dist, &QubitSet::full(device.n_qubits()))
 }
@@ -451,10 +447,7 @@ impl PreparedCalibration {
         stats: &mut EngineStats,
     ) -> Result<Vec<ProbDist>> {
         if threads <= 1 || dists.len() <= 1 {
-            return dists
-                .iter()
-                .map(|d| self.apply_with_stats(d, stats))
-                .collect();
+            return dists.iter().map(|d| self.apply_with_stats(d, stats)).collect();
         }
         let chunk_size = dists.len().div_ceil(threads);
         let chunk_results: Vec<Result<(Vec<ProbDist>, EngineStats)>> =
@@ -516,12 +509,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn fast_config() -> QuFemConfig {
-        QuFemConfig::builder()
-            .characterization_threshold(5e-4)
-            .shots(500)
-            .seed(3)
-            .build()
-            .unwrap()
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).seed(3).build().unwrap()
     }
 
     #[test]
@@ -605,10 +593,7 @@ mod tests {
         let mut stats = EngineStats::default();
         let out = prepared.apply_batch(&[noisy.clone()], 0, &mut stats).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out[0].sorted_pairs(),
-            prepared.apply(&noisy).unwrap().sorted_pairs()
-        );
+        assert_eq!(out[0].sorted_pairs(), prepared.apply(&noisy).unwrap().sorted_pairs());
     }
 
     #[test]
@@ -660,10 +645,7 @@ mod tests {
         let qufem = QuFem::characterize(&device, fast_config()).unwrap();
         let measured = QubitSet::full(7);
         let wrong = ProbDist::point_mass(BitString::zeros(3));
-        assert!(matches!(
-            qufem.calibrate(&wrong, &measured),
-            Err(Error::WidthMismatch { .. })
-        ));
+        assert!(matches!(qufem.calibrate(&wrong, &measured), Err(Error::WidthMismatch { .. })));
     }
 
     #[test]

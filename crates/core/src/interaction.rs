@@ -97,9 +97,7 @@ impl InteractionTable {
             .collect();
 
         for &target in record.positions() {
-            let ef = record
-                .error_prob_of(target)
-                .expect("positions() only lists measured qubits");
+            let ef = record.error_prob_of(target).expect("positions() only lists measured qubits");
             let y = record.circuit().op(target).ideal_bit();
             let b = self.base.entry((target, y)).or_default();
             b.sum += ef;
@@ -142,9 +140,7 @@ impl InteractionTable {
         target: usize,
         target_state: bool,
     ) -> usize {
-        self.cond
-            .get(&(source, source_state, target, target_state))
-            .map_or(0, |s| s.count)
+        self.cond.get(&(source, source_state, target, target_state)).map_or(0, |s| s.count)
     }
 
     /// The pairwise graph weight of paper Eq. 9: the sum of all interaction

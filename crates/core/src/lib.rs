@@ -65,6 +65,6 @@ pub use flows::{
 };
 pub use interaction::{HotInteraction, InteractionTable};
 pub use noisematrix::{group_noise_matrix, group_noise_matrix_with, GroupMatrix};
-pub use persist::{IterationData, QuFemData, RecordData};
 pub use partition::Grouping;
+pub use persist::{IterationData, QuFemData, RecordData};
 pub use snapshot::{BenchmarkRecord, BenchmarkSnapshot, IdealCondition};

@@ -146,7 +146,11 @@ pub fn group_noise_matrix_with(
             .enumerate()
             .map(|(idx, &q)| {
                 snapshot
-                    .cond_prob_one_relaxed(q, IdealCondition::measured(y_bits.get(idx)), &conditions)
+                    .cond_prob_one_relaxed(
+                        q,
+                        IdealCondition::measured(y_bits.get(idx)),
+                        &conditions,
+                    )
                     .clamp(0.0, 1.0)
             })
             .collect();
@@ -318,8 +322,7 @@ mod tests {
         let snap = correlated_snapshot();
         let group = QubitSet::full(2);
         let measured = QubitSet::full(2);
-        let product =
-            group_noise_matrix_with(&snap, &group, &measured, false).unwrap().unwrap();
+        let product = group_noise_matrix_with(&snap, &group, &measured, false).unwrap().unwrap();
         let joint = group_noise_matrix_with(&snap, &group, &measured, true).unwrap().unwrap();
 
         // True P(11 | 00) = 0.10; the product form can only produce
@@ -338,8 +341,7 @@ mod tests {
         let snap = independent_snapshot();
         let group = QubitSet::full(2);
         let measured = QubitSet::full(2);
-        let product =
-            group_noise_matrix_with(&snap, &group, &measured, false).unwrap().unwrap();
+        let product = group_noise_matrix_with(&snap, &group, &measured, false).unwrap().unwrap();
         let joint = group_noise_matrix_with(&snap, &group, &measured, true).unwrap().unwrap();
         for x in 0..4 {
             for y in 0..4 {
@@ -364,8 +366,10 @@ mod tests {
         ]);
         let dist = ProbDist::from_pairs(
             1,
-            [(BitString::from_binary_str("0").unwrap(), 0.97),
-             (BitString::from_binary_str("1").unwrap(), 0.03)],
+            [
+                (BitString::from_binary_str("0").unwrap(), 0.97),
+                (BitString::from_binary_str("1").unwrap(), 0.03),
+            ],
         )
         .unwrap();
         snap.push(BenchmarkRecord::new(circuit, dist));

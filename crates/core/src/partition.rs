@@ -107,7 +107,8 @@ pub fn partition_weighted<W: Fn(usize, usize) -> f64>(
         }
     }
 
-    let mut by_root: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for q in 0..n {
         let r = find(&mut group_of, q);
         by_root.entry(r).or_default().push(q);
@@ -328,13 +329,12 @@ mod tests {
     fn validity_checker_catches_problems() {
         let n = 3;
         // Missing qubit.
-        let missing: Grouping = vec![[0usize].into_iter().collect(), [1usize].into_iter().collect()];
+        let missing: Grouping =
+            vec![[0usize].into_iter().collect(), [1usize].into_iter().collect()];
         assert!(!is_valid_partition(&missing, n, 2));
         // Duplicate qubit.
-        let dup: Grouping = vec![
-            [0usize, 1].into_iter().collect(),
-            [1usize, 2].into_iter().collect(),
-        ];
+        let dup: Grouping =
+            vec![[0usize, 1].into_iter().collect(), [1usize, 2].into_iter().collect()];
         assert!(!is_valid_partition(&dup, n, 2));
         // Oversized group.
         let big: Grouping = vec![[0usize, 1, 2].into_iter().collect()];
@@ -344,10 +344,8 @@ mod tests {
 
     #[test]
     fn intra_weight_counts_only_within_groups() {
-        let grouping: Grouping = vec![
-            [0usize, 1].into_iter().collect(),
-            [2usize, 3].into_iter().collect(),
-        ];
+        let grouping: Grouping =
+            vec![[0usize, 1].into_iter().collect(), [2usize, 3].into_iter().collect()];
         let total = intra_group_weight(&grouping, &paired_weight);
         assert!((total - 2.0).abs() < 1e-12);
     }

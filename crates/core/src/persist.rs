@@ -190,9 +190,8 @@ mod tests {
         // Corrupt one record: distribution width no longer matches the
         // circuit's measured set.
         let record = &mut data.iterations[0].records[0];
-        record.dist = ProbDist::point_mass(BitString::zeros(
-            record.circuit.measured_qubits().len() + 1,
-        ));
+        record.dist =
+            ProbDist::point_mass(BitString::zeros(record.circuit.measured_qubits().len() + 1));
         assert!(matches!(QuFem::import(data), Err(Error::WidthMismatch { .. })));
     }
 }

@@ -275,11 +275,8 @@ impl BenchmarkSnapshot {
         if let Some(p) = self.cond_prob_one(q, conditions) {
             return p;
         }
-        let measured_only: Vec<(usize, IdealCondition)> = conditions
-            .iter()
-            .copied()
-            .filter(|(_, c)| *c != IdealCondition::Unmeasured)
-            .collect();
+        let measured_only: Vec<(usize, IdealCondition)> =
+            conditions.iter().copied().filter(|(_, c)| *c != IdealCondition::Unmeasured).collect();
         if measured_only.len() < conditions.len() {
             if let Some(p) = self.cond_prob_one(q, &measured_only) {
                 return p;
@@ -357,11 +354,8 @@ mod tests {
             QubitOp::Idle1,
         ]);
         // Measured bits (q0, q1): mostly "10" as prepared, some errors.
-        let dist = ProbDist::from_pairs(
-            2,
-            [(bs("10"), 0.9), (bs("00"), 0.06), (bs("11"), 0.04)],
-        )
-        .unwrap();
+        let dist =
+            ProbDist::from_pairs(2, [(bs("10"), 0.9), (bs("00"), 0.06), (bs("11"), 0.04)]).unwrap();
         BenchmarkRecord::new(circuit, dist)
     }
 
@@ -452,8 +446,8 @@ mod tests {
     fn relaxed_ladder_drops_unmeasured_conditions() {
         let mut snap = BenchmarkSnapshot::new(3);
         snap.push(record_a()); // q2 idle in |1⟩
-        // Ask with an unmeasured condition that no record satisfies together
-        // with q1's: (q1 = One) never holds, so even relaxed returns own-cond.
+                               // Ask with an unmeasured condition that no record satisfies together
+                               // with q1's: (q1 = One) never holds, so even relaxed returns own-cond.
         let p = snap.cond_prob_one_relaxed(
             0,
             IdealCondition::One,

@@ -32,10 +32,7 @@ fn ghz_18q_reaches_high_fidelity_and_stays_fast() {
     let fid = hellinger_fidelity(&out.project_to_probabilities(), &ideal);
 
     assert!(uncal < 0.5, "device should be visibly noisy, uncal = {uncal:.4}");
-    assert!(
-        fid > 0.90,
-        "calibrated GHZ fidelity regressed: {fid:.4} (uncalibrated {uncal:.4})"
-    );
+    assert!(fid > 0.90, "calibrated GHZ fidelity regressed: {fid:.4} (uncalibrated {uncal:.4})");
     assert!((out.total_mass() - 1.0).abs() < 0.05, "mass {:.4}", out.total_mass());
     // Generous wall-clock bound (debug builds, loaded CI boxes).
     assert!(calib_time < 60.0, "calibration took {calib_time:.1}s");

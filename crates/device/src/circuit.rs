@@ -72,9 +72,7 @@ impl BenchmarkCircuit {
     /// measures all of them — the classic exhaustive-characterization circuit
     /// (paper Eq. 3).
     pub fn all_prepared(state: &BitString) -> Self {
-        BenchmarkCircuit {
-            ops: state.iter_bits().map(|b| QubitOp::from_parts(b, true)).collect(),
-        }
+        BenchmarkCircuit { ops: state.iter_bits().map(|b| QubitOp::from_parts(b, true)).collect() }
     }
 
     /// Number of device qubits.
@@ -98,12 +96,7 @@ impl BenchmarkCircuit {
 
     /// The set of measured qubits.
     pub fn measured_qubits(&self) -> QubitSet {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(_, op)| op.is_measured())
-            .map(|(q, _)| q)
-            .collect()
+        self.ops.iter().enumerate().filter(|(_, op)| op.is_measured()).map(|(q, _)| q).collect()
     }
 
     /// The full-width ideal (prepared) state, including unmeasured qubits.
@@ -114,11 +107,7 @@ impl BenchmarkCircuit {
     /// The ideal bits restricted to measured qubits, in ascending qubit
     /// order — the "correct answer" a noise-free readout would return.
     pub fn ideal_measured_bits(&self) -> BitString {
-        self.ops
-            .iter()
-            .filter(|op| op.is_measured())
-            .map(|op| op.ideal_bit())
-            .collect()
+        self.ops.iter().filter(|op| op.is_measured()).map(|op| op.ideal_bit()).collect()
     }
 }
 

@@ -56,7 +56,11 @@ impl Device {
     ///
     /// Returns [`Error::WidthMismatch`] if the topology and noise model
     /// disagree on the qubit count.
-    pub fn new(name: impl Into<String>, topology: Topology, model: ReadoutNoiseModel) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        model: ReadoutNoiseModel,
+    ) -> Result<Self> {
         if topology.n_qubits() != model.n_qubits() {
             return Err(Error::WidthMismatch {
                 expected: topology.n_qubits(),
@@ -140,7 +144,8 @@ impl Device {
         let ideal_sub = ideal_full.extract(&measured.iter().collect::<Vec<_>>());
         let m = measured.len();
         // flips[shot] = list of local qubit indices flipped in that shot.
-        let mut flips: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        let mut flips: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
         for (k, &p) in flip_probs.iter().enumerate().take(m) {
             if p <= 0.0 {
                 continue;
@@ -384,9 +389,7 @@ mod tests {
             QubitNoise::new(0.01, 0.04).unwrap(),
             QubitNoise::new(0.03, 0.06).unwrap(),
         ]);
-        model
-            .add_crosstalk(1, 0, CrosstalkShifts { on_one: 0.05, ..Default::default() })
-            .unwrap();
+        model.add_crosstalk(1, 0, CrosstalkShifts { on_one: 0.05, ..Default::default() }).unwrap();
         Device::new("test-3q", Topology::linear(3), model).unwrap()
     }
 

@@ -165,7 +165,9 @@ impl ReadoutNoiseModel {
             }
         }
         if a == b {
-            return Err(Error::InvalidConfig(format!("correlated flip needs two qubits, got q{a} twice")));
+            return Err(Error::InvalidConfig(format!(
+                "correlated flip needs two qubits, got q{a} twice"
+            )));
         }
         if !(0.0..0.5).contains(&prob) {
             return Err(Error::InvalidProbability(prob));
@@ -264,8 +266,12 @@ mod tests {
     #[test]
     fn crosstalk_state_dependence() {
         let mut m = two_qubit_model();
-        m.add_crosstalk(1, 0, CrosstalkShifts { on_zero: 0.0, on_one: 0.02, on_unmeasured: -0.005 })
-            .unwrap();
+        m.add_crosstalk(
+            1,
+            0,
+            CrosstalkShifts { on_zero: 0.0, on_one: 0.02, on_unmeasured: -0.005 },
+        )
+        .unwrap();
         let all = QubitSet::full(2);
         let ideal00 = BitString::zeros(2);
         let mut ideal01 = BitString::zeros(2); // q1 = 1

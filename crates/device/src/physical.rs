@@ -87,7 +87,8 @@ pub fn gaussian_tail(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * z);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erfc = poly * (-z * z).exp();
     erfc / 2.0
 }
@@ -135,10 +136,7 @@ impl PhysicalDeviceSpec {
             });
         }
         let mut model = ReadoutNoiseModel::new(
-            self.qubits
-                .iter()
-                .map(PhysicalQubit::to_qubit_noise)
-                .collect::<Result<Vec<_>>>()?,
+            self.qubits.iter().map(PhysicalQubit::to_qubit_noise).collect::<Result<Vec<_>>>()?,
         );
         let n = self.qubits.len();
         for src in 0..n {
@@ -244,10 +242,7 @@ mod tests {
         PhysicalDeviceSpec {
             name: "physical-2q".into(),
             topology: Topology::linear(2),
-            qubits: vec![
-                q(5.0, 6.5, 100.0, 3.0),
-                q(5.2, 6.5 + res_gap_mhz / 1000.0, 100.0, 3.0),
-            ],
+            qubits: vec![q(5.0, 6.5, 100.0, 3.0), q(5.2, 6.5 + res_gap_mhz / 1000.0, 100.0, 3.0)],
             collision_strength: 0.03,
             collision_window_mhz: 30.0,
         }
@@ -285,8 +280,7 @@ mod tests {
         let device = two_qubit_spec(2.0).to_device().unwrap();
         assert_eq!(device.n_qubits(), 2);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        let circuit =
-            crate::BenchmarkCircuit::all_prepared(&qufem_types::BitString::zeros(2));
+        let circuit = crate::BenchmarkCircuit::all_prepared(&qufem_types::BitString::zeros(2));
         let dist = device.execute(&circuit, 1000, &mut rng);
         assert!(dist.prob(&qufem_types::BitString::zeros(2)) > 0.8);
     }

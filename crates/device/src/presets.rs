@@ -72,8 +72,11 @@ pub fn build_device(
 
     let qubits: Vec<QubitNoise> = (0..n)
         .map(|_| {
-            QubitNoise::new(uniform(&mut rng, profile.eps0_range), uniform(&mut rng, profile.eps1_range))
-                .expect("profile ranges must be valid flip probabilities")
+            QubitNoise::new(
+                uniform(&mut rng, profile.eps0_range),
+                uniform(&mut rng, profile.eps1_range),
+            )
+            .expect("profile ranges must be valid flip probabilities")
         })
         .collect();
     let mut model = ReadoutNoiseModel::new(qubits);

@@ -13,9 +13,7 @@ fn arb_model(n: usize) -> impl Strategy<Value = ReadoutNoiseModel> {
     );
     (qubits, terms).prop_map(move |(qs, ts)| {
         let mut model = ReadoutNoiseModel::new(
-            qs.into_iter()
-                .map(|(e0, e1)| QubitNoise::new(e0, e1).expect("in range"))
-                .collect(),
+            qs.into_iter().map(|(e0, e1)| QubitNoise::new(e0, e1).expect("in range")).collect(),
         );
         for (src, dst, on_zero, on_one, on_unmeasured) in ts {
             if src != dst {

@@ -75,7 +75,11 @@ where
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         let r_norm = norm2(&r);
         if r_norm / b_norm <= options.tolerance {
-            return Ok(GmresOutcome { solution: x, residual: r_norm / b_norm, iterations: total_iters });
+            return Ok(GmresOutcome {
+                solution: x,
+                residual: r_norm / b_norm,
+                iterations: total_iters,
+            });
         }
 
         // Arnoldi basis (m+1 vectors) and Hessenberg matrix in (m+1) x m.
@@ -156,7 +160,11 @@ where
         let ax = apply(&x);
         let res = norm2(&b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect::<Vec<_>>());
         if res / b_norm <= options.tolerance {
-            return Ok(GmresOutcome { solution: x, residual: res / b_norm, iterations: total_iters });
+            return Ok(GmresOutcome {
+                solution: x,
+                residual: res / b_norm,
+                iterations: total_iters,
+            });
         }
     }
 
@@ -240,8 +248,7 @@ mod tests {
         let opts = GmresOptions { restart: 4, max_restarts: 200, tolerance: 1e-9 };
         let out = gmres(|x| a.matvec(x).unwrap(), &b, &opts).unwrap();
         let ax = a.matvec(&out.solution).unwrap();
-        let res: f64 =
-            ax.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let res: f64 = ax.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         assert!(res < 1e-7);
     }
 

@@ -162,9 +162,7 @@ impl Matrix {
         if x.len() != self.cols {
             return Err(Error::WidthMismatch { expected: self.cols, actual: x.len() });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Transpose.

@@ -187,12 +187,7 @@ impl BitString {
         if self.width != other.width {
             return Err(Error::WidthMismatch { expected: self.width, actual: other.width });
         }
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum())
     }
 
     /// Interprets the string as an integer (bit `i` contributing `2^i`).

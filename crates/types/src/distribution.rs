@@ -85,10 +85,7 @@ impl ProbDist {
         if shots == 0 {
             return Err(Error::InvalidProbability(f64::NAN));
         }
-        Self::from_pairs(
-            width,
-            counts.iter().map(|(k, &c)| (k.clone(), c as f64 / shots as f64)),
-        )
+        Self::from_pairs(width, counts.iter().map(|(k, &c)| (k.clone(), c as f64 / shots as f64)))
     }
 
     /// Builds a distribution from textual counts, the interchange format of
@@ -318,7 +315,11 @@ impl ProbDist {
     /// # Panics
     ///
     /// Panics if the distribution has no positive entries.
-    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64) -> HashMap<BitString, u64> {
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shots: u64,
+    ) -> HashMap<BitString, u64> {
         // Deterministic order for reproducibility under a fixed seed.
         let mut pairs = self.sorted_pairs();
         pairs.retain(|(_, v)| *v > 0.0);
@@ -357,10 +358,7 @@ impl ProbDist {
     /// Approximate heap usage in bytes (benchmark memory accounting).
     pub fn heap_bytes(&self) -> usize {
         let per_entry = std::mem::size_of::<(BitString, f64)>() + std::mem::size_of::<u64>();
-        self.entries
-            .keys()
-            .map(|k| k.heap_bytes() + per_entry)
-            .sum::<usize>()
+        self.entries.keys().map(|k| k.heap_bytes() + per_entry).sum::<usize>()
     }
 }
 

@@ -5,7 +5,7 @@
 //! cargo run --release --example method_comparison
 //! ```
 
-use qufem::baselines::{Calibrator, Ctmp, Ibu, M3, QBeep};
+use qufem::baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
 use qufem::circuits::Algorithm;
 use qufem::device::presets;
 use qufem::metrics::relative_fidelity;

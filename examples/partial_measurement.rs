@@ -19,11 +19,8 @@ fn main() -> qufem::Result<()> {
     println!("device: {} ({} qubits)", device.name(), device.n_qubits());
 
     // One characterization pass serves every future measured subset.
-    let config = QuFemConfig::builder()
-        .shots(1000)
-        .characterization_threshold(1e-4)
-        .seed(3)
-        .build()?;
+    let config =
+        QuFemConfig::builder().shots(1000).characterization_threshold(1e-4).seed(3).build()?;
     let qufem = QuFem::characterize(&device, config)?;
     println!(
         "characterized once with {} circuits\n",

@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An eight-qubit 2x4 grid. Resonators are spread over 6.20-6.90 GHz,
     // except qubits 2 and 6, whose resonators collide at ~6.5 GHz — the
     // fabrication defect QuFEM should discover from measurements alone.
-    let resonators_ghz =
-        [6.20, 6.30, 6.5000, 6.40, 6.70, 6.80, 6.5015, 6.90];
+    let resonators_ghz = [6.20, 6.30, 6.5000, 6.40, 6.70, 6.80, 6.5015, 6.90];
     let qubits: Vec<PhysicalQubit> = resonators_ghz
         .iter()
         .enumerate()

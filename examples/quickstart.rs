@@ -20,12 +20,8 @@ fn main() -> qufem::Result<()> {
     // Step 1 — characterization flow (paper Algorithm 1): adaptively run
     // benchmarking circuits, quantify qubit interactions, partition qubits,
     // and store the per-iteration calibration parameters.
-    let config = QuFemConfig::builder()
-        .iterations(2)
-        .max_group_size(2)
-        .shots(2000)
-        .seed(1)
-        .build()?;
+    let config =
+        QuFemConfig::builder().iterations(2).max_group_size(2).shots(2000).seed(1).build()?;
     let qufem = QuFem::characterize(&device, config)?;
     let report = qufem.benchgen_report().expect("characterized against a device");
     println!(

@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = presets::ibmq_7(21);
 
     // --- Day 1: characterize and persist -------------------------------
-    let qufem = QuFem::characterize(
-        &device,
-        QuFemConfig::builder().shots(2000).seed(11).build()?,
-    )?;
+    let qufem = QuFem::characterize(&device, QuFemConfig::builder().shots(2000).seed(11).build()?)?;
     let path = std::env::temp_dir().join("qufem_calibration.json");
     std::fs::write(&path, serde_json::to_string(&qufem.export())?)?;
     println!(

@@ -10,12 +10,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn fast_config(seed: u64) -> QuFemConfig {
-    QuFemConfig::builder()
-        .characterization_threshold(2e-4)
-        .shots(1000)
-        .seed(seed)
-        .build()
-        .unwrap()
+    QuFemConfig::builder().characterization_threshold(2e-4).shots(1000).seed(seed).build().unwrap()
 }
 
 #[test]
@@ -87,10 +82,7 @@ fn qufem_approaches_golden_on_small_subset() {
     let g = golden.calibrate(&noisy, &subset).unwrap().project_to_probabilities();
     let fq = hellinger_fidelity(&q, &ideal);
     let fg = hellinger_fidelity(&g, &ideal);
-    assert!(
-        fq > fg - 0.05,
-        "QuFEM ({fq:.4}) should approach exact-golden calibration ({fg:.4})"
-    );
+    assert!(fq > fg - 0.05, "QuFEM ({fq:.4}) should approach exact-golden calibration ({fg:.4})");
 }
 
 #[test]
@@ -102,10 +94,7 @@ fn characterization_cost_scales_gently_with_device_size() {
     let c7 = q7.benchgen_report().unwrap().total_circuits as f64;
     let c18 = q18.benchgen_report().unwrap().total_circuits as f64;
     // Far below the golden ratio 2^18 / 2^7 = 2048x; roughly linear-ish.
-    assert!(
-        c18 / c7 < 40.0,
-        "circuit growth should be near-linear: {c7} -> {c18}"
-    );
+    assert!(c18 / c7 < 40.0, "circuit growth should be near-linear: {c7} -> {c18}");
 }
 
 #[test]

@@ -148,14 +148,23 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Runs a benchmark in this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
         let name = format!("{}/{}", self.name, id.text);
         run_one(&name, self.sample_size, &mut f);
         self
     }
 
     /// Runs a benchmark parameterized by `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

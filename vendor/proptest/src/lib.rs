@@ -369,8 +369,7 @@ pub mod prelude {
     //! Glob-import surface matching `proptest::prelude::*`.
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
     };
 }
 

@@ -439,11 +439,7 @@ where
 
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Seq(
-            self.iter()
-                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
-                .collect(),
-        )
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
     }
 }
 
@@ -467,7 +463,8 @@ pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
 
 /// Derive support: unwraps a struct's object representation.
 pub fn de_struct<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
-    v.as_map().ok_or_else(|| Error::custom(format!("expected map for struct {ty}, got {}", v.kind())))
+    v.as_map()
+        .ok_or_else(|| Error::custom(format!("expected map for struct {ty}, got {}", v.kind())))
 }
 
 /// Derive support: extracts and parses one required struct field.
@@ -477,9 +474,7 @@ pub fn de_field<T: Deserialize>(
     ty: &str,
 ) -> Result<T, Error> {
     match map_get(fields, name) {
-        Some(v) => {
-            T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
-        }
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
         None => Err(Error::custom(format!("missing field `{name}` for struct {ty}"))),
     }
 }
@@ -524,7 +519,10 @@ pub fn de_unit_payload(payload: Option<&Value>, variant: &str) -> Result<(), Err
 }
 
 /// Derive support: a newtype variant's single payload value.
-pub fn de_newtype_payload<'a>(payload: Option<&'a Value>, variant: &str) -> Result<&'a Value, Error> {
+pub fn de_newtype_payload<'a>(
+    payload: Option<&'a Value>,
+    variant: &str,
+) -> Result<&'a Value, Error> {
     payload.ok_or_else(|| Error::custom(format!("variant `{variant}` is missing its payload")))
 }
 

@@ -206,7 +206,9 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
             None => {}
-            other => return Err(format!("serde derive: expected `,` after variant, got {other:?}")),
+            other => {
+                return Err(format!("serde derive: expected `,` after variant, got {other:?}"))
+            }
         }
         variants.push(Variant { name, arity });
     }

@@ -9,8 +9,8 @@
 //! - map/struct output order is deterministic,
 //! - `to_string_pretty` matches the usual 2-space serde_json layout.
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Serializes a value to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -379,11 +379,11 @@ impl<'a> Parser<'a> {
                 .parse::<u64>()
                 .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
                 .and_then(|n| {
-                    i64::try_from(n)
-                        .map(|n| Value::Int(-n))
-                        .or_else(|_| text.parse::<f64>().map(Value::Float).map_err(|e| {
-                            Error::custom(format!("invalid number `{text}`: {e}"))
-                        }))
+                    i64::try_from(n).map(|n| Value::Int(-n)).or_else(|_| {
+                        text.parse::<f64>()
+                            .map(Value::Float)
+                            .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
+                    })
                 })
         } else {
             match text.parse::<u64>() {
