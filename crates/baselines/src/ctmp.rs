@@ -34,6 +34,7 @@ impl Ctmp {
     ///
     /// Propagates matrix-estimation failures.
     pub fn characterize<R: Rng + ?Sized>(device: &Device, shots: u64, rng: &mut R) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize", "CTMP");
         let snapshot = benchgen::generate_qubit_independent(device, shots, rng);
         let circuits = snapshot.len() as u64;
         Ok(Ctmp { matrices: QubitMatrices::from_snapshot(&snapshot)?, circuits, cutoff: 1e-8 })
@@ -51,6 +52,7 @@ impl Calibrator for Ctmp {
     }
 
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "CTMP");
         if dist.width() != measured.len() {
             return Err(Error::WidthMismatch { expected: measured.len(), actual: dist.width() });
         }
@@ -118,7 +120,7 @@ mod tests {
 
     #[test]
     fn cutoff_bounds_support_growth() {
-        let eps = vec![0.05; 8];
+        let eps = [0.05; 8];
         let ctmp_full = Ctmp {
             cutoff: 0.0,
             ..Ctmp::from_matrices(

@@ -56,6 +56,7 @@ impl Golden {
         max_qubits: usize,
         rng: &mut R,
     ) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize", "Golden");
         let m = measured.len();
         if m > max_qubits {
             return Err(Error::ResourceExhausted(format!(
@@ -164,6 +165,7 @@ impl Calibrator for Golden {
     }
 
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "Golden");
         self.solve(measured, dist)
     }
 
@@ -192,7 +194,7 @@ mod tests {
     fn exact_golden_perfectly_inverts_exact_noise() {
         let device = presets::ibmq_7(1);
         let measured: QubitSet = [0usize, 1, 2].into_iter().collect();
-        let golden = Golden::exact(&device, &[measured.clone()], 8).unwrap();
+        let golden = Golden::exact(&device, std::slice::from_ref(&measured), 8).unwrap();
         let ideal = qufem_circuits::ghz(3);
         let noisy = device.measure_distribution_exact(&ideal, &measured, 0.0);
         let calibrated = golden.calibrate(&noisy, &measured).unwrap();
@@ -251,7 +253,7 @@ mod tests {
     fn width_mismatch_reported() {
         let device = presets::ibmq_7(1);
         let a: QubitSet = [0usize, 1].into_iter().collect();
-        let golden = Golden::exact(&device, &[a.clone()], 8).unwrap();
+        let golden = Golden::exact(&device, std::slice::from_ref(&a), 8).unwrap();
         let wrong = ProbDist::point_mass(BitString::zeros(3));
         assert!(matches!(golden.calibrate(&wrong, &a), Err(Error::WidthMismatch { .. })));
     }

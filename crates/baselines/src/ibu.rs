@@ -50,6 +50,7 @@ impl Ibu {
     ///
     /// Propagates matrix-estimation failures.
     pub fn characterize<R: Rng + ?Sized>(device: &Device, shots: u64, rng: &mut R) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize", "IBU");
         let snapshot = benchgen::generate_qubit_independent(device, shots, rng);
         let circuits = snapshot.len() as u64;
         Ok(Ibu {
@@ -117,6 +118,7 @@ impl Calibrator for Ibu {
     }
 
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "IBU");
         let positions: Vec<usize> = measured.iter().collect();
         if dist.width() != positions.len() {
             return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });

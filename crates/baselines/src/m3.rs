@@ -41,6 +41,7 @@ impl M3 {
     ///
     /// Propagates matrix-estimation failures.
     pub fn characterize<R: Rng + ?Sized>(device: &Device, shots: u64, rng: &mut R) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize", "M3");
         let snapshot = benchgen::generate_qubit_independent(device, shots, rng);
         let circuits = snapshot.len() as u64;
         Ok(M3 {
@@ -76,6 +77,7 @@ impl Calibrator for M3 {
     }
 
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "M3");
         let positions: Vec<usize> = measured.iter().collect();
         if dist.width() != positions.len() {
             return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });

@@ -35,6 +35,7 @@ impl QBeep {
     ///
     /// Propagates matrix-estimation failures.
     pub fn characterize<R: Rng + ?Sized>(device: &Device, shots: u64, rng: &mut R) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize", "QBeep");
         let snapshot = benchgen::generate_qubit_independent(device, shots, rng);
         let circuits = snapshot.len() as u64;
         Ok(QBeep {
@@ -77,6 +78,7 @@ impl Calibrator for QBeep {
     }
 
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "QBeep");
         let positions: Vec<usize> = measured.iter().collect();
         if dist.width() != positions.len() {
             return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });

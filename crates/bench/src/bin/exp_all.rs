@@ -1,8 +1,15 @@
 //! Runs every table/figure reproduction in sequence and archives the
-//! results under `results/`. Pass `--quick` for a smoke-test-sized run.
+//! results under `results/`. Pass `--quick` for a smoke-test-sized run and
+//! `--only SUBSTR` (repeatable) to select a subset of experiments by name.
+//!
+//! Each experiment runs under a fresh telemetry collector; its run
+//! manifest lands in `results/telemetry/<stem>.json` and an aggregate
+//! `results/telemetry/bench_summary.json` records per-experiment
+//! wall-clock seconds and peak accounted bytes.
 
 use qufem_bench::report::Table;
 use qufem_bench::{experiments, RunOptions};
+use serde::Value;
 
 /// An experiment entry point.
 type Runner = fn(&RunOptions) -> Vec<Table>;
@@ -17,6 +24,7 @@ fn emit_all(tables: &[Table], stem: &str, opts: &RunOptions) {
 fn main() {
     let opts = RunOptions::from_args();
     let start = std::time::Instant::now();
+    let telemetry_dir = opts.out_dir.join("telemetry");
 
     let steps: Vec<(&str, Runner)> = vec![
         ("table2_devices", experiments::table2::run),
@@ -37,16 +45,52 @@ fn main() {
         ("ext_correlated_noise", experiments::ext_correlated::run),
     ];
 
+    let mut summary: Vec<(String, Value)> = Vec::new();
     for (stem, runner) in steps {
+        if !opts.selects(stem) {
+            eprintln!("[exp_all] skipping {stem} (--only filter)");
+            continue;
+        }
         eprintln!("[exp_all] running {stem} …");
+        qufem_telemetry::reset();
+        qufem_telemetry::enable();
+        qufem_telemetry::set_meta("experiment", Value::Str(stem.to_string()));
+        qufem_telemetry::set_meta("seed", Value::UInt(opts.seed));
+        qufem_telemetry::set_meta("quick", Value::Bool(opts.quick));
         let step_start = std::time::Instant::now();
         let tables = runner(&opts);
         emit_all(&tables, stem, &opts);
-        eprintln!("[exp_all] {stem} finished in {:.1}s", step_start.elapsed().as_secs_f64());
+        let wall_secs = step_start.elapsed().as_secs_f64();
+
+        let manifest_path = telemetry_dir.join(format!("{stem}.json"));
+        qufem_telemetry::write_manifest(&manifest_path, &[]).expect("write telemetry manifest");
+        let peak_bytes = qufem_telemetry::snapshot().gauge("memwatch.peak_bytes").unwrap_or(0.0);
+        summary.push((
+            stem.to_string(),
+            Value::Map(vec![
+                ("wall_secs".to_string(), Value::Float(wall_secs)),
+                ("peak_bytes".to_string(), Value::Float(peak_bytes)),
+            ]),
+        ));
+        eprintln!("[exp_all] {stem} finished in {wall_secs:.1}s");
     }
+    qufem_telemetry::disable();
+
+    let summary_value = Value::Map(vec![
+        ("quick".to_string(), Value::Bool(opts.quick)),
+        ("seed".to_string(), Value::UInt(opts.seed)),
+        ("total_secs".to_string(), Value::Float(start.elapsed().as_secs_f64())),
+        ("experiments".to_string(), Value::Map(summary)),
+    ]);
+    let summary_path = telemetry_dir.join("bench_summary.json");
+    let text = serde_json::to_string_pretty(&summary_value).expect("summary serializes");
+    std::fs::write(&summary_path, text).expect("write bench summary");
+
     eprintln!(
-        "[exp_all] all experiments finished in {:.1}s; artifacts in {}",
+        "[exp_all] all experiments finished in {:.1}s; artifacts in {} \
+         (telemetry manifests in {})",
         start.elapsed().as_secs_f64(),
-        opts.out_dir.display()
+        opts.out_dir.display(),
+        telemetry_dir.display()
     );
 }

@@ -6,9 +6,20 @@ use crate::workloads;
 use crate::RunOptions;
 use qufem_circuits::synthetic::Shape;
 use qufem_core::{benchgen, EngineStats, QuFem, QuFemConfig};
+use qufem_telemetry::Snapshot;
 use qufem_types::QubitSet;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Per-level survivor counts from the collector: the increase of each
+/// `engine.kept_level.NNN` counter between two snapshots, in level order.
+fn kept_level_diff(before: &Snapshot, after: &Snapshot) -> Vec<u64> {
+    after
+        .counters_with_prefix("engine.kept_level.")
+        .into_iter()
+        .map(|(name, v)| v - before.counter(name))
+        .collect()
+}
 
 /// Runs the intermediate-value census: one group per qubit (`K = 1`) so the
 /// tensor-product chain has one link per qubit, with the per-level survivor
@@ -35,16 +46,23 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     let w = workloads::shaped_workload(&device, Shape::Uniform, 50, shots, opts.seed);
     let thresholds = [1e-3, 1e-4, 1e-5, 1e-6];
 
+    // The per-level census comes from the telemetry collector: each β run
+    // diffs the `engine.kept_level.NNN` counters around the calibration.
+    qufem_telemetry::enable();
     let mut per_threshold: Vec<Vec<u64>> = Vec::new();
     for &beta in &thresholds {
         let config = QuFemConfig { beta, ..base_config.clone() };
         let qufem =
             QuFem::from_snapshot(snapshot.clone(), config).expect("flows succeed on snapshot");
         let mut stats = EngineStats::default();
+        let before = qufem_telemetry::snapshot();
         let _ = qufem
             .calibrate_with_stats(&w.noisy, &QubitSet::full(n), &mut stats)
             .expect("calibration succeeds");
-        per_threshold.push(stats.kept_per_level);
+        let after = qufem_telemetry::snapshot();
+        let kept = kept_level_diff(&before, &after);
+        debug_assert_eq!(kept, stats.kept_per_level);
+        per_threshold.push(kept);
     }
 
     let mut table = Table::new(

@@ -34,7 +34,12 @@ fn entry_bytes(n: usize) -> f64 {
 
 fn calibrate_all(method: &dyn Calibrator, workloads: &[Workload]) -> (f64, usize) {
     let mut max_support = 0usize;
-    let (_, seconds) = crate::experiments::timed(|| {
+    // Timings come from the telemetry collector: every Calibrator opens a
+    // "calibrate" span per call, so the sum of spans completed after `mark`
+    // is exactly this method's calibration time. The stopwatch is only a
+    // fallback for a disabled collector.
+    let mark = qufem_telemetry::mark();
+    let (_, wall) = crate::experiments::timed(|| {
         for w in workloads {
             let out = method
                 .calibrate(&w.noisy, &w.measured)
@@ -42,6 +47,8 @@ fn calibrate_all(method: &dyn Calibrator, workloads: &[Workload]) -> (f64, usize
             max_support = max_support.max(out.support_len());
         }
     });
+    let spans = qufem_telemetry::span_secs_since(mark, "calibrate");
+    let seconds = if spans > 0.0 { spans } else { wall };
     (seconds, max_support)
 }
 
@@ -60,6 +67,7 @@ fn workload_set(n: usize, quick: bool, seed: u64) -> Vec<Workload> {
 
 /// Runs the cost sweep, returning `[Table 4 (time), Table 5 (memory)]`.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
+    qufem_telemetry::enable();
     let sizes = crate::experiments::table_sizes(opts.quick);
     let method_names = ["IBU [50]", "CTMP [9]", "M3 [37]", "Q-BEEP [53]", "QuFEM"];
     // measured[method][size_index] = Some(cost) if executed.
@@ -122,13 +130,16 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             let measured_set = ws[0].measured.clone();
             let prepared = qufem.prepare(&measured_set).expect("prepare succeeds");
             let mut stats = qufem_core::EngineStats::default();
-            let (_, seconds) = crate::experiments::timed(|| {
+            let mark = qufem_telemetry::mark();
+            let (_, wall) = crate::experiments::timed(|| {
                 for w in &ws {
                     let _ = prepared
                         .apply_with_stats(&w.noisy, &mut stats)
                         .expect("calibration succeeds");
                 }
             });
+            let spans = qufem_telemetry::span_secs_since(mark, "calibrate");
+            let seconds = if spans > 0.0 { spans } else { wall };
             let bytes =
                 prepared.heap_bytes() as f64 + stats.peak_output_support as f64 * entry_bytes(n);
             measured[4][si] = Some(Cost { seconds, bytes });

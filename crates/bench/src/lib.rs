@@ -40,16 +40,29 @@ pub struct RunOptions {
     pub out_dir: std::path::PathBuf,
     /// Base RNG seed.
     pub seed: u64,
+    /// Experiment-name substrings to run (`exp_all` only; empty = all).
+    pub only: Vec<String>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { quick: false, out_dir: std::path::PathBuf::from("results"), seed: 7 }
+        RunOptions {
+            quick: false,
+            out_dir: std::path::PathBuf::from("results"),
+            seed: 7,
+            only: Vec::new(),
+        }
     }
 }
 
 impl RunOptions {
-    /// Parses the common CLI arguments (`--quick`, `--seed N`, `--out DIR`).
+    /// Whether an experiment named `stem` is selected by the `--only` filters.
+    pub fn selects(&self, stem: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|f| stem.contains(f.as_str()))
+    }
+
+    /// Parses the common CLI arguments (`--quick`, `--seed N`, `--out DIR`,
+    /// `--only SUBSTR` repeatable).
     pub fn from_args() -> Self {
         let mut opts = RunOptions::default();
         let mut args = std::env::args().skip(1);
@@ -64,6 +77,11 @@ impl RunOptions {
                 "--out" => {
                     if let Some(v) = args.next() {
                         opts.out_dir = v.into();
+                    }
+                }
+                "--only" => {
+                    if let Some(v) = args.next() {
+                        opts.only.push(v);
                     }
                 }
                 other => eprintln!("ignoring unknown argument {other:?}"),

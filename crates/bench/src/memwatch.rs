@@ -34,21 +34,61 @@ impl MemoryAccount {
         MemoryAccount::default()
     }
 
+    /// Publishes the current/peak readings as telemetry gauges, so run
+    /// manifests carry the Table 5 working-set curve alongside the spans.
+    fn publish(&self) {
+        qufem_telemetry::gauge_set("memwatch.current_bytes", self.current() as f64);
+        qufem_telemetry::gauge_max("memwatch.peak_bytes", self.peak as f64);
+    }
+
     /// Sets the current size of one labeled structure.
     pub fn set(&mut self, label: &'static str, bytes: usize) {
         self.entries.insert(label, bytes);
         self.peak = self.peak.max(self.current());
+        self.publish();
     }
 
     /// Adds to the current size of one labeled structure.
     pub fn add(&mut self, label: &'static str, bytes: usize) {
         *self.entries.entry(label).or_insert(0) += bytes;
         self.peak = self.peak.max(self.current());
+        self.publish();
     }
 
     /// Removes a structure from the account (it was dropped).
     pub fn clear(&mut self, label: &'static str) {
         self.entries.remove(label);
+        self.publish();
+    }
+
+    /// Accounts `bytes` under `label` for the duration of `f`, then
+    /// releases them. Scopes nest: the peak observes the sum of all live
+    /// scopes, and releasing an inner scope never lowers it.
+    pub fn scoped<T>(
+        &mut self,
+        label: &'static str,
+        bytes: usize,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        self.add(label, bytes);
+        let out = f(self);
+        let slot = self.entries.entry(label).or_insert(0);
+        *slot = slot.saturating_sub(bytes);
+        if *slot == 0 {
+            self.entries.remove(label);
+        }
+        self.publish();
+        out
+    }
+
+    /// Empties the account for the next experiment: live entries and the
+    /// peak are discarded. The collector-side `memwatch.peak_bytes` gauge
+    /// is a `gauge_max`, so a run that spans several experiments should
+    /// also `qufem_telemetry::reset()` between them (as `exp_all` does).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.peak = 0;
+        self.publish();
     }
 
     /// Sum of all currently-live structures, in bytes.
@@ -117,5 +157,62 @@ mod tests {
         let b = acc.breakdown();
         assert_eq!(b[0].0, "big");
         assert_eq!(b[1].0, "small");
+    }
+
+    #[test]
+    fn peak_is_monotone_under_nested_scopes() {
+        let mut acc = MemoryAccount::new();
+        acc.scoped("outer", 100, |acc| {
+            assert_eq!(acc.current(), 100);
+            acc.scoped("inner", 50, |acc| {
+                assert_eq!(acc.current(), 150);
+                assert_eq!(acc.peak(), 150);
+            });
+            // Leaving the inner scope lowers current but never the peak.
+            assert_eq!(acc.current(), 100);
+            assert_eq!(acc.peak(), 150);
+            acc.scoped("inner", 20, |acc| {
+                assert_eq!(acc.current(), 120);
+                assert_eq!(acc.peak(), 150);
+            });
+        });
+        assert_eq!(acc.current(), 0);
+        assert_eq!(acc.peak(), 150);
+    }
+
+    #[test]
+    fn nested_scopes_on_one_label_release_only_their_share() {
+        let mut acc = MemoryAccount::new();
+        acc.scoped("buf", 100, |acc| {
+            acc.scoped("buf", 50, |acc| {
+                assert_eq!(acc.current(), 150);
+            });
+            assert_eq!(acc.current(), 100);
+        });
+        assert_eq!(acc.current(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state_between_experiments() {
+        let mut acc = MemoryAccount::new();
+        acc.set("exp1-structs", 4096);
+        assert_eq!(acc.peak(), 4096);
+        acc.reset();
+        assert_eq!(acc.current(), 0);
+        assert_eq!(acc.peak(), 0);
+        // A fresh experiment starts from a clean peak.
+        acc.set("exp2-structs", 16);
+        assert_eq!(acc.peak(), 16);
+    }
+
+    #[test]
+    fn readings_reach_the_telemetry_peak_gauge() {
+        qufem_telemetry::enable();
+        let mut acc = MemoryAccount::new();
+        acc.set("probe", 7 * 1024 * 1024);
+        let snap = qufem_telemetry::snapshot();
+        // Other tests share the global collector, so only assert the
+        // monotone bound the gauge_max guarantees.
+        assert!(snap.gauge("memwatch.peak_bytes").unwrap_or(0.0) >= (7 * 1024 * 1024) as f64);
     }
 }

@@ -172,6 +172,7 @@ pub fn generate<R: Rng + ?Sized>(
     config: &QuFemConfig,
     rng: &mut R,
 ) -> Result<(BenchmarkSnapshot, BenchGenReport)> {
+    let _span = qufem_telemetry::span!("benchgen");
     let n = device.n_qubits();
     let mut snapshot = BenchmarkSnapshot::new(n);
     let mut table = InteractionTable::new(n);
@@ -187,9 +188,19 @@ pub fn generate<R: Rng + ?Sized>(
     let mut rounds = 0usize;
     loop {
         let hot = table.hot_interactions(config.alpha);
+        if qufem_telemetry::enabled() {
+            // Per-round adaptive-convergence trace: the largest remaining
+            // θ = interact/num metric (Eq. 12) this round still has to push
+            // below α. Unexplored pairs report θ = ∞ — skip them so the
+            // manifest stays JSON-serializable.
+            let max_theta =
+                hot.iter().map(|h| h.theta).filter(|t| t.is_finite()).fold(0.0, f64::max);
+            qufem_telemetry::histogram_record("benchgen.round_max_theta", max_theta);
+        }
         if hot.is_empty() {
             break;
         }
+        qufem_telemetry::counter_add("benchgen.rounds", 1);
         if snapshot.len() >= config.max_benchmark_circuits {
             return Err(Error::ResourceExhausted(format!(
                 "benchmark generation hit the {}-circuit cap with {} hot interactions left",
@@ -214,6 +225,7 @@ pub fn generate<R: Rng + ?Sized>(
     }
 
     let total = snapshot.len();
+    qufem_telemetry::counter_add("benchgen.circuits", total as u64);
     Ok((snapshot, BenchGenReport { initial_circuits: initial, rounds, total_circuits: total }))
 }
 

@@ -80,6 +80,26 @@ impl EngineStats {
         }
         self.peak_output_support = self.peak_output_support.max(other.peak_output_support);
     }
+
+    /// Publishes these counters into a telemetry sink under the `engine.`
+    /// namespace; per-level survivor counts become `engine.kept_level.NNN`
+    /// counters (zero-padded so prefix queries return them in chain order).
+    ///
+    /// The flows call this with deltas (fresh per-section stats), so the
+    /// sink's counters stay exact sums even across parallel workers.
+    pub fn publish_to(&self, sink: &dyn qufem_telemetry::TelemetrySink) {
+        if !sink.active() {
+            return;
+        }
+        sink.counter_add("engine.products", self.products);
+        sink.counter_add("engine.pruned", self.pruned);
+        sink.counter_add("engine.accumulated", self.accumulated);
+        sink.counter_add("engine.passthrough", self.passthrough);
+        for (level, &kept) in self.kept_per_level.iter().enumerate() {
+            sink.counter_add(&format!("engine.kept_level.{level:03}"), kept);
+        }
+        sink.gauge_max("engine.peak_output_support", self.peak_output_support as f64);
+    }
 }
 
 /// Applies one calibration iteration (paper Eq. 7) to a distribution.
@@ -467,12 +487,11 @@ mod tests {
     #[test]
     fn partial_measurement_positions_map_correctly() {
         // Distribution over global qubits {1, 3} of a 4-qubit device.
-        let mut snap = BenchmarkSnapshot::new(4);
-        // Provide minimal data: empty snapshot → identity matrices.
+        // Minimal data: an empty snapshot yields identity matrices.
+        let snap = BenchmarkSnapshot::new(4);
         let group_a: QubitSet = [1usize].into_iter().collect();
         let group_b: QubitSet = [3usize].into_iter().collect();
         let measured: QubitSet = [1usize, 3].into_iter().collect();
-        snap = snap; // no records
         let gms = vec![
             group_noise_matrix(&snap, &group_a, &measured).unwrap().unwrap(),
             group_noise_matrix(&snap, &group_b, &measured).unwrap().unwrap(),

@@ -105,6 +105,7 @@ impl QuFem {
     /// Propagates configuration validation, benchmark-generation budget
     /// exhaustion, and matrix-generation failures.
     pub fn characterize(device: &Device, config: QuFemConfig) -> Result<Self> {
+        let _span = qufem_telemetry::span!("characterize");
         config.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let (snapshot, report) = benchgen::generate(device, &config, &mut rng)?;
@@ -130,19 +131,26 @@ impl QuFem {
         let mut penalized: HashSet<(usize, usize)> = HashSet::new();
         let mut current = snapshot;
 
-        for _i in 0..config.iterations {
+        for i in 0..config.iterations {
+            let _iteration_span = qufem_telemetry::span!("iteration", i);
+            let mut phases = qufem_telemetry::PhaseSet::new();
+            let mut iter_stats = EngineStats::default();
+
             // Line 3: partition a weighted qubit graph based on BP_i.
-            let grouping = if config.random_grouping {
-                partition::partition_random(n, config.max_group_size, &mut rng)
-            } else {
-                let table = InteractionTable::build(&current);
-                partition::partition_weighted(
-                    n,
-                    &|a, b| table.weight(a, b),
-                    config.max_group_size,
-                    &penalized,
-                    config.regroup_penalty,
-                )
+            let grouping = {
+                let _phase = phases.enter("partition");
+                if config.random_grouping {
+                    partition::partition_random(n, config.max_group_size, &mut rng)
+                } else {
+                    let table = InteractionTable::build(&current);
+                    partition::partition_weighted(
+                        n,
+                        &|a, b| table.weight(a, b),
+                        config.max_group_size,
+                        &penalized,
+                        config.regroup_penalty,
+                    )
+                }
             };
             penalized.extend(grouped_pairs(&grouping));
 
@@ -159,22 +167,31 @@ impl QuFem {
             let mut next = BenchmarkSnapshot::new(n);
             for record in current.records() {
                 let measured = record.measured_set();
-                let groups = build_group_matrices_with(
-                    &current,
-                    &grouping,
-                    &measured,
-                    config.joint_group_estimation,
-                )?;
+                let groups = {
+                    let _phase = phases.enter("matrix-gen");
+                    build_group_matrices_with(
+                        &current,
+                        &grouping,
+                        &measured,
+                        config.joint_group_estimation,
+                    )?
+                };
                 let positions: Vec<usize> = measured.iter().collect();
-                let updated = engine::apply_iteration(
-                    record.dist(),
-                    &positions,
-                    &groups,
-                    char_beta,
-                    &mut stats,
-                );
+                let updated = {
+                    let _phase = phases.enter("engine");
+                    engine::apply_iteration(
+                        record.dist(),
+                        &positions,
+                        &groups,
+                        char_beta,
+                        &mut iter_stats,
+                    )
+                };
                 next.push(crate::snapshot::BenchmarkRecord::new(record.circuit().clone(), updated));
             }
+            iter_stats.publish_to(&qufem_telemetry::GlobalSink);
+            stats.merge(&iter_stats);
+            phases.emit();
             iterations.push(params);
             current = next;
         }
@@ -225,6 +242,7 @@ impl QuFem {
     /// Returns [`Error::QubitOutOfRange`] if `measured` references a qubit
     /// beyond the device and propagates matrix-generation failures.
     pub fn prepare(&self, measured: &QubitSet) -> Result<PreparedCalibration> {
+        let _span = qufem_telemetry::span!("prepare");
         if let Some(&max) = measured.as_slice().last() {
             if max >= self.n_qubits {
                 return Err(Error::QubitOutOfRange { index: max, width: self.n_qubits });
@@ -423,10 +441,15 @@ impl PreparedCalibration {
                 actual: dist.width(),
             });
         }
+        let _span = qufem_telemetry::span!("calibrate", "QuFEM");
         let mut current = dist.clone();
+        let mut local = EngineStats::default();
         for groups in &self.per_iteration {
-            current = engine::apply_iteration(&current, &self.positions, groups, self.beta, stats);
+            current =
+                engine::apply_iteration(&current, &self.positions, groups, self.beta, &mut local);
         }
+        local.publish_to(&qufem_telemetry::GlobalSink);
+        stats.merge(&local);
         Ok(current)
     }
 
@@ -577,8 +600,10 @@ mod tests {
         for (a, b) in sequential.iter().zip(&parallel) {
             assert_eq!(a.sorted_pairs(), b.sorted_pairs());
         }
-        assert_eq!(seq_stats.products, par_stats.products);
-        assert_eq!(seq_stats.accumulated, par_stats.accumulated);
+        // The crossbeam path merges one EngineStats per worker; every field
+        // (counters, per-level census, peak support) must equal the
+        // sequential accumulation exactly — merge order must not matter.
+        assert_eq!(seq_stats, par_stats);
     }
 
     #[test]
@@ -591,7 +616,7 @@ mod tests {
         let ideal = qufem_circuits::ghz(7);
         let noisy = device.measure_distribution(&ideal, &measured, 500, &mut rng);
         let mut stats = EngineStats::default();
-        let out = prepared.apply_batch(&[noisy.clone()], 0, &mut stats).unwrap();
+        let out = prepared.apply_batch(std::slice::from_ref(&noisy), 0, &mut stats).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].sorted_pairs(), prepared.apply(&noisy).unwrap().sorted_pairs());
     }

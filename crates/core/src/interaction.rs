@@ -73,6 +73,10 @@ impl InteractionTable {
         for record in snapshot.records() {
             table.add_record(record);
         }
+        qufem_telemetry::gauge_max(
+            "interaction.table_entries",
+            (table.base.len() + table.cond.len()) as f64,
+        );
         table
     }
 

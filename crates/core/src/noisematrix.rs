@@ -176,6 +176,7 @@ pub fn group_noise_matrix_with(
             matrix.inverse()?
         }
     };
+    qufem_telemetry::counter_add("noisematrix.submatrices", 1);
     Ok(Some(GroupMatrix { qubits, matrix, inverse_t: inverse.transpose() }))
 }
 
@@ -198,10 +199,6 @@ mod tests {
     use crate::snapshot::BenchmarkRecord;
     use qufem_device::BenchmarkCircuit;
     use qufem_types::ProbDist;
-
-    fn bs(s: &str) -> BitString {
-        BitString::from_binary_str(s).unwrap()
-    }
 
     /// Snapshot on 2 qubits covering all four prepared basis states with 2%
     /// error on q0 and 4% on q1 (independent).

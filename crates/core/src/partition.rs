@@ -125,6 +125,7 @@ pub fn partition_weighted<W: Fn(usize, usize) -> f64>(
         gained - lost
     };
 
+    let mut local_moves = 0u64;
     for _pass in 0..4 {
         let mut improved = false;
         // Moves into groups with spare capacity.
@@ -145,6 +146,7 @@ pub fn partition_weighted<W: Fn(usize, usize) -> f64>(
                     groups[gi].retain(|&m| m != q);
                     groups[gj].push(q);
                     improved = true;
+                    local_moves += 1;
                 }
             }
         }
@@ -166,6 +168,7 @@ pub fn partition_weighted<W: Fn(usize, usize) -> f64>(
                                 groups[gi].push(b);
                                 groups[gj].push(a);
                                 improved = true;
+                                local_moves += 1;
                                 continue 'pair;
                             }
                         }
@@ -182,6 +185,8 @@ pub fn partition_weighted<W: Fn(usize, usize) -> f64>(
     groups.retain(|g| !g.is_empty());
     let mut grouping: Grouping = groups.into_iter().map(|g| g.into_iter().collect()).collect();
     grouping.sort();
+    qufem_telemetry::counter_add("partition.local_search_moves", local_moves);
+    qufem_telemetry::counter_add("partition.groups_formed", grouping.len() as u64);
     grouping
 }
 

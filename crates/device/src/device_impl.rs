@@ -28,6 +28,8 @@ impl ExecutionStats {
     fn record(&self, shots: u64) {
         self.circuits.fetch_add(1, Ordering::Relaxed);
         self.shots.fetch_add(shots, Ordering::Relaxed);
+        qufem_telemetry::counter_add("device.circuits", 1);
+        qufem_telemetry::counter_add("device.shots", shots);
     }
 
     fn reset(&self) {
@@ -300,7 +302,12 @@ impl Device {
         assert_eq!(ideal.width(), measured.len(), "ideal width must match measured set");
         self.stats.record(shots);
         let positions: Vec<usize> = measured.iter().collect();
-        let outcome_shots = ideal.sample_counts(rng, shots);
+        // Sort before the per-outcome readout sampling: HashMap iteration
+        // order would otherwise split the RNG stream differently from one
+        // process to the next, breaking fixed-seed reproducibility.
+        let mut outcome_shots: Vec<(BitString, u64)> =
+            ideal.sample_counts(rng, shots).into_iter().collect();
+        outcome_shots.sort_unstable();
         let mut combined = ProbDist::new(measured.len());
         for (outcome, n) in outcome_shots {
             let mut ideal_full = BitString::zeros(self.n_qubits());
@@ -503,6 +510,23 @@ mod tests {
         let zero_p = noisy.prob(&BitString::zeros(3));
         let ones_p = noisy.prob(&BitString::ones(3));
         assert!(zero_p > 0.4 && ones_p > 0.35, "peaks: {zero_p}, {ones_p}");
+    }
+
+    #[test]
+    fn measure_distribution_is_seed_reproducible() {
+        // Regression: the per-outcome RNG split used to follow HashMap
+        // iteration order, so the same seed gave different samples from one
+        // run to the next.
+        let d = test_device();
+        let all = QubitSet::full(3);
+        let mut ghz = ProbDist::new(3);
+        ghz.add(BitString::zeros(3), 0.5);
+        ghz.add(BitString::ones(3), 0.5);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+        let a = d.measure_distribution(&ghz, &all, 400, &mut rng_a);
+        let b = d.measure_distribution(&ghz, &all, 400, &mut rng_b);
+        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
     }
 
     #[test]

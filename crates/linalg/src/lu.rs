@@ -39,6 +39,7 @@ impl Lu {
     /// Returns [`Error::LinalgFailure`] if the matrix is not square or is
     /// numerically singular (pivot below `1e-300`).
     pub fn factorize(a: &Matrix) -> Result<Self> {
+        qufem_telemetry::counter_add("linalg.lu_factorizations", 1);
         if !a.is_square() {
             return Err(Error::LinalgFailure(format!(
                 "LU requires a square matrix, got {}x{}",

@@ -1,0 +1,930 @@
+//! Structured telemetry for the QuFEM pipeline: hierarchical spans, named
+//! counters/gauges/histograms, and run-manifest export.
+//!
+//! The collector is a process-global singleton, **disabled by default**.
+//! Every recording entry point first checks one relaxed atomic and returns
+//! immediately (no allocation, no lock, no clock read) when disabled, so
+//! instrumented hot paths cost one predictable branch in normal library use.
+//! Experiments and the CLI opt in with [`enable`].
+//!
+//! # Spans
+//!
+//! [`span!`] opens a wall-clock span that records itself when the returned
+//! guard drops. Spans nest through a thread-local stack, so the manifest
+//! reconstructs the call tree (`characterize → iteration → engine`) without
+//! any explicit parent plumbing:
+//!
+//! ```
+//! qufem_telemetry::enable();
+//! {
+//!     let _outer = qufem_telemetry::span!("characterize");
+//!     for i in 0..2 {
+//!         let _inner = qufem_telemetry::span!("iteration", i);
+//!     }
+//! }
+//! let snap = qufem_telemetry::snapshot();
+//! assert_eq!(snap.span_count("iteration"), 2);
+//! # qufem_telemetry::disable();
+//! # qufem_telemetry::reset();
+//! ```
+//!
+//! Tight per-record loops use a [`PhaseSet`] instead of thousands of tiny
+//! spans: each named phase accumulates elapsed time across loop passes and
+//! [`PhaseSet::emit`] records one span per phase. Phase spans carry exact
+//! *durations*; their start offsets are packed back-to-back from the set's
+//! creation time so trace viewers render them nested cleanly.
+//!
+//! # Manifests
+//!
+//! [`write_manifest`] serializes everything to one JSON file that is
+//! simultaneously a QuFEM run manifest (`meta`/`counters`/`gauges`/
+//! `histograms`/`spans` keys) and a loadable Chrome trace: the same file's
+//! `traceEvents` key follows the `chrome://tracing` / Perfetto trace-event
+//! format, which ignores unknown top-level keys.
+//!
+//! The span and metric names used across the workspace form a stable
+//! contract, documented in the README's "Telemetry & profiling" section.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global on/off switch, checked (relaxed) before any recording work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parent attribution).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small dense per-thread id (std's ThreadId is opaque).
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the process.
+    pub id: u64,
+    /// Id of the span this one was opened under (same thread), if any.
+    pub parent: Option<u64>,
+    /// Static span name (the taxonomy key, e.g. `"iteration"`).
+    pub name: &'static str,
+    /// Optional dynamic label (e.g. the iteration index or method name).
+    pub label: Option<String>,
+    /// Start offset from the collector epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Dense id of the recording thread.
+    pub tid: u64,
+}
+
+/// Streaming summary of a value distribution (count/sum/min/max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+struct State {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
+    meta: Vec<(String, serde::Value)>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+            histograms: HashMap::new(),
+            meta: Vec::new(),
+        }
+    }
+}
+
+fn with_state<T>(f: impl FnOnce(&mut State) -> T) -> T {
+    let mut guard = STATE.lock();
+    f(guard.get_or_insert_with(State::new))
+}
+
+/// Whether the collector is recording. One relaxed atomic load — callers may
+/// use this to skip building labels or metric values entirely.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the collector on (idempotent). The epoch is set on first use.
+pub fn enable() {
+    with_state(|_| {});
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the collector off. Already-open span guards still record on drop;
+/// new entry points become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded data and restarts the epoch. The enabled flag is
+/// left as-is, so experiment drivers can `reset()` between experiments.
+pub fn reset() {
+    let mut guard = STATE.lock();
+    *guard = Some(State::new());
+}
+
+/// Attaches one metadata entry (config field, seed, command line, …) to the
+/// run manifest. Later writes to the same key win.
+pub fn set_meta(key: &str, value: serde::Value) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| {
+        if let Some(slot) = s.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            s.meta.push((key.to_string(), value));
+        }
+    });
+}
+
+/// Adds `delta` to a named monotone counter.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_state(|s| match s.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            s.counters.insert(name.to_string(), delta);
+        }
+    });
+}
+
+/// Sets a named gauge to `value`.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() || !value.is_finite() {
+        return;
+    }
+    with_state(|s| {
+        s.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Raises a named gauge to `value` if it is below (high-water marks).
+#[inline]
+pub fn gauge_max(name: &str, value: f64) {
+    if !enabled() || !value.is_finite() {
+        return;
+    }
+    with_state(|s| match s.gauges.get_mut(name) {
+        Some(v) => *v = v.max(value),
+        None => {
+            s.gauges.insert(name.to_string(), value);
+        }
+    });
+}
+
+/// Records one value into a named histogram.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() || !value.is_finite() {
+        return;
+    }
+    with_state(|s| s.histograms.entry(name.to_string()).or_default().record(value));
+}
+
+/// Opens a span; prefer the [`span!`] macro, which skips label construction
+/// when the collector is disabled.
+pub fn start_span(name: &'static str, label: Option<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard(Some(ActiveSpan { id, parent, name, label, start: Instant::now() }))
+}
+
+/// Opens a hierarchical wall-clock span: `span!("characterize")` or
+/// `span!("iteration", i)` (the second argument becomes the span label via
+/// `ToString`). The span records itself when the returned guard drops.
+/// When the collector is disabled this is one atomic load and the label
+/// expression is never evaluated.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name, None)
+    };
+    ($name:expr, $label:expr) => {
+        if $crate::enabled() {
+            $crate::start_span($name, Some(($label).to_string()))
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    label: Option<String>,
+    start: Instant,
+}
+
+/// RAII guard returned by [`span!`]; records the span on drop.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// A guard that records nothing (the disabled path).
+    pub fn inert() -> Self {
+        SpanGuard(None)
+    }
+
+    /// The span id, if the collector was enabled when the span opened.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let end = Instant::now();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let tid = THREAD_ID.with(|&t| t);
+        with_state(|s| {
+            let start_us = active.start.saturating_duration_since(s.epoch).as_micros() as u64;
+            let dur_us = end.saturating_duration_since(active.start).as_micros() as u64;
+            s.spans.push(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                label: active.label,
+                start_us,
+                dur_us,
+                tid,
+            });
+        });
+    }
+}
+
+/// Accumulated timing phases for tight per-record loops.
+///
+/// Entering the same phase many times adds up; [`PhaseSet::emit`] records
+/// one span per phase under the currently open span. See the module docs
+/// for the start-offset packing convention.
+pub struct PhaseSet {
+    /// `None` when the collector was disabled at construction.
+    inner: Option<PhaseInner>,
+}
+
+struct PhaseInner {
+    created: Instant,
+    /// Phase name → accumulated duration (µs) and enter count.
+    phases: Vec<(&'static str, u64, u64)>,
+}
+
+impl PhaseSet {
+    /// Creates an empty phase set (inert when the collector is disabled).
+    pub fn new() -> Self {
+        let inner = enabled().then(|| PhaseInner { created: Instant::now(), phases: Vec::new() });
+        PhaseSet { inner }
+    }
+
+    /// Starts timing `name`; the elapsed time is added when the returned
+    /// guard drops.
+    pub fn enter<'a>(&'a mut self, name: &'static str) -> PhaseGuard<'a> {
+        let start = self.inner.as_ref().map(|_| Instant::now());
+        PhaseGuard { set: self, name, start }
+    }
+
+    /// Records one span per accumulated phase and clears the set.
+    pub fn emit(&mut self) {
+        let Some(inner) = self.inner.as_mut() else { return };
+        if inner.phases.is_empty() {
+            return;
+        }
+        let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+        let tid = THREAD_ID.with(|&t| t);
+        with_state(|s| {
+            let mut cursor = inner.created.saturating_duration_since(s.epoch).as_micros() as u64;
+            for &(name, dur_us, count) in &inner.phases {
+                let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+                s.spans.push(SpanRecord {
+                    id,
+                    parent,
+                    name,
+                    label: (count > 1).then(|| format!("{count} passes")),
+                    start_us: cursor,
+                    dur_us,
+                    tid,
+                });
+                cursor += dur_us;
+            }
+        });
+        inner.phases.clear();
+        inner.created = Instant::now();
+    }
+}
+
+impl Default for PhaseSet {
+    fn default() -> Self {
+        PhaseSet::new()
+    }
+}
+
+impl Drop for PhaseSet {
+    fn drop(&mut self) {
+        self.emit();
+    }
+}
+
+/// Guard returned by [`PhaseSet::enter`].
+pub struct PhaseGuard<'a> {
+    set: &'a mut PhaseSet,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(start), Some(inner)) = (self.start, self.set.inner.as_mut()) else { return };
+        let dur = start.elapsed().as_micros() as u64;
+        match inner.phases.iter_mut().find(|(n, _, _)| *n == self.name) {
+            Some(slot) => {
+                slot.1 += dur;
+                slot.2 += 1;
+            }
+            None => inner.phases.push((self.name, dur, 1)),
+        }
+    }
+}
+
+/// Abstract metric sink, letting instrumented code publish into either the
+/// global collector or a test double.
+pub trait TelemetrySink {
+    /// Whether the sink is currently recording. Publishers should skip any
+    /// work needed only to build metric names (formatting, allocation) when
+    /// this is `false`.
+    fn active(&self) -> bool {
+        true
+    }
+    /// Adds to a monotone counter.
+    fn counter_add(&self, name: &str, delta: u64);
+    /// Raises a high-water-mark gauge.
+    fn gauge_max(&self, name: &str, value: f64);
+}
+
+/// The [`TelemetrySink`] backed by this crate's global collector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalSink;
+
+impl TelemetrySink for GlobalSink {
+    fn active(&self) -> bool {
+        enabled()
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        counter_add(name, delta);
+    }
+
+    fn gauge_max(&self, name: &str, value: f64) {
+        gauge_max(name, value);
+    }
+}
+
+/// Point-in-time copy of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// A counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Number of completed spans with this name.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).count() as u64
+    }
+
+    /// Total duration of all completed spans with this name, in seconds.
+    pub fn span_total_secs(&self, name: &str) -> f64 {
+        self.spans.iter().filter(|s| s.name == name).map(|s| s.dur_us as f64 / 1e6).sum()
+    }
+}
+
+/// Copies the current collector contents (works even when disabled, so
+/// post-run reporting can read what an enabled phase recorded).
+pub fn snapshot() -> Snapshot {
+    let guard = STATE.lock();
+    let Some(s) = guard.as_ref() else { return Snapshot::default() };
+    Snapshot {
+        spans: s.spans.clone(),
+        counters: s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        gauges: s.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: s.histograms.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+    }
+}
+
+/// Watermark for [`span_secs_since`]: the number of spans completed so far.
+pub fn mark() -> usize {
+    STATE.lock().as_ref().map_or(0, |s| s.spans.len())
+}
+
+/// Total seconds of spans named `name` completed after `mark` was taken.
+/// This is how the experiment harness derives method timings from the
+/// collector instead of stopwatching around calls.
+pub fn span_secs_since(mark: usize, name: &str) -> f64 {
+    let guard = STATE.lock();
+    let Some(s) = guard.as_ref() else { return 0.0 };
+    s.spans.iter().skip(mark).filter(|r| r.name == name).map(|r| r.dur_us as f64 / 1e6).sum()
+}
+
+fn fmt_us(us: u64) -> String {
+    let secs = us as f64 / 1e6;
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+fn fmt_metric_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a human-readable per-phase time table plus metric listings.
+pub fn summary() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    // Aggregate spans by name, preserving first-seen order.
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut agg: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for s in &snap.spans {
+        let slot = agg.entry(s.name).or_insert_with(|| {
+            order.push(s.name);
+            (0, 0)
+        });
+        slot.0 += 1;
+        slot.1 += s.dur_us;
+    }
+    if !order.is_empty() {
+        out.push_str("spans (aggregated by name):\n");
+        let width = order.iter().map(|n| n.len()).max().unwrap_or(0);
+        for name in &order {
+            let (count, total_us) = agg[name];
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {:>10}  ({count} span{})",
+                fmt_us(total_us),
+                if count == 1 { "" } else { "s" },
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name} = {}", fmt_metric_value(*value));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: n={} mean={:.4e} min={:.4e} max={:.4e}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(telemetry empty)\n");
+    }
+    out
+}
+
+fn map(pairs: Vec<(&str, serde::Value)>) -> serde::Value {
+    serde::Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Builds the manifest JSON value: run metadata + metrics + spans + a
+/// `traceEvents` array in Chrome trace-event format. The whole object loads
+/// directly in `chrome://tracing` / Perfetto (extra keys are ignored).
+pub fn manifest(extra_meta: &[(String, serde::Value)]) -> serde::Value {
+    use serde::Value;
+    let snap = snapshot();
+    let guard = STATE.lock();
+    let mut meta: Vec<(String, Value)> = guard.as_ref().map(|s| s.meta.clone()).unwrap_or_default();
+    drop(guard);
+    for (k, v) in extra_meta {
+        if let Some(slot) = meta.iter_mut().find(|(mk, _)| mk == k) {
+            slot.1 = v.clone();
+        } else {
+            meta.push((k.clone(), v.clone()));
+        }
+    }
+
+    let spans: Vec<Value> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("id", Value::UInt(s.id)),
+                ("name", Value::Str(s.name.to_string())),
+                ("start_us", Value::UInt(s.start_us)),
+                ("dur_us", Value::UInt(s.dur_us)),
+                ("tid", Value::UInt(s.tid)),
+            ];
+            if let Some(parent) = s.parent {
+                fields.push(("parent", Value::UInt(parent)));
+            }
+            if let Some(label) = &s.label {
+                fields.push(("label", Value::Str(label.clone())));
+            }
+            map(fields)
+        })
+        .collect();
+
+    let end_us = snap.spans.iter().map(|s| s.start_us + s.dur_us).max().unwrap_or(0);
+    let mut events: Vec<Value> = vec![map(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(0)),
+        ("args", map(vec![("name", Value::Str("qufem".into()))])),
+    ])];
+    for s in &snap.spans {
+        let mut args = Vec::new();
+        if let Some(label) = &s.label {
+            args.push(("label".to_string(), Value::Str(label.clone())));
+        }
+        events.push(map(vec![
+            ("name", Value::Str(s.name.to_string())),
+            ("cat", Value::Str("qufem".into())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::UInt(s.start_us)),
+            ("dur", Value::UInt(s.dur_us)),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(s.tid)),
+            ("args", Value::Map(args)),
+        ]));
+    }
+    for (name, &value) in &snap.counters {
+        events.push(map(vec![
+            ("name", Value::Str(name.clone())),
+            ("ph", Value::Str("C".into())),
+            ("ts", Value::UInt(end_us)),
+            ("pid", Value::UInt(1)),
+            ("args", map(vec![("value", Value::UInt(value))])),
+        ]));
+    }
+
+    let counters: Vec<(String, Value)> =
+        snap.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect();
+    let gauges: Vec<(String, Value)> =
+        snap.gauges.iter().map(|(k, &v)| (k.clone(), Value::Float(v))).collect();
+    let histograms: Vec<(String, Value)> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                map(vec![
+                    ("count", Value::UInt(h.count)),
+                    ("sum", Value::Float(h.sum)),
+                    ("min", Value::Float(h.min)),
+                    ("max", Value::Float(h.max)),
+                    ("mean", Value::Float(h.mean())),
+                ]),
+            )
+        })
+        .collect();
+
+    map(vec![
+        ("qufem_telemetry_version", Value::UInt(1)),
+        ("meta", Value::Map(meta)),
+        ("counters", Value::Map(counters)),
+        ("gauges", Value::Map(gauges)),
+        ("histograms", Value::Map(histograms)),
+        ("spans", Value::Seq(spans)),
+        ("traceEvents", Value::Seq(events)),
+    ])
+}
+
+/// Writes the run manifest (see [`manifest`]) to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_manifest(path: &Path, extra_meta: &[(String, serde::Value)]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let value = manifest(extra_meta);
+    let text = serde_json::to_string_pretty(&value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is process-global, so tests share it; this lock keeps
+    /// them from interleaving.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fresh() -> parking_lot::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock();
+        reset();
+        enable();
+        guard
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _guard = fresh();
+        disable();
+        reset();
+        {
+            let _s = span!("never");
+            counter_add("never.counter", 3);
+            gauge_set("never.gauge", 1.0);
+            histogram_record("never.hist", 1.0);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        enable();
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_stack() {
+        let _guard = fresh();
+        {
+            let outer = span!("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let _inner = span!("inner", 7);
+            }
+            let snap = snapshot();
+            let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+            assert_eq!(inner.parent, Some(outer_id));
+            assert_eq!(inner.label.as_deref(), Some("7"));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.span_count("outer"), 1);
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, None);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _guard = fresh();
+        counter_add("c", 2);
+        counter_add("c", 3);
+        gauge_set("g", 5.0);
+        gauge_max("g", 3.0);
+        gauge_max("g", 9.0);
+        histogram_record("h", 1.0);
+        histogram_record("h", 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.gauge("g"), Some(9.0));
+        let h = snap.histograms.get("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn phase_set_accumulates_and_packs() {
+        let _guard = fresh();
+        let parent_id;
+        {
+            let parent = span!("loop");
+            parent_id = parent.id().unwrap();
+            let mut phases = PhaseSet::new();
+            for _ in 0..3 {
+                let _a = phases.enter("alpha");
+            }
+            {
+                let _b = phases.enter("beta");
+            }
+            phases.emit();
+        }
+        let snap = snapshot();
+        let alpha = snap.spans.iter().find(|s| s.name == "alpha").unwrap();
+        let beta = snap.spans.iter().find(|s| s.name == "beta").unwrap();
+        assert_eq!(alpha.parent, Some(parent_id));
+        assert_eq!(beta.parent, Some(parent_id));
+        assert_eq!(alpha.label.as_deref(), Some("3 passes"));
+        // Packed placement: beta starts where alpha ends.
+        assert_eq!(beta.start_us, alpha.start_us + alpha.dur_us);
+    }
+
+    #[test]
+    fn mark_and_span_secs_since_select_new_spans() {
+        let _guard = fresh();
+        {
+            let _a = span!("work");
+        }
+        let m = mark();
+        {
+            let _b = span!("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let since = span_secs_since(m, "work");
+        assert!(since >= 0.002, "expected only the post-mark span, got {since}");
+        assert!(since < snapshot().span_total_secs("work") + 1e-9);
+    }
+
+    #[test]
+    fn manifest_is_valid_chrome_trace_and_roundtrips() {
+        let _guard = fresh();
+        set_meta("seed", serde::Value::UInt(7));
+        counter_add("engine.products", 10);
+        {
+            let _s = span!("characterize");
+            let _t = span!("iteration", 0);
+        }
+        let dir = std::env::temp_dir().join("qufem-telemetry-test");
+        let path = dir.join("manifest.json");
+        write_manifest(&path, &[("extra".to_string(), serde::Value::Bool(true))]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).unwrap();
+        let events = value.get("traceEvents").and_then(|v| v.as_seq()).unwrap();
+        // Meta event + 2 spans + 1 counter.
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap();
+            assert!(matches!(ph, "M" | "X" | "C"));
+        }
+        assert_eq!(
+            value.get("meta").unwrap().get("seed").and_then(|v| v.as_u64()),
+            Some(7),
+            "set_meta value must survive"
+        );
+        assert!(value.get("meta").unwrap().get("extra").is_some());
+        assert_eq!(
+            value.get("counters").unwrap().get("engine.products").and_then(|v| v.as_u64()),
+            Some(10)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _guard = fresh();
+        counter_add("x", 1);
+        {
+            let _s = span!("x");
+        }
+        reset();
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counter("x"), 0);
+    }
+
+    #[test]
+    fn summary_lists_spans_and_metrics() {
+        let _guard = fresh();
+        {
+            let _s = span!("characterize");
+        }
+        counter_add("device.circuits", 4);
+        gauge_set("memwatch.peak_bytes", 1024.0);
+        let text = summary();
+        assert!(text.contains("characterize"));
+        assert!(text.contains("device.circuits = 4"));
+        assert!(text.contains("memwatch.peak_bytes = 1024"));
+    }
+
+    #[test]
+    fn sink_forwards_to_global_collector() {
+        let _guard = fresh();
+        let sink = GlobalSink;
+        TelemetrySink::counter_add(&sink, "s.c", 2);
+        TelemetrySink::gauge_max(&sink, "s.g", 8.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("s.c"), 2);
+        assert_eq!(snap.gauge("s.g"), Some(8.0));
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_and_sorts() {
+        let _guard = fresh();
+        counter_add("engine.kept_level.001", 5);
+        counter_add("engine.kept_level.000", 9);
+        counter_add("engine.products", 1);
+        let snap = snapshot();
+        let levels = snap.counters_with_prefix("engine.kept_level.");
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0], ("engine.kept_level.000", 9));
+        assert_eq!(levels[1], ("engine.kept_level.001", 5));
+    }
+}

@@ -3,11 +3,18 @@
 //! ```text
 //! qufem characterize --device quafu-18 --out params.json [--shots 2000]
 //!        [--alpha 2.5e-5] [--beta 1e-5] [--iterations 2] [--group-size 2] [--seed 0]
+//!        [--telemetry run.json]
 //! qufem simulate     --device quafu-18 --algorithm ghz --shots 2000 --out noisy.json [--seed 0]
 //! qufem calibrate    --params params.json --input noisy.json --out calibrated.json
-//!        [--measured 0,1,2] [--project]
+//!        [--measured 0,1,2] [--project] [--telemetry run.json]
+//! qufem calibrate    --device quafu-18 --out calibrated.json [--algorithm ghz] [--shots 2000]
 //! qufem inspect      --params params.json
 //! ```
+//!
+//! `calibrate --device` without `--params` runs the full pipeline —
+//! characterize, synthesize a noisy input (unless `--input` is given),
+//! calibrate. `--telemetry <path>` enables the collector and writes a run
+//! manifest (JSON; loads directly into `chrome://tracing` / Perfetto).
 //!
 //! Devices are the built-in presets (`ibmq-7`, `quafu-18`, `custom-36`,
 //! `rigetti-79`, `quafu-136`, or `grid-N`); distributions are the JSON
@@ -24,11 +31,14 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  qufem characterize --device <preset> --out <params.json> \
-         [--shots N] [--alpha A] [--beta B] [--iterations L] [--group-size K] [--seed S]\n  \
+         [--shots N] [--alpha A] [--beta B] [--iterations L] [--group-size K] [--seed S] \
+         [--telemetry <run.json>]\n  \
          qufem simulate --device <preset> --algorithm <ghz|bv|dj|simon|vqc|qsvm|hs> \
          --shots N --out <dist.json> [--seed S]\n  \
          qufem calibrate --params <params.json> --input <dist.json> --out <out.json> \
-         [--measured 0,1,2] [--project]\n  \
+         [--measured 0,1,2] [--project] [--telemetry <run.json>]\n  \
+         qufem calibrate --device <preset> --out <out.json> [--algorithm A] [--shots N] \
+         [--telemetry <run.json>]   (full pipeline: characterize + calibrate)\n  \
          qufem inspect --params <params.json>\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>"
     );
@@ -85,6 +95,52 @@ fn algorithm_by_name(name: &str) -> Option<Algorithm> {
     }
 }
 
+/// Enables the telemetry collector and stamps run metadata when
+/// `--telemetry` was passed. Returns the manifest output path, if any.
+fn telemetry_setup(flags: &HashMap<String, String>, command: &str, seed: u64) -> Option<String> {
+    let path = flags.get("telemetry").cloned()?;
+    qufem_telemetry::reset();
+    qufem_telemetry::enable();
+    qufem_telemetry::set_meta("command", serde::Value::Str(command.to_string()));
+    qufem_telemetry::set_meta("seed", serde::Value::UInt(seed));
+    if let Some(device) = flags.get("device") {
+        qufem_telemetry::set_meta("device", serde::Value::Str(device.clone()));
+    }
+    Some(path)
+}
+
+/// Writes the run manifest and prints the per-phase summary to stderr.
+fn telemetry_finish(path: &str) -> std::io::Result<()> {
+    qufem_telemetry::write_manifest(std::path::Path::new(path), &[])?;
+    eprint!("{}", qufem_telemetry::summary());
+    eprintln!("telemetry manifest written to {path}");
+    Ok(())
+}
+
+/// Builds a [`QuFemConfig`] from the shared characterization flags.
+fn config_from_flags(
+    flags: &HashMap<String, String>,
+    seed: u64,
+) -> Result<QuFemConfig, Box<dyn std::error::Error>> {
+    let mut builder = QuFemConfig::builder().seed(seed);
+    if let Some(v) = flags.get("shots") {
+        builder = builder.shots(v.parse()?);
+    }
+    if let Some(v) = flags.get("alpha") {
+        builder = builder.characterization_threshold(v.parse()?);
+    }
+    if let Some(v) = flags.get("beta") {
+        builder = builder.pruning_threshold(v.parse()?);
+    }
+    if let Some(v) = flags.get("iterations") {
+        builder = builder.iterations(v.parse()?);
+    }
+    if let Some(v) = flags.get("group-size") {
+        builder = builder.max_group_size(v.parse()?);
+    }
+    Ok(builder.build()?)
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else { usage() };
@@ -104,23 +160,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let out = require("out");
             let device = device_by_name(&device_name, seed)
                 .ok_or_else(|| format!("unknown device preset {device_name:?}"))?;
-            let mut builder = QuFemConfig::builder().seed(seed);
-            if let Some(v) = get("shots") {
-                builder = builder.shots(v.parse()?);
-            }
-            if let Some(v) = get("alpha") {
-                builder = builder.characterization_threshold(v.parse()?);
-            }
-            if let Some(v) = get("beta") {
-                builder = builder.pruning_threshold(v.parse()?);
-            }
-            if let Some(v) = get("iterations") {
-                builder = builder.iterations(v.parse()?);
-            }
-            if let Some(v) = get("group-size") {
-                builder = builder.max_group_size(v.parse()?);
-            }
-            let config = builder.build()?;
+            let config = config_from_flags(&flags, seed)?;
+            let telemetry = telemetry_setup(&flags, "characterize", seed);
             eprintln!("characterizing {} …", device.name());
             let qufem = QuFem::characterize(&device, config)?;
             let report = qufem.benchgen_report().expect("device characterization");
@@ -131,6 +172,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             );
             std::fs::write(&out, serde_json::to_string(&qufem.export())?)?;
             eprintln!("parameters written to {out}");
+            if let Some(path) = telemetry {
+                telemetry_finish(&path)?;
+            }
         }
         "simulate" => {
             let device_name = require("device");
@@ -155,12 +199,53 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         "calibrate" => {
-            let params_path = require("params");
-            let input = require("input");
             let out = require("out");
-            let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
-            let qufem = QuFem::import(data)?;
-            let dist: ProbDist = serde_json::from_str(&std::fs::read_to_string(&input)?)?;
+            let device = match get("device") {
+                Some(name) => Some(
+                    device_by_name(&name, seed)
+                        .ok_or_else(|| format!("unknown device preset {name:?}"))?,
+                ),
+                None => None,
+            };
+            let telemetry = telemetry_setup(&flags, "calibrate", seed);
+            let qufem = match get("params") {
+                Some(params_path) => {
+                    let data: QuFemData =
+                        serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
+                    QuFem::import(data)?
+                }
+                None => {
+                    let device = device.as_ref().ok_or("calibrate needs --params or --device")?;
+                    let config = config_from_flags(&flags, seed)?;
+                    eprintln!("characterizing {} …", device.name());
+                    QuFem::characterize(device, config)?
+                }
+            };
+            let dist: ProbDist = match get("input") {
+                Some(input) => serde_json::from_str(&std::fs::read_to_string(&input)?)?,
+                None => {
+                    let device = device
+                        .as_ref()
+                        .ok_or("calibrate needs --input, or --device to synthesize one")?;
+                    let algorithm_name = get("algorithm").unwrap_or_else(|| "ghz".to_string());
+                    let algorithm = algorithm_by_name(&algorithm_name)
+                        .ok_or("unknown algorithm (use ghz|bv|dj|simon|vqc|qsvm|hs)")?;
+                    let shots: u64 = get("shots").map(|s| s.parse()).transpose()?.unwrap_or(2000);
+                    let n = device.n_qubits();
+                    let ideal = algorithm.ideal_distribution(n, seed);
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC11);
+                    let noisy =
+                        device.measure_distribution(&ideal, &QubitSet::full(n), shots, &mut rng);
+                    eprintln!(
+                        "synthesized {} input on {}: {} shots, {} outcomes",
+                        algorithm.name(),
+                        device.name(),
+                        shots,
+                        noisy.support_len()
+                    );
+                    noisy
+                }
+            };
             let measured: QubitSet = match get("measured") {
                 Some(spec) => spec
                     .split(',')
@@ -183,6 +268,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 result.support_len(),
                 result.total_mass()
             );
+            if let Some(path) = telemetry {
+                telemetry_finish(&path)?;
+            }
         }
         "inspect" => {
             let params_path = require("params");

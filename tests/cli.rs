@@ -93,6 +93,63 @@ fn full_cli_pipeline() {
 }
 
 #[test]
+fn full_pipeline_calibrate_writes_telemetry_manifest() {
+    let calibrated = tmpfile("tel_calibrated.json");
+    let manifest = tmpfile("tel_manifest.json");
+
+    // `calibrate --device` without `--params` characterizes, synthesizes a
+    // noisy input, and calibrates in one run.
+    let output = qufem()
+        .args([
+            "calibrate",
+            "--device",
+            "grid-4",
+            "--out",
+            calibrated.to_str().unwrap(),
+            "--telemetry",
+            manifest.to_str().unwrap(),
+            "--shots",
+            "300",
+            "--alpha",
+            "5e-4",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("spawn qufem");
+    assert!(
+        output.status.success(),
+        "full-pipeline calibrate failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(calibrated.exists());
+
+    let manifest: serde::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+    // Nested spans: characterize → iteration → {matrix-gen, engine}.
+    let spans = manifest.get("spans").and_then(|s| s.as_seq()).expect("spans array");
+    let find =
+        |name: &str| spans.iter().find(|s| s.get("name").and_then(|n| n.as_str()) == Some(name));
+    let characterize = find("characterize").expect("characterize span");
+    let iteration = find("iteration").expect("iteration span");
+    let engine = find("engine").expect("engine span");
+    assert_eq!(iteration.get("parent").unwrap().as_u64(), characterize.get("id").unwrap().as_u64());
+    assert_eq!(engine.get("parent").unwrap().as_u64(), iteration.get("id").unwrap().as_u64());
+    assert!(find("matrix-gen").is_some(), "matrix-gen phase span");
+    assert!(find("calibrate").is_some(), "calibrate span");
+
+    // Nonzero engine counters and a Chrome-trace-compatible event array.
+    let counters = manifest.get("counters").expect("counters");
+    assert!(counters.get("engine.products").unwrap().as_u64().unwrap() > 0);
+    assert!(counters.get("engine.pruned").unwrap().as_u64().unwrap() > 0);
+    let events = manifest.get("traceEvents").and_then(|e| e.as_seq()).expect("traceEvents");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev.get("ph").and_then(|p| p.as_str()).is_some(), "event phase field");
+    }
+}
+
+#[test]
 fn unknown_device_fails_cleanly() {
     let out = tmpfile("never.json");
     let output = qufem()

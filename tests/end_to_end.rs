@@ -73,7 +73,7 @@ fn qufem_approaches_golden_on_small_subset() {
     let device = presets::ibmq_7(3);
     let qufem = QuFem::characterize(&device, fast_config(3)).unwrap();
     let subset: QubitSet = [0usize, 1, 3].into_iter().collect();
-    let golden = Golden::exact(&device, &[subset.clone()], 8).unwrap();
+    let golden = Golden::exact(&device, std::slice::from_ref(&subset), 8).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(17);
 
     let ideal = Algorithm::Ghz.ideal_distribution(3, 1);

@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn scope_joins_and_returns_values() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = thread::scope(|s| {
             let handles: Vec<_> =
                 data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
