@@ -3,7 +3,7 @@
 use crate::{Calibrator, QubitMatrices};
 use qufem_core::benchgen;
 use qufem_device::Device;
-use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use qufem_types::{BitString, ProbDist, QubitSet, Result, SupportIndex};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -120,28 +120,26 @@ impl Calibrator for Ibu {
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         let _span = qufem_telemetry::span!("calibrate", "IBU");
         let positions: Vec<usize> = measured.iter().collect();
-        if dist.width() != positions.len() {
-            return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });
-        }
-        let observed: Vec<(BitString, f64)> =
-            dist.sorted_pairs().into_iter().filter(|(_, p)| *p > 0.0).collect();
+        dist.check_width(positions.len())?;
+        let observed = SupportIndex::positive_from_dist(dist);
         if observed.is_empty() {
             return Ok(ProbDist::new(dist.width()));
         }
-        let obs_strings: Vec<BitString> = observed.iter().map(|(s, _)| s.clone()).collect();
+        let obs_strings: Vec<BitString> =
+            (0..observed.len() as u32).map(|id| observed.key(id)).collect();
         let domain = self.build_domain(&obs_strings);
         let d = domain.len();
         let o = observed.len();
 
         // Response matrix restricted to (observed × domain).
         let mut response = vec![vec![0.0f64; d]; o];
-        for (i, (x, _)) in observed.iter().enumerate() {
+        for (i, x) in obs_strings.iter().enumerate() {
             for (j, y) in domain.iter().enumerate() {
                 response[i][j] = self.matrices.forward_element(&positions, x, y);
             }
         }
-        let m_obs: Vec<f64> = observed.iter().map(|(_, p)| *p).collect();
-        let total_mass: f64 = m_obs.iter().sum();
+        let m_obs: &[f64] = observed.values();
+        let total_mass: f64 = observed.total_mass();
 
         // Uniform prior over the domain.
         let mut t = vec![total_mass / d as f64; d];
@@ -192,6 +190,7 @@ mod tests {
     use crate::tensor::test_support::independent_snapshot;
     use qufem_device::presets;
     use qufem_metrics::hellinger_fidelity;
+    use qufem_types::Error;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

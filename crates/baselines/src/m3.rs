@@ -4,7 +4,7 @@ use crate::{Calibrator, QubitMatrices};
 use qufem_core::benchgen;
 use qufem_device::Device;
 use qufem_linalg::{gmres, GmresOptions};
-use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 use rand::Rng;
 
 /// IBM's M3: restrict the assignment matrix to the *observed* bit strings,
@@ -79,11 +79,8 @@ impl Calibrator for M3 {
     fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         let _span = qufem_telemetry::span!("calibrate", "M3");
         let positions: Vec<usize> = measured.iter().collect();
-        if dist.width() != positions.len() {
-            return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });
-        }
-        let observed: Vec<(BitString, f64)> =
-            dist.sorted_pairs().into_iter().filter(|(_, p)| *p > 0.0).collect();
+        dist.check_width(positions.len())?;
+        let observed = SupportIndex::positive_from_dist(dist);
         if observed.is_empty() {
             return Ok(ProbDist::new(dist.width()));
         }
@@ -94,16 +91,19 @@ impl Calibrator for M3 {
                 self.max_subspace
             )));
         }
-        let strings: Vec<&BitString> = observed.iter().map(|(k, _)| k).collect();
+        let strings: Vec<BitString> = (0..s as u32).map(|id| observed.key(id)).collect();
 
         // Reduced matrix with Hamming pruning, stored sparsely per column,
         // columns renormalized over the subspace (M3's normalization step).
+        // Hamming distances come straight off the interned key words
+        // (XOR + popcount), skipping the O(s²) `BitString` comparisons.
         let mut columns: Vec<Vec<(usize, f64)>> = Vec::with_capacity(s);
         for (j, y) in strings.iter().enumerate() {
+            let y_words = observed.key_words(j as u32);
             let mut col = Vec::new();
             let mut sum = 0.0;
             for (i, x) in strings.iter().enumerate() {
-                let d = x.hamming_distance(y).expect("equal widths");
+                let d = hamming_words(observed.key_words(i as u32), y_words);
                 if d > self.hamming_threshold {
                     continue;
                 }
@@ -124,7 +124,7 @@ impl Calibrator for M3 {
             columns.push(col);
         }
 
-        let b: Vec<f64> = observed.iter().map(|(_, p)| *p).collect();
+        let b: Vec<f64> = observed.values().to_vec();
         let apply = |v: &[f64]| -> Vec<f64> {
             let mut out = vec![0.0; s];
             for (j, col) in columns.iter().enumerate() {
@@ -141,7 +141,7 @@ impl Calibrator for M3 {
         let outcome = gmres(apply, &b, &self.gmres)?;
 
         let mut out = ProbDist::new(dist.width());
-        for (j, (y, _)) in observed.into_iter().enumerate() {
+        for (j, y) in strings.into_iter().enumerate() {
             if outcome.solution[j] != 0.0 {
                 out.add(y, outcome.solution[j]);
             }
@@ -156,6 +156,11 @@ impl Calibrator for M3 {
     fn heap_bytes(&self) -> usize {
         self.matrices.heap_bytes()
     }
+}
+
+/// Hamming distance between two equal-length packed key-word slices.
+fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as usize).sum()
 }
 
 #[cfg(test)]

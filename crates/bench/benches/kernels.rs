@@ -2,11 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qufem_core::{
-    benchgen, build_group_matrices, engine, EngineStats, InteractionTable, QuFemConfig,
+    benchgen, build_group_matrices, engine, EngineStats, GroupMatrix, InteractionTable,
+    IterationPlan, QuFemConfig,
 };
 use qufem_device::presets;
 use qufem_linalg::{Lu, Matrix};
-use qufem_types::QubitSet;
+use qufem_types::{ProbDist, QubitSet, SupportIndex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -63,6 +64,85 @@ fn bench_engine(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// A characterized iteration at `n` qubits: group matrices, measured
+/// positions, and a synthetic input distribution, ready for plan/execute.
+struct EngineWorkload {
+    positions: Vec<usize>,
+    groups: Vec<GroupMatrix>,
+    dist: ProbDist,
+}
+
+fn engine_workload(n: usize, support: usize) -> EngineWorkload {
+    let device = presets::for_qubits(n, 1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
+    let table = InteractionTable::build(&snapshot);
+    let grouping = qufem_core::partition::partition_weighted(
+        n,
+        &|a, b| table.weight(a, b),
+        2,
+        &std::collections::HashSet::new(),
+        1.0,
+    );
+    let measured = QubitSet::full(n);
+    let groups = build_group_matrices(&snapshot, &grouping, &measured).unwrap();
+    let positions: Vec<usize> = measured.iter().collect();
+    let dist = qufem_circuits::synthetic::generate(
+        qufem_circuits::synthetic::Shape::Uniform,
+        n,
+        support,
+        7,
+    );
+    EngineWorkload { positions, groups, dist }
+}
+
+/// Plan construction plus the sequential/sharded executors, at the paper's
+/// small (36q) and large (136q) scales, against the pre-refactor reference
+/// walk for comparison.
+fn bench_plan_execute(c: &mut Criterion) {
+    const BETA: f64 = 1e-3;
+    for &n in &[36usize, 136] {
+        let w = engine_workload(n, 200);
+        let plan = IterationPlan::build(&w.positions, &w.groups, BETA);
+        let input = SupportIndex::from_dist(&w.dist);
+
+        let name = format!("engine_{n}q");
+        let mut group = c.benchmark_group(&name);
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("plan-build"), |b| {
+            b.iter(|| IterationPlan::build(&w.positions, &w.groups, BETA));
+        });
+        group.bench_function(BenchmarkId::from_parameter("execute-sequential"), |b| {
+            b.iter(|| {
+                let mut stats = EngineStats::default();
+                engine::execute(&plan, &input, &mut stats)
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("execute-sharded"), |b| {
+            let threads = engine::configured_threads().max(4);
+            b.iter(|| {
+                let mut stats = EngineStats::default();
+                engine::execute_sharded(&plan, &input, threads, &mut stats)
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("reference-apply-iteration"), |b| {
+            b.iter(|| {
+                let mut stats = EngineStats::default();
+                engine::reference::apply_iteration(
+                    &w.dist,
+                    &w.positions,
+                    &w.groups,
+                    BETA,
+                    &mut stats,
+                )
+            });
+        });
+        group.finish();
+    }
 }
 
 fn bench_matrix_generation(c: &mut Criterion) {
@@ -206,7 +286,7 @@ fn bench_statevector(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_lu, bench_engine, bench_matrix_generation, bench_partition,
+    targets = bench_lu, bench_engine, bench_plan_execute, bench_matrix_generation, bench_partition,
         bench_interaction_table, bench_bitstring_ops, bench_device_sampling,
         bench_golden_matrix, bench_simplex_projection, bench_statevector
 }

@@ -5,7 +5,8 @@
 //! Each experiment runs under a fresh telemetry collector; its run
 //! manifest lands in `results/telemetry/<stem>.json` and an aggregate
 //! `results/telemetry/bench_summary.json` records per-experiment
-//! wall-clock seconds and peak accounted bytes.
+//! wall-clock seconds, peak accounted bytes, and engine/plan-build
+//! time from the telemetry spans.
 
 use qufem_bench::report::Table;
 use qufem_bench::{experiments, RunOptions};
@@ -64,12 +65,21 @@ fn main() {
 
         let manifest_path = telemetry_dir.join(format!("{stem}.json"));
         qufem_telemetry::write_manifest(&manifest_path, &[]).expect("write telemetry manifest");
-        let peak_bytes = qufem_telemetry::snapshot().gauge("memwatch.peak_bytes").unwrap_or(0.0);
+        let snapshot = qufem_telemetry::snapshot();
+        let peak_bytes = snapshot.gauge("memwatch.peak_bytes").unwrap_or(0.0);
         summary.push((
             stem.to_string(),
             Value::Map(vec![
                 ("wall_secs".to_string(), Value::Float(wall_secs)),
                 ("peak_bytes".to_string(), Value::Float(peak_bytes)),
+                // Time inside the calibration engine proper ("engine" phase
+                // spans) and in plan construction, separated from benchmark
+                // generation and partitioning.
+                ("engine_secs".to_string(), Value::Float(snapshot.span_total_secs("engine"))),
+                (
+                    "plan_build_secs".to_string(),
+                    Value::Float(snapshot.span_total_secs("plan-build")),
+                ),
             ]),
         ));
         eprintln!("[exp_all] {stem} finished in {wall_secs:.1}s");

@@ -1,4 +1,5 @@
-//! The sparse tensor-product engine (paper §4.2).
+//! The sparse tensor-product engine (paper §4.2), split into a *plan* built
+//! once per iteration and a pure *execute* step.
 //!
 //! One calibration iteration computes, for every nonzero input bit string
 //! `x` with probability `p(x)`,
@@ -22,7 +23,7 @@
 //! sampled outcome at 2000 shots has `p ≈ 5·10⁻⁴`, so scaled second-order
 //! terms sit below any useful β), biasing the calibrated distribution.
 //!
-//! A second, *scaled* cutoff at `β · 10⁻³` guards the other direction:
+//! A second, *scaled* cutoff at `β · 10⁻¹` guards the other direction:
 //! across multiple iterations the output support would otherwise grow by
 //! the full per-string expansion each round (an entry of magnitude `10⁻⁸`
 //! re-expanding into thousands of `10⁻¹⁰` descendants). Branches whose
@@ -30,9 +31,27 @@
 //! statistical weight at realistic shot counts and are cut — this is what
 //! keeps `NZ_i` "typically below the number of shots" across iterations
 //! (paper §3.1).
+//!
+//! ## Plan / execute split
+//!
+//! Everything that depends only on the iteration — group-local bit
+//! positions, word-level extraction shifts and scatter masks, the `M⁻¹`
+//! columns — is resolved once into an [`IterationPlan`]. [`execute`] then
+//! runs the chain walk over a [`SupportIndex`] with pure array arithmetic:
+//! no hash lookups on `BitString`s, no per-bit `get`/`set` calls, no
+//! re-deriving positions per string. The same plan is shared across every
+//! distribution in a batch and every string in a distribution.
+//!
+//! [`execute_sharded`] adds deterministic intra-distribution parallelism:
+//! the sorted input support is cut into contiguous shards, each worker
+//! *records* its (key, value) emission stream instead of accumulating, and
+//! a serial merge replays the streams in shard order. Because shard order
+//! concatenated equals the sequential emission order, every per-key float
+//! fold associates identically — the sharded output is **bit-identical** to
+//! the sequential one for any thread count.
 
 use crate::noisematrix::GroupMatrix;
-use qufem_types::{BitString, ProbDist};
+use qufem_types::{ProbDist, SupportIndex};
 
 /// Ratio between the relative threshold `β` and the absolute (scaled)
 /// floor: a branch is also cut when `|p(x) · v| < β · ABS_FLOOR_RATIO`.
@@ -66,7 +85,9 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Merges another stats object into this one (levels are summed
-    /// element-wise, the peak is the maximum).
+    /// element-wise, the peak is the maximum). All counters are integers,
+    /// so merging shard-local stats in any order reproduces the sequential
+    /// counts exactly.
     pub fn merge(&mut self, other: &EngineStats) {
         self.products += other.products;
         self.pruned += other.pruned;
@@ -102,7 +123,459 @@ impl EngineStats {
     }
 }
 
+/// One group's precomputed execution data inside an [`IterationPlan`].
+#[derive(Debug, Clone)]
+struct GroupPlan {
+    /// `2^k` for a `k`-qubit group — the sub-matrix dimension.
+    dim: usize,
+    /// `(word, shift)` of each group bit inside a packed key: local bit `k`
+    /// of the sub-index is `(words[word] >> shift) & 1`.
+    extract: Vec<(u32, u32)>,
+    /// Distinct key words this group touches, ascending.
+    touched: Vec<u32>,
+    /// Per touched word, the mask of this group's bits (to clear before
+    /// scattering an outcome).
+    clear: Vec<u64>,
+    /// Flat `dim × touched.len()` table: row `z` holds the set-bit masks
+    /// that write outcome `z` into the touched words.
+    set_masks: Vec<u64>,
+    /// All `M⁻¹` columns, flat row-major: column `M⁻¹|x⟩` occupies
+    /// `[x · dim, (x + 1) · dim)`.
+    columns: Vec<f64>,
+}
+
+impl GroupPlan {
+    fn from_matrix(gm: &GroupMatrix, measured_positions: &[usize]) -> Self {
+        let locals: Vec<usize> = gm
+            .qubits()
+            .iter()
+            .map(|q| {
+                measured_positions
+                    .binary_search(q)
+                    .unwrap_or_else(|_| panic!("group qubit {q} not in measured set"))
+            })
+            .collect();
+        let dim = 1usize << locals.len();
+        let extract: Vec<(u32, u32)> =
+            locals.iter().map(|&p| ((p / 64) as u32, (p % 64) as u32)).collect();
+        let mut touched: Vec<u32> = extract.iter().map(|&(w, _)| w).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let clear: Vec<u64> = touched
+            .iter()
+            .map(|&w| {
+                extract
+                    .iter()
+                    .filter(|&&(word, _)| word == w)
+                    .fold(0u64, |acc, &(_, shift)| acc | (1u64 << shift))
+            })
+            .collect();
+        let mut set_masks = vec![0u64; dim * touched.len()];
+        for (z, row) in set_masks.chunks_exact_mut(touched.len()).enumerate() {
+            for (k, &(w, shift)) in extract.iter().enumerate() {
+                if (z >> k) & 1 == 1 {
+                    let ti = touched.binary_search(&w).expect("extract words are in touched");
+                    row[ti] |= 1u64 << shift;
+                }
+            }
+        }
+        GroupPlan {
+            dim,
+            extract,
+            touched,
+            clear,
+            set_masks,
+            columns: gm.inverse_columns().to_vec(),
+        }
+    }
+
+    /// Reads this group's sub-index `x_j` out of a packed key.
+    #[inline]
+    fn sub_index(&self, words: &[u64]) -> usize {
+        self.extract.iter().enumerate().fold(0usize, |acc, (k, &(w, s))| {
+            acc | ((((words[w as usize] >> s) & 1) as usize) << k)
+        })
+    }
+
+    /// Scatters outcome `z` into the scratch key words.
+    #[inline]
+    fn write_outcome(&self, z: usize, scratch: &mut [u64]) {
+        let row = &self.set_masks[z * self.touched.len()..(z + 1) * self.touched.len()];
+        for (i, &w) in self.touched.iter().enumerate() {
+            let wi = w as usize;
+            scratch[wi] = (scratch[wi] & !self.clear[i]) | row[i];
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.extract.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+            + self.clear.capacity() * std::mem::size_of::<u64>()
+            + self.set_masks.capacity() * std::mem::size_of::<u64>()
+            + self.columns.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Everything one calibration iteration needs, resolved once: group-local
+/// positions as word/shift pairs, per-outcome scatter masks, the dense
+/// `M⁻¹` columns, and the pruning thresholds. Build with
+/// [`IterationPlan::build`], run with [`execute`] / [`execute_sharded`].
+/// One plan serves every distribution of a batch and every string of a
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct IterationPlan {
+    width: usize,
+    beta: f64,
+    scaled_floor: f64,
+    groups: Vec<GroupPlan>,
+}
+
+impl IterationPlan {
+    /// Resolves `groups` against `measured_positions` (ascending global
+    /// qubit indices, one per distribution bit) into an executable plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group references a qubit outside `measured_positions`.
+    pub fn build(measured_positions: &[usize], groups: &[GroupMatrix], beta: f64) -> Self {
+        let _span = qufem_telemetry::span!("plan-build");
+        IterationPlan {
+            width: measured_positions.len(),
+            beta,
+            scaled_floor: beta * ABS_FLOOR_RATIO,
+            groups: groups
+                .iter()
+                .map(|gm| GroupPlan::from_matrix(gm, measured_positions))
+                .collect(),
+        }
+    }
+
+    /// Bit width of the distributions this plan applies to.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The pruning threshold the plan was built with.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of groups (chain length).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.groups.iter().map(GroupPlan::heap_bytes).sum::<usize>()
+            + self.groups.capacity() * std::mem::size_of::<GroupPlan>()
+    }
+}
+
+/// Where the chain walk deposits completed products. [`execute`] wires this
+/// to a [`SupportIndex`] directly; [`execute_sharded`] records the emission
+/// stream for an order-preserving replay at merge time.
+trait EmitSink {
+    fn emit(&mut self, words: &[u64], value: f64);
+}
+
+/// Accumulates straight into the output index (sequential path).
+struct DirectSink<'a> {
+    out: &'a mut SupportIndex,
+}
+
+impl EmitSink for DirectSink<'_> {
+    #[inline]
+    fn emit(&mut self, words: &[u64], value: f64) {
+        self.out.accumulate(words, value);
+    }
+}
+
+/// Records the uncombined emission stream: keys interned into a shard-local
+/// index (ids in first-emission order), values kept per emission. The merge
+/// replays them in shard order, reproducing the sequential fold exactly.
+struct RecordSink {
+    keys: SupportIndex,
+    emissions: Vec<(u32, f64)>,
+}
+
+impl EmitSink for RecordSink {
+    #[inline]
+    fn emit(&mut self, words: &[u64], value: f64) {
+        let id = self.keys.intern(words);
+        self.emissions.push((id, value));
+    }
+}
+
+/// Survivor buffer for one chain node. Groups are a handful of qubits
+/// (`dim = 2^k`), so a small fixed stack array covers every realistic plan
+/// (`k ≤ 3`); the cold spill path keeps correctness for wider groups.
+const CHAIN_GATHER: usize = 8;
+
+/// Walks one group level; returns the sum of the (unscaled) products that
+/// reached the leaves, so the caller can compensate for pruned mass.
+///
+/// Each node runs a branch-light *gather* pass over the column first —
+/// products and prune decisions only, no recursion, so `value`, the
+/// thresholds, and the counters stay in registers — then descends into the
+/// survivors in the same ascending-`z` order. Emission order, float
+/// operations, and counter totals are identical to the naive interleaved
+/// walk.
+#[allow(clippy::too_many_arguments)]
+fn chain<S: EmitSink>(
+    plan: &IterationPlan,
+    mut level: usize,
+    mut value: f64,
+    input_prob: f64,
+    scratch: &mut [u64],
+    sub_indices: &[usize],
+    stats: &mut EngineStats,
+    sink: &mut S,
+) -> f64 {
+    let beta = plan.beta;
+    let scaled_floor = plan.scaled_floor;
+    let mut vals = [0.0f64; CHAIN_GATHER];
+    // Single-survivor levels (the diagonal-dominant common case) continue
+    // this loop in place instead of recursing: `0.0 + x` is bit-exact `x`
+    // for every reachable subtree sum, so dropping the one-term fold is
+    // float-neutral while eliminating the call overhead along the chain.
+    loop {
+        if level == plan.groups.len() {
+            sink.emit(scratch, input_prob * value);
+            stats.accumulated += 1;
+            return value;
+        }
+        let group = &plan.groups[level];
+        if group.dim > CHAIN_GATHER {
+            return chain_spill(plan, level, value, input_prob, scratch, sub_indices, stats, sink);
+        }
+        let x = sub_indices[level];
+        let column = &group.columns[x * group.dim..(x + 1) * group.dim];
+        // Survivors as a bitmask: stores are unconditional and the prune
+        // outcome feeds a mask instead of a branch or a compaction cursor,
+        // so the gather loop carries no data-dependent serialization.
+        let mut mask = 0u32;
+        for (z, &factor) in column.iter().enumerate() {
+            let v = value * factor;
+            let keep = !(v == 0.0 || v.abs() < beta || (input_prob * v).abs() < scaled_floor);
+            vals[z] = v;
+            mask |= (keep as u32) << z;
+        }
+        let n_kept = mask.count_ones() as usize;
+        stats.products += column.len() as u64;
+        stats.pruned += (column.len() - n_kept) as u64;
+        stats.kept_per_level[level] += n_kept as u64;
+        match n_kept {
+            0 => return 0.0,
+            1 => {
+                let z = mask.trailing_zeros() as usize;
+                group.write_outcome(z, scratch);
+                value = vals[z];
+                level += 1;
+            }
+            _ => {
+                let mut kept_sum = 0.0;
+                while mask != 0 {
+                    let z = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    group.write_outcome(z, scratch);
+                    kept_sum += chain(
+                        plan,
+                        level + 1,
+                        vals[z],
+                        input_prob,
+                        scratch,
+                        sub_indices,
+                        stats,
+                        sink,
+                    );
+                }
+                return kept_sum;
+            }
+        }
+    }
+}
+
+/// [`chain`] without the gather buffer, for groups wider than
+/// [`CHAIN_GATHER`] outcomes. Same order, same floats, same counters.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn chain_spill<S: EmitSink>(
+    plan: &IterationPlan,
+    level: usize,
+    value: f64,
+    input_prob: f64,
+    scratch: &mut [u64],
+    sub_indices: &[usize],
+    stats: &mut EngineStats,
+    sink: &mut S,
+) -> f64 {
+    let group = &plan.groups[level];
+    let x = sub_indices[level];
+    let column = &group.columns[x * group.dim..(x + 1) * group.dim];
+    let mut kept_sum = 0.0;
+    for (z, &factor) in column.iter().enumerate() {
+        let v = value * factor;
+        stats.products += 1;
+        if v == 0.0 || v.abs() < plan.beta || (input_prob * v).abs() < plan.scaled_floor {
+            stats.pruned += 1;
+            continue;
+        }
+        stats.kept_per_level[level] += 1;
+        group.write_outcome(z, scratch);
+        kept_sum += chain(plan, level + 1, v, input_prob, scratch, sub_indices, stats, sink);
+    }
+    kept_sum
+}
+
+/// Runs the chain walk over the input entries `lo..hi` (id order), emitting
+/// into `sink`. The per-entry float behaviour — skip exact zeros, forward
+/// sub-β strings, expand the rest, compensate the pruned deficit — is the
+/// engine's contract; both the sequential and the sharded path go through
+/// here.
+fn run_range<S: EmitSink>(
+    plan: &IterationPlan,
+    input: &SupportIndex,
+    lo: usize,
+    hi: usize,
+    stats: &mut EngineStats,
+    sink: &mut S,
+) {
+    if stats.kept_per_level.len() < plan.groups.len() {
+        stats.kept_per_level.resize(plan.groups.len(), 0);
+    }
+    let mut scratch = vec![0u64; input.words_per_key()];
+    let mut sub_indices = vec![0usize; plan.groups.len()];
+    for id in lo..hi {
+        let p = input.value(id as u32);
+        if p == 0.0 {
+            continue;
+        }
+        let words = input.key_words(id as u32);
+        // Strings below the engine's resolution β — the residue earlier
+        // iterations scattered across the output — are forwarded unchanged:
+        // every correction the chain could apply to them is `< β · ε` and
+        // walking the full group chain for each would dominate the runtime
+        // of later iterations. This is what keeps the working support near
+        // the shot count (the paper's `NZ_i` observation, §3.1).
+        if p.abs() < plan.beta {
+            sink.emit(words, p);
+            stats.passthrough += 1;
+            continue;
+        }
+        for (j, group) in plan.groups.iter().enumerate() {
+            sub_indices[j] = group.sub_index(words);
+        }
+        scratch.copy_from_slice(words);
+        let kept = chain(plan, 0, 1.0, p, &mut scratch, &sub_indices, stats, sink);
+        // Mass compensation: every column of M⁻¹ sums to exactly 1, so the
+        // pruned branches of this string carried `1 − kept` of its mass.
+        // Return the deficit to the string's own image, keeping calibration
+        // exactly mass-preserving at any pruning level.
+        let deficit = 1.0 - kept;
+        if deficit != 0.0 {
+            sink.emit(words, p * deficit);
+        }
+    }
+}
+
+/// Applies one calibration iteration to an indexed support (paper Eq. 7).
+///
+/// The input must be in canonical sorted order ([`SupportIndex::from_dist`]
+/// produces it; call [`SupportIndex::sort`] after a previous `execute`) —
+/// entry order fixes the float accumulation order, and sorted order is the
+/// reproducibility contract shared with [`execute_sharded`].
+pub fn execute(
+    plan: &IterationPlan,
+    input: &SupportIndex,
+    stats: &mut EngineStats,
+) -> SupportIndex {
+    debug_assert_eq!(input.width(), plan.width, "input width must match the plan");
+    let mut out = SupportIndex::with_capacity(plan.width, input.len());
+    let mut sink = DirectSink { out: &mut out };
+    run_range(plan, input, 0, input.len(), stats, &mut sink);
+    stats.peak_output_support = stats.peak_output_support.max(out.len());
+    out
+}
+
+/// [`execute`] with deterministic intra-distribution parallelism.
+///
+/// The input support is cut into `threads` contiguous shards. Each worker
+/// runs the same chain walk but *records* its emission stream (shard-local
+/// interned ids + per-emission values) instead of accumulating. The serial
+/// merge then walks the shards in order, translating local ids to global
+/// ones (one hash probe per distinct key) and replaying `values[id] += v`
+/// per emission. Concatenating the shard streams in shard order reproduces
+/// the sequential emission order exactly, so every per-key float fold — and
+/// therefore every output bit and every [`EngineStats`] counter — is
+/// identical to [`execute`] for **any** thread count.
+pub fn execute_sharded(
+    plan: &IterationPlan,
+    input: &SupportIndex,
+    threads: usize,
+    stats: &mut EngineStats,
+) -> SupportIndex {
+    let n = input.len();
+    if threads <= 1 || n < 2 {
+        return execute(plan, input, stats);
+    }
+    let shards = threads.min(n);
+    let chunk = n.div_ceil(shards);
+    let results: Vec<(RecordSink, EngineStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                let lo = s * chunk;
+                let hi = ((s + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut local_stats = EngineStats::default();
+                    let mut sink = RecordSink {
+                        keys: SupportIndex::with_capacity(plan.width, hi - lo),
+                        emissions: Vec::new(),
+                    };
+                    run_range(plan, input, lo, hi, &mut local_stats, &mut sink);
+                    (sink, local_stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("engine shard panicked")).collect()
+    })
+    .expect("engine shard scope never panics");
+    qufem_telemetry::counter_add("engine.shards", shards as u64);
+
+    let mut out = SupportIndex::with_capacity(plan.width, n);
+    let mut translate: Vec<u32> = Vec::new();
+    for (sink, local_stats) in results {
+        stats.merge(&local_stats);
+        translate.clear();
+        translate.reserve(sink.keys.len());
+        for id in 0..sink.keys.len() as u32 {
+            translate.push(out.intern(sink.keys.key_words(id)));
+        }
+        for (local_id, value) in sink.emissions {
+            out.accumulate_id(translate[local_id as usize], value);
+        }
+    }
+    stats.peak_output_support = stats.peak_output_support.max(out.len());
+    out
+}
+
+/// The engine's thread count: `QUFEM_THREADS` when set (values below 1 or
+/// unparsable fall back to 1), otherwise the machine's available
+/// parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("QUFEM_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
 /// Applies one calibration iteration (paper Eq. 7) to a distribution.
+///
+/// Convenience wrapper over the plan/execute split: builds an
+/// [`IterationPlan`], indexes the distribution, executes sequentially, and
+/// converts back. Callers applying many distributions or chaining
+/// iterations should build the plan once and call [`execute`] /
+/// [`execute_sharded`] directly (see `PreparedCalibration`).
 ///
 /// * `dist` — the current distribution `P_i`, one bit per measured qubit;
 /// * `measured_positions` — global qubit index of each bit of `dist`
@@ -126,129 +599,150 @@ pub fn apply_iteration(
     beta: f64,
     stats: &mut EngineStats,
 ) -> ProbDist {
-    let m = measured_positions.len();
-    debug_assert_eq!(dist.width(), m, "distribution width must match measured positions");
-    if stats.kept_per_level.len() < groups.len() {
-        stats.kept_per_level.resize(groups.len(), 0);
-    }
-
-    // Local (bit-in-distribution) positions of each group's qubits.
-    let local_positions: Vec<Vec<usize>> = groups
-        .iter()
-        .map(|g| {
-            g.qubits()
-                .iter()
-                .map(|q| {
-                    measured_positions
-                        .binary_search(q)
-                        .unwrap_or_else(|_| panic!("group qubit {q} not in measured set"))
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut out = ProbDist::new(m);
-    // Deterministic iteration order for reproducible float accumulation.
-    for (x, p) in dist.sorted_pairs() {
-        if p == 0.0 {
-            continue;
-        }
-        // Strings below the engine's resolution β — the residue earlier
-        // iterations scattered across the output — are forwarded unchanged:
-        // every correction the chain could apply to them is `< β · ε` and
-        // walking the full group chain for each would dominate the runtime
-        // of later iterations. This is what keeps the working support near
-        // the shot count (the paper's `NZ_i` observation, §3.1).
-        if p.abs() < beta {
-            out.add(x, p);
-            stats.passthrough += 1;
-            continue;
-        }
-        // Per-group input sub-indices x_j.
-        let sub_indices: Vec<usize> = local_positions
-            .iter()
-            .map(|locals| {
-                locals
-                    .iter()
-                    .enumerate()
-                    .fold(0usize, |acc, (k, &pos)| acc | ((x.get(pos) as usize) << k))
-            })
-            .collect();
-        let mut bits = x.clone();
-        let kept = recurse(
-            0,
-            1.0,
-            p,
-            &mut bits,
-            groups,
-            &local_positions,
-            &sub_indices,
-            beta,
-            stats,
-            &mut out,
-        );
-        // Mass compensation: every column of M⁻¹ sums to exactly 1, so the
-        // pruned branches of this string carried `1 − kept` of its mass.
-        // Return the deficit to the string's own image, keeping calibration
-        // exactly mass-preserving at any pruning level.
-        let deficit = 1.0 - kept;
-        if deficit != 0.0 {
-            out.add(x, p * deficit);
-        }
-    }
-    stats.peak_output_support = stats.peak_output_support.max(out.support_len());
-    out
+    debug_assert_eq!(
+        dist.width(),
+        measured_positions.len(),
+        "distribution width must match measured positions"
+    );
+    let plan = IterationPlan::build(measured_positions, groups, beta);
+    let input = SupportIndex::from_dist(dist);
+    execute(&plan, &input, stats).to_dist()
 }
 
-/// Walks one group level; returns the sum of the (unscaled) products that
-/// reached the leaves, so the caller can compensate for pruned mass.
-#[allow(clippy::too_many_arguments)]
-fn recurse(
-    level: usize,
-    value: f64,
-    input_prob: f64,
-    bits: &mut BitString,
-    groups: &[GroupMatrix],
-    local_positions: &[Vec<usize>],
-    sub_indices: &[usize],
-    beta: f64,
-    stats: &mut EngineStats,
-    out: &mut ProbDist,
-) -> f64 {
-    if level == groups.len() {
-        out.add(bits.clone(), input_prob * value);
-        stats.accumulated += 1;
-        return value;
-    }
-    let column = groups[level].inverse_column(sub_indices[level]);
-    let locals = &local_positions[level];
-    let scaled_floor = beta * ABS_FLOOR_RATIO;
-    let mut kept_sum = 0.0;
-    for (z, &factor) in column.iter().enumerate() {
-        let v = value * factor;
-        stats.products += 1;
-        if v == 0.0 || v.abs() < beta || (input_prob * v).abs() < scaled_floor {
-            stats.pruned += 1;
-            continue;
+/// The pre-plan/execute engine, retained verbatim: the differential
+/// property tests pin the refactored engine to this implementation
+/// bit-for-bit, and the `kernels` benchmarks measure the speedup against
+/// it. Not part of the supported API surface.
+pub mod reference {
+    use super::{EngineStats, ABS_FLOOR_RATIO};
+    use crate::noisematrix::GroupMatrix;
+    use qufem_types::{BitString, ProbDist};
+
+    /// Pre-refactor [`super::apply_iteration`]: per-call position resolve,
+    /// per-bit `BitString::get`/`set`, hash-map accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group references a qubit outside `measured_positions`.
+    pub fn apply_iteration(
+        dist: &ProbDist,
+        measured_positions: &[usize],
+        groups: &[GroupMatrix],
+        beta: f64,
+        stats: &mut EngineStats,
+    ) -> ProbDist {
+        let m = measured_positions.len();
+        debug_assert_eq!(dist.width(), m, "distribution width must match measured positions");
+        if stats.kept_per_level.len() < groups.len() {
+            stats.kept_per_level.resize(groups.len(), 0);
         }
-        stats.kept_per_level[level] += 1;
-        for (k, &pos) in locals.iter().enumerate() {
-            bits.set(pos, (z >> k) & 1 == 1);
+
+        // Local (bit-in-distribution) positions of each group's qubits.
+        let local_positions: Vec<Vec<usize>> = groups
+            .iter()
+            .map(|g| {
+                g.qubits()
+                    .iter()
+                    .map(|q| {
+                        measured_positions
+                            .binary_search(q)
+                            .unwrap_or_else(|_| panic!("group qubit {q} not in measured set"))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut out = ProbDist::new(m);
+        // Deterministic iteration order for reproducible float accumulation.
+        for (x, p) in dist.sorted_pairs() {
+            if p == 0.0 {
+                continue;
+            }
+            if p.abs() < beta {
+                out.add(x, p);
+                stats.passthrough += 1;
+                continue;
+            }
+            // Per-group input sub-indices x_j.
+            let sub_indices: Vec<usize> = local_positions
+                .iter()
+                .map(|locals| {
+                    locals
+                        .iter()
+                        .enumerate()
+                        .fold(0usize, |acc, (k, &pos)| acc | ((x.get(pos) as usize) << k))
+                })
+                .collect();
+            let mut bits = x.clone();
+            let kept = recurse(
+                0,
+                1.0,
+                p,
+                &mut bits,
+                groups,
+                &local_positions,
+                &sub_indices,
+                beta,
+                stats,
+                &mut out,
+            );
+            let deficit = 1.0 - kept;
+            if deficit != 0.0 {
+                out.add(x, p * deficit);
+            }
         }
-        kept_sum += recurse(
-            level + 1,
-            v,
-            input_prob,
-            bits,
-            groups,
-            local_positions,
-            sub_indices,
-            beta,
-            stats,
-            out,
-        );
+        stats.peak_output_support = stats.peak_output_support.max(out.support_len());
+        out
     }
-    kept_sum
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        level: usize,
+        value: f64,
+        input_prob: f64,
+        bits: &mut BitString,
+        groups: &[GroupMatrix],
+        local_positions: &[Vec<usize>],
+        sub_indices: &[usize],
+        beta: f64,
+        stats: &mut EngineStats,
+        out: &mut ProbDist,
+    ) -> f64 {
+        if level == groups.len() {
+            out.add(bits.clone(), input_prob * value);
+            stats.accumulated += 1;
+            return value;
+        }
+        let column = groups[level].inverse_column(sub_indices[level]);
+        let locals = &local_positions[level];
+        let scaled_floor = beta * ABS_FLOOR_RATIO;
+        let mut kept_sum = 0.0;
+        for (z, &factor) in column.iter().enumerate() {
+            let v = value * factor;
+            stats.products += 1;
+            if v == 0.0 || v.abs() < beta || (input_prob * v).abs() < scaled_floor {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.kept_per_level[level] += 1;
+            for (k, &pos) in locals.iter().enumerate() {
+                bits.set(pos, (z >> k) & 1 == 1);
+            }
+            kept_sum += recurse(
+                level + 1,
+                v,
+                input_prob,
+                bits,
+                groups,
+                local_positions,
+                sub_indices,
+                beta,
+                stats,
+                out,
+            );
+        }
+        kept_sum
+    }
 }
 
 #[cfg(test)]
@@ -257,7 +751,7 @@ mod tests {
     use crate::noisematrix::group_noise_matrix;
     use crate::snapshot::{BenchmarkRecord, BenchmarkSnapshot};
     use qufem_device::BenchmarkCircuit;
-    use qufem_types::QubitSet;
+    use qufem_types::{BitString, QubitSet};
 
     fn bs(s: &str) -> BitString {
         BitString::from_binary_str(s).unwrap()
@@ -405,13 +899,33 @@ mod tests {
         let snap = snapshot_10pct(2);
         let measured = QubitSet::full(2);
         let gms = matrices_for(&snap, &[vec![0], vec![1]], &measured);
-        let mut dist = ProbDist::new(2);
-        dist.set(bs("00"), 0.9999);
-        dist.set(bs("11"), 1e-7); // below β = 1e-5: must pass through as-is
-        let mut stats = EngineStats::default();
-        let out = apply_iteration(&dist, &[0, 1], &gms, 1e-5, &mut stats);
-        assert_eq!(stats.passthrough, 1);
-        assert!((out.prob(&bs("11")) - 1e-7).abs() < 1e-12 || out.prob(&bs("11")) != 0.0);
+        let mut with_tail = ProbDist::new(2);
+        with_tail.set(bs("00"), 0.9999);
+        with_tail.set(bs("11"), 1e-7); // below β = 1e-5: must pass through as-is
+        let mut without_tail = ProbDist::new(2);
+        without_tail.set(bs("00"), 0.9999);
+        let mut s_with = EngineStats::default();
+        let mut s_without = EngineStats::default();
+        let out_with = apply_iteration(&with_tail, &[0, 1], &gms, 1e-5, &mut s_with);
+        let out_without = apply_iteration(&without_tail, &[0, 1], &gms, 1e-5, &mut s_without);
+        assert_eq!(s_with.passthrough, 1);
+        assert_eq!(s_without.passthrough, 0);
+        // "11" sorts after "00", so the tail is forwarded as one literal
+        // `+= 1e-7` after the expansion of "00" lands: the two runs must
+        // differ at "11" by exactly that final addition, bit for bit.
+        assert_eq!(
+            out_with.prob(&bs("11")).to_bits(),
+            (out_without.prob(&bs("11")) + 1e-7).to_bits(),
+            "passthrough must forward the sub-β entry verbatim"
+        );
+        // Every other entry is untouched by the tail.
+        for key in ["00", "10", "01"] {
+            assert_eq!(
+                out_with.prob(&bs(key)).to_bits(),
+                out_without.prob(&bs(key)).to_bits(),
+                "entry {key} must not see the sub-β tail"
+            );
+        }
     }
 
     #[test]
@@ -501,5 +1015,83 @@ mod tests {
         let out = apply_iteration(&dist, &[1, 3], &gms, 0.0, &mut stats);
         // Identity matrices: distribution unchanged.
         assert!((out.prob(&bs("10")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_execute_matches_reference_bit_for_bit() {
+        let snap = snapshot_10pct(3);
+        let measured = QubitSet::full(3);
+        let gms = matrices_for(&snap, &[vec![0, 1], vec![2]], &measured);
+        let noisy = ProbDist::from_pairs(
+            3,
+            [(bs("000"), 0.6), (bs("110"), 0.25), (bs("011"), 0.15 - 1e-6), (bs("101"), 1e-6)],
+        )
+        .unwrap();
+        for beta in [0.0, 1e-5, 5e-2, 0.5] {
+            let mut s_new = EngineStats::default();
+            let mut s_old = EngineStats::default();
+            let new = apply_iteration(&noisy, &[0, 1, 2], &gms, beta, &mut s_new);
+            let old = reference::apply_iteration(&noisy, &[0, 1, 2], &gms, beta, &mut s_old);
+            assert_eq!(s_new, s_old, "stats diverge at β = {beta}");
+            assert_eq!(new.support_len(), old.support_len(), "support diverges at β = {beta}");
+            for (k, v) in old.iter() {
+                assert_eq!(
+                    new.prob(k).to_bits(),
+                    v.to_bits(),
+                    "entry {k} diverges at β = {beta}: {} vs {v}",
+                    new.prob(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_sequential() {
+        let snap = snapshot_10pct(3);
+        let measured = QubitSet::full(3);
+        let gms = matrices_for(&snap, &[vec![0], vec![1, 2]], &measured);
+        let noisy = ProbDist::from_pairs(
+            3,
+            [
+                (bs("000"), 0.4),
+                (bs("100"), 0.2),
+                (bs("010"), 0.15),
+                (bs("110"), 0.1),
+                (bs("001"), 0.1),
+                (bs("111"), 0.05 - 1e-7),
+                (bs("011"), 1e-7), // sub-β passthrough inside a shard
+            ],
+        )
+        .unwrap();
+        let plan = IterationPlan::build(&[0, 1, 2], &gms, 1e-4);
+        let input = SupportIndex::from_dist(&noisy);
+        let mut s_seq = EngineStats::default();
+        let seq = execute(&plan, &input, &mut s_seq);
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let mut s_par = EngineStats::default();
+            let par = execute_sharded(&plan, &input, threads, &mut s_par);
+            assert_eq!(s_par, s_seq, "stats diverge at {threads} threads");
+            assert_eq!(par.len(), seq.len(), "support diverges at {threads} threads");
+            for id in 0..seq.len() as u32 {
+                assert_eq!(par.key_words(id), seq.key_words(id), "key order at {threads} threads");
+                assert_eq!(
+                    par.value(id).to_bits(),
+                    seq.value(id).to_bits(),
+                    "value {id} diverges at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reports_shape() {
+        let snap = snapshot_10pct(3);
+        let measured = QubitSet::full(3);
+        let gms = matrices_for(&snap, &[vec![0, 1], vec![2]], &measured);
+        let plan = IterationPlan::build(&[0, 1, 2], &gms, 1e-5);
+        assert_eq!(plan.width(), 3);
+        assert_eq!(plan.n_groups(), 2);
+        assert_eq!(plan.beta(), 1e-5);
+        assert!(plan.heap_bytes() > 0);
     }
 }

@@ -3,17 +3,17 @@
 
 use crate::benchgen::{self, BenchGenReport};
 use crate::config::QuFemConfig;
-use crate::engine::{self, EngineStats};
+use crate::engine::{self, EngineStats, IterationPlan};
 use crate::interaction::InteractionTable;
 use crate::noisematrix::{group_noise_matrix_with, GroupMatrix};
 use crate::partition::{self, grouped_pairs, Grouping};
 use crate::snapshot::BenchmarkSnapshot;
 use qufem_device::Device;
 use qufem_linalg::Matrix;
-use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Pruning floor applied while self-calibrating the benchmarking
 /// distributions inside the characterization flow (see
@@ -165,27 +165,31 @@ impl QuFem {
             // unmodified in the calibration flow.
             let char_beta = config.beta.max(MIN_CHARACTERIZATION_BETA);
             let mut next = BenchmarkSnapshot::new(n);
+            // Matrix generation is deterministic per measured set within one
+            // iteration, so records sharing a measured set (the common case:
+            // full-register benchmark circuits) share one plan.
+            let mut plan_cache: HashMap<QubitSet, IterationPlan> = HashMap::new();
             for record in current.records() {
                 let measured = record.measured_set();
-                let groups = {
+                if !plan_cache.contains_key(&measured) {
                     let _phase = phases.enter("matrix-gen");
-                    build_group_matrices_with(
+                    let groups = build_group_matrices_with(
                         &current,
                         &grouping,
                         &measured,
                         config.joint_group_estimation,
-                    )?
-                };
-                let positions: Vec<usize> = measured.iter().collect();
+                    )?;
+                    let positions: Vec<usize> = measured.iter().collect();
+                    plan_cache.insert(
+                        measured.clone(),
+                        IterationPlan::build(&positions, &groups, char_beta),
+                    );
+                }
+                let plan = &plan_cache[&measured];
                 let updated = {
                     let _phase = phases.enter("engine");
-                    engine::apply_iteration(
-                        record.dist(),
-                        &positions,
-                        &groups,
-                        char_beta,
-                        &mut iter_stats,
-                    )
+                    let input = SupportIndex::from_dist(record.dist());
+                    engine::execute(plan, &input, &mut iter_stats).to_dist()
                 };
                 next.push(crate::snapshot::BenchmarkRecord::new(record.circuit().clone(), updated));
             }
@@ -233,9 +237,9 @@ impl QuFem {
     }
 
     /// Pre-generates the per-iteration sub-noise matrices for a measured
-    /// qubit set (paper Algorithm 2, line 3). The result can calibrate any
-    /// number of distributions over the same measured qubits without
-    /// regenerating matrices.
+    /// qubit set and resolves them into execution plans (paper Algorithm 2,
+    /// line 3). The result can calibrate any number of distributions over
+    /// the same measured qubits without regenerating matrices or plans.
     ///
     /// # Errors
     ///
@@ -249,16 +253,17 @@ impl QuFem {
             }
         }
         let positions: Vec<usize> = measured.iter().collect();
-        let mut per_iteration = Vec::with_capacity(self.iterations.len());
+        let mut plans = Vec::with_capacity(self.iterations.len());
         for params in &self.iterations {
-            per_iteration.push(build_group_matrices_with(
+            let groups = build_group_matrices_with(
                 &params.snapshot,
                 &params.grouping,
                 measured,
                 self.config.joint_group_estimation,
-            )?);
+            )?;
+            plans.push(IterationPlan::build(&positions, &groups, self.config.beta));
         }
-        Ok(PreparedCalibration { beta: self.config.beta, positions, per_iteration })
+        Ok(PreparedCalibration { width: positions.len(), plans })
     }
 
     /// Calibrates one measured distribution (paper Algorithm 2).
@@ -407,13 +412,14 @@ pub fn calibrate_once(device: &Device, config: QuFemConfig, dist: &ProbDist) -> 
     qufem.calibrate(dist, &QubitSet::full(device.n_qubits()))
 }
 
-/// Matrices pre-generated for one measured qubit set (see
-/// [`QuFem::prepare`]).
+/// Per-iteration execution plans pre-resolved for one measured qubit set
+/// (see [`QuFem::prepare`]): group matrices, bit extraction masks, and
+/// pruning thresholds, shared read-only across every distribution
+/// calibrated against them.
 #[derive(Debug, Clone)]
 pub struct PreparedCalibration {
-    beta: f64,
-    positions: Vec<usize>,
-    per_iteration: Vec<Vec<GroupMatrix>>,
+    width: usize,
+    plans: Vec<IterationPlan>,
 }
 
 impl PreparedCalibration {
@@ -435,22 +441,55 @@ impl PreparedCalibration {
     /// Returns [`Error::WidthMismatch`] if the distribution width differs
     /// from the measured set size.
     pub fn apply_with_stats(&self, dist: &ProbDist, stats: &mut EngineStats) -> Result<ProbDist> {
-        if dist.width() != self.positions.len() {
-            return Err(Error::WidthMismatch {
-                expected: self.positions.len(),
-                actual: dist.width(),
-            });
-        }
+        self.apply_indexed(dist, 1, stats)
+    }
+
+    /// [`PreparedCalibration::apply_with_stats`] with deterministic
+    /// intra-distribution parallelism: the support of each iteration's
+    /// input is sharded over `threads` scoped workers (see
+    /// [`engine::execute_sharded`]). The output is **bit-identical** to the
+    /// sequential path for any thread count, as are the merged stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the distribution width differs
+    /// from the measured set size.
+    pub fn apply_sharded(
+        &self,
+        dist: &ProbDist,
+        threads: usize,
+        stats: &mut EngineStats,
+    ) -> Result<ProbDist> {
+        self.apply_indexed(dist, threads, stats)
+    }
+
+    /// Shared implementation: index once, chain the per-iteration plans
+    /// (re-sorting between iterations so each execute consumes canonically
+    /// ordered input — the float-reproducibility contract), convert back
+    /// once.
+    fn apply_indexed(
+        &self,
+        dist: &ProbDist,
+        threads: usize,
+        stats: &mut EngineStats,
+    ) -> Result<ProbDist> {
+        dist.check_width(self.width)?;
         let _span = qufem_telemetry::span!("calibrate", "QuFEM");
-        let mut current = dist.clone();
+        let mut current = SupportIndex::from_dist(dist);
         let mut local = EngineStats::default();
-        for groups in &self.per_iteration {
-            current =
-                engine::apply_iteration(&current, &self.positions, groups, self.beta, &mut local);
+        for (i, plan) in self.plans.iter().enumerate() {
+            if i > 0 {
+                current.sort();
+            }
+            current = if threads > 1 {
+                engine::execute_sharded(plan, &current, threads, &mut local)
+            } else {
+                engine::execute(plan, &current, &mut local)
+            };
         }
         local.publish_to(&qufem_telemetry::GlobalSink);
         stats.merge(&local);
-        Ok(current)
+        Ok(current.to_dist())
     }
 
     /// Calibrates a batch of distributions in parallel with scoped threads.
@@ -503,23 +542,17 @@ impl PreparedCalibration {
 
     /// Number of calibration iterations.
     pub fn n_iterations(&self) -> usize {
-        self.per_iteration.len()
+        self.plans.len()
     }
 
     /// Total number of group matrices across iterations.
     pub fn n_matrices(&self) -> usize {
-        self.per_iteration.iter().map(Vec::len).sum()
+        self.plans.iter().map(IterationPlan::n_groups).sum()
     }
 
     /// Approximate heap usage in bytes (Table 5 memory accounting).
     pub fn heap_bytes(&self) -> usize {
-        self.positions.capacity() * std::mem::size_of::<usize>()
-            + self
-                .per_iteration
-                .iter()
-                .flat_map(|v| v.iter())
-                .map(GroupMatrix::heap_bytes)
-                .sum::<usize>()
+        self.plans.iter().map(IterationPlan::heap_bytes).sum()
     }
 }
 
@@ -604,6 +637,35 @@ mod tests {
         // (counters, per-level census, peak support) must equal the
         // sequential accumulation exactly — merge order must not matter.
         assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn sharded_apply_matches_sequential_bit_for_bit() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        let measured = QubitSet::full(7);
+        let prepared = qufem.prepare(&measured).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let ideal = qufem_circuits::ghz(7);
+        let noisy = device.measure_distribution(&ideal, &measured, 2000, &mut rng);
+
+        let mut seq_stats = EngineStats::default();
+        let sequential = prepared.apply_with_stats(&noisy, &mut seq_stats).unwrap();
+        for threads in [2, 4, engine::configured_threads()] {
+            let mut par_stats = EngineStats::default();
+            let parallel = prepared.apply_sharded(&noisy, threads, &mut par_stats).unwrap();
+            assert_eq!(seq_stats, par_stats, "stats diverge at {threads} threads");
+            let (a, b) = (sequential.sorted_pairs(), parallel.sorted_pairs());
+            assert_eq!(a.len(), b.len(), "support diverges at {threads} threads");
+            for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+                assert_eq!(ka, kb, "key order diverges at {threads} threads");
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "value at {ka} diverges at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

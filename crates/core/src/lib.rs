@@ -58,7 +58,7 @@ mod persist;
 mod snapshot;
 
 pub use config::{QuFemConfig, QuFemConfigBuilder};
-pub use engine::EngineStats;
+pub use engine::{configured_threads, execute, execute_sharded, EngineStats, IterationPlan};
 pub use flows::{
     build_group_matrices, build_group_matrices_with, calibrate_once, IterationParams,
     PreparedCalibration, QuFem,

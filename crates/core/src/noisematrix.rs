@@ -49,6 +49,14 @@ impl GroupMatrix {
         self.inverse_t.row(x)
     }
 
+    /// All inverse columns as one contiguous row-major slice: column
+    /// `M⁻¹ |x⟩` occupies `[x · 2^k, (x + 1) · 2^k)`. The iteration plan
+    /// copies this block wholesale instead of calling
+    /// [`GroupMatrix::inverse_column`] per string.
+    pub fn inverse_columns(&self) -> &[f64] {
+        self.inverse_t.as_slice()
+    }
+
     /// Approximate heap usage in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.matrix.heap_bytes()

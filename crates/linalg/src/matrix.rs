@@ -119,6 +119,14 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// The full row-major storage as one contiguous slice (row `r` occupies
+    /// `[r * cols, (r + 1) * cols)`). Lets callers that iterate many rows —
+    /// the calibration engine materializing every `M⁻¹` column into an
+    /// execution plan — copy or scan the matrix without per-row calls.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Column `c` as an owned vector.
     ///
     /// # Panics

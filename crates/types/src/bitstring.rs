@@ -274,6 +274,47 @@ impl BitString {
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// Number of 64-bit words a string of `width` bits occupies.
+    pub const fn words_for_width(width: usize) -> usize {
+        width.div_ceil(WORD_BITS)
+    }
+
+    /// The packed 64-bit words backing the string: bit `i` lives at bit
+    /// `i % 64` of word `i / 64`. Bits at or above [`BitString::width`] are
+    /// always zero — the invariant that makes word-level comparison, hashing,
+    /// and the engine's mask arithmetic valid.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a string from packed words (the inverse of
+    /// [`BitString::as_words`]). This is the allocation path of the
+    /// calibration hot loop: the engine manipulates raw word buffers and only
+    /// materializes `BitString`s at the sparse-vector boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `words.len()` differs from
+    /// [`BitString::words_for_width`]`(width)` and [`Error::QubitOutOfRange`]
+    /// if any bit at or above `width` is set.
+    pub fn from_words(width: usize, words: Vec<u64>) -> Result<Self> {
+        let expected = Self::words_for_width(width);
+        if words.len() != expected {
+            return Err(Error::WidthMismatch { expected, actual: words.len() });
+        }
+        let tail_bits = width % WORD_BITS;
+        if tail_bits != 0 {
+            let tail = words[expected - 1];
+            if tail >> tail_bits != 0 {
+                return Err(Error::QubitOutOfRange {
+                    index: WORD_BITS * (expected - 1) + 63 - tail.leading_zeros() as usize,
+                    width,
+                });
+            }
+        }
+        Ok(BitString { width, words })
+    }
 }
 
 impl fmt::Display for BitString {
@@ -461,5 +502,34 @@ mod tests {
     fn get_out_of_range_panics() {
         let s = BitString::zeros(4);
         let _ = s.get(4);
+    }
+
+    #[test]
+    fn words_roundtrip_across_boundary() {
+        let mut s = BitString::zeros(130);
+        for &i in &[0usize, 63, 64, 129] {
+            s.set(i, true);
+        }
+        let words = s.as_words().to_vec();
+        assert_eq!(words.len(), BitString::words_for_width(130));
+        let back = BitString::from_words(130, words).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn from_words_rejects_bad_shapes() {
+        // Wrong word count.
+        assert!(matches!(
+            BitString::from_words(70, vec![0]),
+            Err(Error::WidthMismatch { expected: 2, actual: 1 })
+        ));
+        // Set bit above the width.
+        assert!(matches!(
+            BitString::from_words(3, vec![0b1000]),
+            Err(Error::QubitOutOfRange { index: 3, width: 3 })
+        ));
+        // Exactly full words need no tail masking.
+        assert!(BitString::from_words(64, vec![u64::MAX]).is_ok());
+        assert!(BitString::from_words(0, vec![]).is_ok());
     }
 }

@@ -132,6 +132,19 @@ impl ProbDist {
         self.width
     }
 
+    /// Validates that the distribution has the expected width — the common
+    /// entry check of every calibration method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the widths differ.
+    pub fn check_width(&self, expected: usize) -> Result<()> {
+        if self.width != expected {
+            return Err(Error::WidthMismatch { expected, actual: self.width });
+        }
+        Ok(())
+    }
+
     /// Number of stored (nonzero) outcomes.
     pub fn support_len(&self) -> usize {
         self.entries.len()

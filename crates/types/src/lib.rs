@@ -8,6 +8,8 @@
 //!   qubits.
 //! * [`ProbDist`] — a sparse probability distribution over bit strings,
 //!   the object that readout produces and calibration transforms.
+//! * [`SupportIndex`] — an indexed sparse vector (interned keys + dense
+//!   amplitude array), the calibration engine's working representation.
 //! * [`QubitSet`] — an ordered set of qubit indices (measured qubits,
 //!   qubit groups, …).
 //! * [`Error`] — the common error type.
@@ -32,11 +34,13 @@ mod bitstring;
 mod distribution;
 mod error;
 mod qubit_set;
+mod support_index;
 
 pub use bitstring::BitString;
 pub use distribution::ProbDist;
 pub use error::Error;
 pub use qubit_set::QubitSet;
+pub use support_index::SupportIndex;
 
 /// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,345 @@
+//! Indexed sparse vectors over bit strings — the calibration engine's
+//! working representation.
+//!
+//! [`ProbDist`] is the right *interchange* type for distributions (hash-map
+//! keyed, order-free, serializable), but it is a poor *iteration* type: every
+//! accumulation pays a `BitString` clone and every pass re-sorts the support.
+//! [`SupportIndex`] interns each distinct bit string **once**, assigning it a
+//! dense `u32` id, and keeps the amplitudes in a parallel `Vec<f64>` — so the
+//! engine's inner loop does array arithmetic (`values[id] += v`) instead of
+//! hash-map scatter, and keys are compared/hashed as raw `u64` word slices
+//! without constructing `BitString`s.
+//!
+//! Conversions to and from [`ProbDist`] are lossless: support (including
+//! exact-zero entries), width, and every `f64` bit pattern are preserved.
+
+use crate::{BitString, ProbDist};
+use std::collections::HashMap;
+
+/// A sparse (quasi-)probability vector with interned keys.
+///
+/// Entry `id` (a dense `u32`) has key [`SupportIndex::key_words`]`(id)` and
+/// amplitude [`SupportIndex::value`]`(id)`. Ids are assigned in interning
+/// order; [`SupportIndex::from_dist`] interns in the distribution's sorted
+/// key order, and [`SupportIndex::sort`] restores that canonical order after
+/// arbitrary interning.
+///
+/// # Example
+///
+/// ```
+/// use qufem_types::{BitString, ProbDist, SupportIndex};
+///
+/// let mut p = ProbDist::new(2);
+/// p.add(BitString::from_binary_str("01").unwrap(), 0.25);
+/// p.add(BitString::from_binary_str("10").unwrap(), 0.75);
+/// let idx = SupportIndex::from_dist(&p);
+/// assert_eq!(idx.len(), 2);
+/// assert_eq!(idx.to_dist(), p);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SupportIndex {
+    width: usize,
+    words_per_key: usize,
+    /// Flat key storage: entry `id` occupies
+    /// `keys[id * words_per_key .. (id + 1) * words_per_key]`.
+    keys: Vec<u64>,
+    values: Vec<f64>,
+    /// Key words → id. Boxed slices so lookups borrow as `&[u64]` — the hot
+    /// path probes with a scratch word buffer, never a `BitString`.
+    lookup: HashMap<Box<[u64]>, u32>,
+}
+
+impl SupportIndex {
+    /// Creates an empty index over `width`-bit keys.
+    pub fn new(width: usize) -> Self {
+        Self::with_capacity(width, 0)
+    }
+
+    /// Creates an empty index with room for `capacity` entries.
+    pub fn with_capacity(width: usize, capacity: usize) -> Self {
+        let words_per_key = BitString::words_for_width(width);
+        SupportIndex {
+            width,
+            words_per_key,
+            keys: Vec::with_capacity(capacity * words_per_key),
+            values: Vec::with_capacity(capacity),
+            lookup: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Builds an index from a distribution, interning keys in sorted
+    /// ([`BitString`] order) so ids equal sorted ranks. Lossless: every
+    /// stored entry is carried over bit-for-bit, including exact zeros.
+    pub fn from_dist(dist: &ProbDist) -> Self {
+        let mut index = Self::with_capacity(dist.width(), dist.support_len());
+        for (key, value) in dist.sorted_pairs() {
+            let id = index.intern(key.as_words());
+            index.values[id as usize] = value;
+        }
+        index
+    }
+
+    /// [`SupportIndex::from_dist`] restricted to entries with `value > 0.0`
+    /// — the "observed support" extraction shared by the subspace-restricted
+    /// calibration methods (M3, IBU, QuFEM's sharded engine input).
+    pub fn positive_from_dist(dist: &ProbDist) -> Self {
+        let mut index = Self::with_capacity(dist.width(), dist.support_len());
+        for (key, value) in dist.sorted_pairs() {
+            if value > 0.0 {
+                let id = index.intern(key.as_words());
+                index.values[id as usize] = value;
+            }
+        }
+        index
+    }
+
+    /// Converts back to a hash-map distribution. Lossless inverse of
+    /// [`SupportIndex::from_dist`]: the result compares equal to the source
+    /// distribution (same support, same `f64` bits).
+    pub fn to_dist(&self) -> ProbDist {
+        let mut out = ProbDist::new(self.width);
+        for id in 0..self.len() {
+            out.set(self.key(id as u32), self.values[id]);
+        }
+        out
+    }
+
+    /// Bit width of the keys.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of 64-bit words per key.
+    pub fn words_per_key(&self) -> usize {
+        self.words_per_key
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The packed key words of entry `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn key_words(&self, id: u32) -> &[u64] {
+        let start = id as usize * self.words_per_key;
+        &self.keys[start..start + self.words_per_key]
+    }
+
+    /// The key of entry `id` as a [`BitString`] (allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn key(&self, id: u32) -> BitString {
+        BitString::from_words(self.width, self.key_words(id).to_vec())
+            .expect("interned words are always a valid key")
+    }
+
+    /// The amplitude of entry `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn value(&self, id: u32) -> f64 {
+        self.values[id as usize]
+    }
+
+    /// All amplitudes, indexed by id.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The id of `words`, if interned.
+    #[inline]
+    pub fn get(&self, words: &[u64]) -> Option<u32> {
+        self.lookup.get(words).copied()
+    }
+
+    /// Interns `words`, returning its id. New entries start at amplitude
+    /// `0.0`; the key is copied only on first insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from [`SupportIndex::words_per_key`].
+    pub fn intern(&mut self, words: &[u64]) -> u32 {
+        assert_eq!(words.len(), self.words_per_key, "key word count mismatch");
+        if let Some(&id) = self.lookup.get(words) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("support exceeds u32 ids");
+        self.keys.extend_from_slice(words);
+        self.values.push(0.0);
+        self.lookup.insert(words.into(), id);
+        id
+    }
+
+    /// Adds `delta` to the amplitude of `words`, interning if absent — the
+    /// engine's accumulation primitive. One hash probe, no allocation unless
+    /// the key is new.
+    #[inline]
+    pub fn accumulate(&mut self, words: &[u64], delta: f64) {
+        match self.lookup.get(words) {
+            Some(&id) => self.values[id as usize] += delta,
+            None => {
+                let id = self.intern(words);
+                self.values[id as usize] = delta;
+            }
+        }
+    }
+
+    /// Adds `delta` to the amplitude of an already-interned entry (the
+    /// shard-merge fast path: ids pre-translated, no hashing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn accumulate_id(&mut self, id: u32, delta: f64) {
+        self.values[id as usize] += delta;
+    }
+
+    /// Reorders entries into canonical [`BitString`] order (width-equal keys
+    /// compare as word slices), reassigning ids to sorted ranks. Amplitudes
+    /// travel with their keys unchanged. After sorting, the index is
+    /// id-for-id identical to [`SupportIndex::from_dist`] of
+    /// [`SupportIndex::to_dist`].
+    pub fn sort(&mut self) {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| self.key_words(a).cmp(self.key_words(b)));
+        let mut keys = Vec::with_capacity(self.keys.len());
+        let mut values = Vec::with_capacity(n);
+        for &id in &order {
+            keys.extend_from_slice(self.key_words(id));
+            values.push(self.values[id as usize]);
+        }
+        for rank in 0..n {
+            let words = &keys[rank * self.words_per_key..(rank + 1) * self.words_per_key];
+            *self.lookup.get_mut(words).expect("sorted keys stay interned") = rank as u32;
+        }
+        self.keys = keys;
+        self.values = values;
+    }
+
+    /// Sum of all amplitudes.
+    pub fn total_mass(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Iterator over `(id, key words, amplitude)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u64], f64)> {
+        (0..self.len() as u32).map(|id| (id, self.key_words(id), self.values[id as usize]))
+    }
+
+    /// Approximate heap usage in bytes (benchmark memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u64>();
+        self.keys.capacity() * word
+            + self.values.capacity() * std::mem::size_of::<f64>()
+            + self.lookup.len()
+                * (self.words_per_key * word + std::mem::size_of::<(Box<[u64]>, u32)>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn from_dist_assigns_sorted_ranks() {
+        let p =
+            ProbDist::from_pairs(2, [(bs("01"), 0.5), (bs("10"), 0.25), (bs("00"), 0.25)]).unwrap();
+        let idx = SupportIndex::from_dist(&p);
+        // BitString order is numeric with bit 0 least significant:
+        // "00" (0) < "10" (1) < "01" (2).
+        assert_eq!(idx.key(0), bs("00"));
+        assert_eq!(idx.key(1), bs("10"));
+        assert_eq!(idx.key(2), bs("01"));
+        assert_eq!(idx.value(1), 0.25);
+    }
+
+    #[test]
+    fn roundtrip_preserves_support_width_and_bits() {
+        let mut p = ProbDist::new(3);
+        p.set(bs("010"), 0.1 + 0.2); // deliberately non-representable sum
+        p.set(bs("111"), -1e-300);
+        p.set(bs("000"), 0.0); // exact zero must survive
+        let idx = SupportIndex::from_dist(&p);
+        let back = idx.to_dist();
+        assert_eq!(back.width(), 3);
+        assert_eq!(back.support_len(), 3);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn positive_from_dist_filters_nonpositive() {
+        let p =
+            ProbDist::from_pairs(2, [(bs("00"), 0.5), (bs("11"), -0.1), (bs("01"), 0.0)]).unwrap();
+        let idx = SupportIndex::positive_from_dist(&p);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.key(0), bs("00"));
+    }
+
+    #[test]
+    fn accumulate_interns_once_and_sums() {
+        let mut idx = SupportIndex::new(2);
+        let k = bs("01");
+        idx.accumulate(k.as_words(), 0.25);
+        idx.accumulate(k.as_words(), 0.25);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.value(0), 0.5);
+        assert_eq!(idx.get(k.as_words()), Some(0));
+        assert_eq!(idx.get(bs("10").as_words()), None);
+    }
+
+    #[test]
+    fn sort_matches_from_dist_ids() {
+        let mut idx = SupportIndex::new(2);
+        for key in ["11", "00", "01", "10"] {
+            idx.accumulate(bs(key).as_words(), 1.0);
+        }
+        idx.sort();
+        let canonical = SupportIndex::from_dist(&idx.to_dist());
+        for id in 0..idx.len() as u32 {
+            assert_eq!(idx.key(id), canonical.key(id));
+            assert_eq!(idx.value(id), canonical.value(id));
+            assert_eq!(idx.get(idx.key_words(id)), Some(id), "lookup must follow the sort");
+        }
+    }
+
+    #[test]
+    fn zero_width_distribution_roundtrips() {
+        let mut p = ProbDist::new(0);
+        p.set(BitString::zeros(0), 1.0);
+        let idx = SupportIndex::from_dist(&p);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.to_dist(), p);
+    }
+
+    #[test]
+    fn wide_keys_cross_word_boundaries() {
+        let mut key = BitString::zeros(130);
+        key.set(0, true);
+        key.set(129, true);
+        let p = ProbDist::from_pairs(130, [(key.clone(), 0.7)]).unwrap();
+        let idx = SupportIndex::from_dist(&p);
+        assert_eq!(idx.words_per_key(), 3);
+        assert_eq!(idx.key(0), key);
+        assert_eq!(idx.to_dist(), p);
+    }
+}

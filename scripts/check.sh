@@ -12,7 +12,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> cargo bench --no-run --workspace"
+cargo bench --no-run --workspace
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> QUFEM_THREADS matrix: sharded engine must match sequential bit-for-bit"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t cargo test -q -p qufem-core --test plan_execute"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-core --test plan_execute
+done
 
 echo "==> all checks passed"

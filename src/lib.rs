@@ -50,12 +50,12 @@
 #![forbid(unsafe_code)]
 
 pub use qufem_core::{
-    benchgen, build_group_matrices, calibrate_once, engine, partition, BenchmarkRecord,
-    BenchmarkSnapshot, EngineStats, GroupMatrix, Grouping, HotInteraction, IdealCondition,
-    InteractionTable, IterationData, IterationParams, PreparedCalibration, QuFem, QuFemConfig,
-    QuFemConfigBuilder, QuFemData, RecordData,
+    benchgen, build_group_matrices, calibrate_once, configured_threads, engine, partition,
+    BenchmarkRecord, BenchmarkSnapshot, EngineStats, GroupMatrix, Grouping, HotInteraction,
+    IdealCondition, InteractionTable, IterationData, IterationParams, IterationPlan,
+    PreparedCalibration, QuFem, QuFemConfig, QuFemConfigBuilder, QuFemData, RecordData,
 };
-pub use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
+pub use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 
 pub use qufem_baselines::Calibrator;
 

@@ -53,6 +53,15 @@ fn partitioner_discovers_correlated_pairs() {
 
 #[test]
 fn joint_estimation_outperforms_product_on_correlated_ghz() {
+    // Both calibrators sit within ~1e-4 of perfect fidelity here, so the
+    // systematic joint-vs-product gap is tiny. Sampling the measured
+    // distributions at S shots would bury it: per outcome string the
+    // binomial standard error is √(p(1−p)/S) ≈ 7e-3 at S = 4000, two
+    // orders of magnitude above the signal — closing that gap by raising S
+    // would need millions of shots per circuit. Measure *exactly* instead
+    // (the true noisy distribution, no sampling), which leaves the seeded
+    // characterization benchmark as the only stochastic input and makes
+    // the comparison fully deterministic.
     let device = correlated_device(2);
     let measured = QubitSet::full(6);
     let product = QuFem::characterize(&device, config(false)).unwrap();
@@ -60,10 +69,9 @@ fn joint_estimation_outperforms_product_on_correlated_ghz() {
 
     let mut product_total = 0.0;
     let mut joint_total = 0.0;
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
     for seed in 0..4u64 {
         let ideal = Algorithm::Ghz.ideal_distribution(6, seed);
-        let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);
+        let noisy = device.measure_distribution_exact(&ideal, &measured, 1e-9);
         let p = product.calibrate(&noisy, &measured).unwrap().project_to_probabilities();
         let j = joint.calibrate(&noisy, &measured).unwrap().project_to_probabilities();
         product_total += hellinger_fidelity(&p, &ideal);

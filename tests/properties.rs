@@ -3,11 +3,30 @@
 
 use proptest::prelude::*;
 use qufem::linalg::Matrix;
-use qufem::{BitString, ProbDist, QubitSet};
+use qufem::{BitString, ProbDist, QubitSet, SupportIndex};
 use std::collections::HashSet;
 
 fn arb_bitstring(width: usize) -> impl Strategy<Value = BitString> {
     proptest::collection::vec(any::<bool>(), width).prop_map(|bits| BitString::from_bits(&bits))
+}
+
+/// A quasi-probability distribution: negative amplitudes and exact zeros
+/// included, the way calibration outputs look before projection.
+fn arb_quasi_dist(width: usize, max_support: usize) -> impl Strategy<Value = ProbDist> {
+    proptest::collection::vec((arb_bitstring(width), -1.0f64..1.0, 0i32..8), 1..=max_support)
+        .prop_map(move |entries| {
+            let mut p = ProbDist::new(width);
+            for (k, v, sel) in entries {
+                // Mix in exact and negative zeros alongside ordinary values.
+                let v = match sel {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => v,
+                };
+                p.set(k, v);
+            }
+            p
+        })
 }
 
 fn arb_dist(width: usize, max_support: usize) -> impl Strategy<Value = ProbDist> {
@@ -98,6 +117,38 @@ proptest! {
         let d2 = qufem::metrics::total_variation_distance(&q, &p);
         prop_assert!((d1 - d2).abs() < 1e-12);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&d1));
+    }
+
+    #[test]
+    fn support_index_roundtrip_is_exact(p in arb_quasi_dist(70, 24)) {
+        // Indexing must be lossless across the word boundary (70 bits =
+        // 2 key words): same support, same width, every f64 bit pattern —
+        // exact zeros and negative amplitudes included.
+        let idx = SupportIndex::from_dist(&p);
+        prop_assert_eq!(idx.len(), p.support_len());
+        let back = idx.to_dist();
+        prop_assert_eq!(back.width(), p.width());
+        prop_assert_eq!(back.support_len(), p.support_len());
+        for (k, v) in p.iter() {
+            prop_assert_eq!(back.prob(k).to_bits(), v.to_bits(), "entry {} not bit-preserved", k);
+        }
+    }
+
+    #[test]
+    fn support_index_sort_restores_canonical_ids(p in arb_quasi_dist(20, 16)) {
+        // Interning in arbitrary (here: unsorted-iteration) order followed
+        // by sort() must be id-for-id identical to from_dist.
+        let mut idx = SupportIndex::new(p.width());
+        for (k, v) in p.iter() {
+            idx.accumulate(k.as_words(), v);
+        }
+        idx.sort();
+        let canonical = SupportIndex::from_dist(&p);
+        prop_assert_eq!(idx.len(), canonical.len());
+        for id in 0..canonical.len() as u32 {
+            prop_assert_eq!(idx.key_words(id), canonical.key_words(id));
+            prop_assert_eq!(idx.value(id).to_bits(), canonical.value(id).to_bits());
+        }
     }
 
     #[test]
