@@ -44,6 +44,7 @@ fn main() {
         ("ext_projection_ablation", experiments::ext_projection::run),
         ("ext_adaption_ablation", experiments::ext_adaption::run),
         ("ext_correlated_noise", experiments::ext_correlated::run),
+        ("ext_serve_throughput", experiments::ext_serve::run),
     ];
 
     let mut summary: Vec<(String, Value)> = Vec::new();

@@ -1,0 +1,9 @@
+//! Binary running the beyond-paper serve-throughput sweep.
+use qufem_bench::{experiments, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::ext_serve::run(&opts) {
+        table.emit(&opts.out_dir, "ext_serve_throughput").expect("write results");
+    }
+}

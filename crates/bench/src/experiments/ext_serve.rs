@@ -1,0 +1,113 @@
+//! Extension experiment (beyond the paper): throughput of the calibration
+//! daemon (`qufem-serve`) under concurrent clients.
+//!
+//! The paper frames calibration as an offline post-processing step; serving
+//! it from a long-lived process adds a dispatch layer (frame parsing, plan
+//! cache, worker pool) on top of the engine. This experiment measures what
+//! that layer costs: requests per second over loopback TCP as the worker
+//! pool grows, against a mixed stream of measured subsets so plan-cache
+//! hits and misses both occur.
+
+use crate::report::Table;
+use crate::RunOptions;
+use qufem_serve::{Client, Request, ServeConfig, Server};
+use qufem_types::{ProbDist, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One request template: a measured subset and a noisy input over it.
+fn request_mix(device: &qufem_device::Device, n: usize, seed: u64) -> Vec<(Vec<usize>, ProbDist)> {
+    let subsets: Vec<Vec<usize>> = vec![
+        (0..n).collect(),
+        (0..n).step_by(2).collect(),
+        (1..n).step_by(2).collect(),
+        (0..n / 2).collect(),
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    subsets
+        .into_iter()
+        .map(|qubits| {
+            let set: QubitSet = qubits.iter().copied().collect();
+            let ideal = qufem_circuits::ghz(qubits.len());
+            let noisy = device.measure_distribution(&ideal, &set, 600, &mut rng);
+            (qubits, noisy)
+        })
+        .collect()
+}
+
+/// Runs the serve-throughput sweep on the 7-qubit device.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let n = 7;
+    let device = crate::experiments::device_for(n, opts.seed);
+    let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
+    let mix = request_mix(&device, n, opts.seed);
+
+    let worker_counts: Vec<usize> = if opts.quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    let clients: usize = 8;
+    let requests_per_client: usize = if opts.quick { 4 } else { 16 };
+
+    let mut table = Table::new(
+        "Extension: qufem-serve throughput (7-qubit device, loopback TCP)",
+        &["Workers", "Clients", "Requests", "Wall secs", "Req/s"],
+    );
+    for &workers in &worker_counts {
+        let config = ServeConfig { workers, queue_depth: clients * 2, ..ServeConfig::default() };
+        let server = Server::start(qufem.clone(), "127.0.0.1:0", config).expect("server starts");
+        let addr = server.local_addr();
+
+        let start = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let mix = mix.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    for r in 0..requests_per_client {
+                        let (measured, dist) = &mix[(c + r) % mix.len()];
+                        let response = client
+                            .request(&Request::calibrate(dist.clone(), Some(measured.clone())))
+                            .expect("request round-trips");
+                        assert!(response.ok, "serve error: {:?}", response.error);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let secs = start.elapsed().as_secs_f64();
+
+        let handle = server.handle();
+        let total = clients * requests_per_client;
+        assert_eq!(handle.requests(), total as u64, "every request must be served");
+        assert_eq!(handle.rejected(), 0, "the queue is sized to never shed load");
+        server.shutdown_and_join();
+
+        table.push_row(vec![
+            workers.to_string(),
+            clients.to_string(),
+            total.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", total as f64 / secs),
+        ]);
+    }
+    table.note("Mixed measured subsets (full register, evens, odds, half prefix): plan-cache hits and misses both occur.");
+    table.note("Not part of the paper; measures the serving layer added on top of the engine.");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "spawns servers and client fleets; exercised by the exp_all binary"]
+    fn throughput_rows_cover_the_worker_sweep() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables[0].rows.len(), 2);
+        for row in &tables[0].rows {
+            assert!(row[4].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

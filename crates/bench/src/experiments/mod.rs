@@ -7,6 +7,7 @@
 pub mod ext_adaption;
 pub mod ext_correlated;
 pub mod ext_projection;
+pub mod ext_serve;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

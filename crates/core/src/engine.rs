@@ -52,6 +52,7 @@
 
 use crate::noisematrix::GroupMatrix;
 use qufem_types::{ProbDist, SupportIndex};
+use serde::{Deserialize, Serialize};
 
 /// Ratio between the relative threshold `β` and the absolute (scaled)
 /// floor: a branch is also cut when `|p(x) · v| < β · ABS_FLOOR_RATIO`.
@@ -63,8 +64,9 @@ const ABS_FLOOR_RATIO: f64 = 1e-1;
 
 /// Instrumentation counters for the engine, feeding the paper's Figure 8
 /// (intermediate-value counts along the chain) and Table 5 (memory
-/// accounting).
-#[derive(Debug, Clone, Default, PartialEq)]
+/// accounting). Serializable so calibration services can report the exact
+/// per-request engine work over the wire.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Partial products evaluated (kept + pruned).
     pub products: u64,

@@ -60,6 +60,8 @@ pub struct QuFemData {
     /// Per-iteration parameters, iteration 1 first.
     pub iterations: Vec<IterationData>,
     /// Benchmark-generation accounting, if characterized against a device.
+    /// Optional on disk: exports written by replay/ablation flows omit it.
+    #[serde(default)]
     pub benchgen_report: Option<BenchGenReport>,
 }
 
@@ -103,6 +105,16 @@ impl QuFem {
         }
         let mut iterations = Vec::with_capacity(data.iterations.len());
         for iter_data in data.iterations {
+            // Grouping indices feed positional bit extraction later (plan
+            // build, effective-matrix assembly); an out-of-range index from
+            // a corrupted export must fail here, not panic downstream.
+            for group in &iter_data.grouping {
+                if let Some(&max) = group.as_slice().last() {
+                    if max >= data.n_qubits {
+                        return Err(Error::QubitOutOfRange { index: max, width: data.n_qubits });
+                    }
+                }
+            }
             let mut snapshot = BenchmarkSnapshot::new(data.n_qubits);
             for record in iter_data.records {
                 if record.circuit.width() != data.n_qubits {

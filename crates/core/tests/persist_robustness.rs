@@ -1,0 +1,115 @@
+//! Robustness of the persistence layer against damaged exports: a
+//! truncated, bit-flipped, or field-stripped parameter file must surface as
+//! a clean `Err` from `serde_json::from_str` / `QuFem::import` — never a
+//! panic — because a calibration service loads these files at startup from
+//! operator-managed storage.
+//!
+//! The suite is fuzz-ish rather than exhaustive: it derives hundreds of
+//! mutants from one valid export with a seeded RNG, so failures reproduce
+//! deterministically.
+
+use qufem_core::{QuFem, QuFemConfig, QuFemData};
+use qufem_types::Error;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn exported_json() -> String {
+    let device = qufem_device::presets::ibmq_7(2);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(300).seed(2).build().unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    serde_json::to_string(&qufem.export()).unwrap()
+}
+
+/// Parses and imports, reporting only whether the pipeline stayed
+/// panic-free; the `Result` content is the caller's to assert.
+fn parse_and_import(text: &str) -> Result<QuFem, String> {
+    let data: QuFemData = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    QuFem::import(data).map_err(|e| e.to_string())
+}
+
+#[test]
+fn truncated_exports_fail_cleanly() {
+    let json = exported_json();
+    // Every prefix is too expensive; sample a spread of cut points plus the
+    // boundary cases (empty, one byte short).
+    let mut cuts: Vec<usize> = (0..json.len()).step_by(json.len() / 97 + 1).collect();
+    cuts.extend([0, 1, json.len() - 1]);
+    for cut in cuts {
+        let truncated = &json[..cut];
+        assert!(
+            parse_and_import(truncated).is_err(),
+            "truncation at byte {cut} must not import successfully"
+        );
+    }
+}
+
+#[test]
+fn corrupted_exports_never_panic() {
+    let json = exported_json();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let replacements = b"0123456789-+.eE\"[]{},:xnulltrue ";
+    for trial in 0..300 {
+        let mut bytes = json.clone().into_bytes();
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let pos = rng.gen_range(0..bytes.len());
+            bytes[pos] = replacements[rng.gen_range(0..replacements.len())];
+        }
+        let Ok(mutated) = String::from_utf8(bytes) else { continue };
+        // Corruption may happen to stay valid (e.g. a digit swap inside a
+        // probability): success is acceptable, panicking is not.
+        let _ = parse_and_import(&mutated);
+        let _ = trial;
+    }
+}
+
+#[test]
+fn structurally_mutated_exports_fail_cleanly() {
+    let json = exported_json();
+    let valid: serde::Value = serde_json::from_str(&json).unwrap();
+    let top_level_fields = ["config", "n_qubits", "iterations"];
+    for field in top_level_fields {
+        let serde::Value::Map(entries) = valid.clone() else { panic!("export is an object") };
+        let stripped: Vec<(String, serde::Value)> =
+            entries.into_iter().filter(|(k, _)| k != field).collect();
+        let text = serde_json::to_string(&serde::Value::Map(stripped)).unwrap();
+        assert!(
+            parse_and_import(&text).is_err(),
+            "export without required field {field:?} must fail to import"
+        );
+    }
+
+    // `benchgen_report` is genuinely optional: stripping it must still load.
+    let serde::Value::Map(entries) = valid.clone() else { panic!("export is an object") };
+    let stripped: Vec<(String, serde::Value)> =
+        entries.into_iter().filter(|(k, _)| k != "benchgen_report").collect();
+    let text = serde_json::to_string(&serde::Value::Map(stripped)).unwrap();
+    assert!(parse_and_import(&text).is_ok(), "optional benchgen_report must stay optional");
+}
+
+#[test]
+fn out_of_range_grouping_is_rejected_not_deferred() {
+    let json = exported_json();
+    let mut data: QuFemData = serde_json::from_str(&json).unwrap();
+    data.iterations[0].grouping[0] = [0usize, 99].into_iter().collect();
+    assert!(
+        matches!(QuFem::import(data), Err(Error::QubitOutOfRange { index: 99, width: 7 })),
+        "corrupted grouping must be rejected at import time"
+    );
+}
+
+#[test]
+fn wrong_json_shapes_fail_cleanly() {
+    for text in [
+        "null",
+        "[]",
+        "42",
+        "\"a string\"",
+        "{}",
+        r#"{"config": null, "n_qubits": null, "iterations": null, "benchgen_report": null}"#,
+        r#"{"config": {}, "n_qubits": 7, "iterations": [{}], "benchgen_report": null}"#,
+        r#"{"config": [], "n_qubits": -3, "iterations": 9, "benchgen_report": false}"#,
+    ] {
+        assert!(parse_and_import(text).is_err(), "shape {text:?} must fail cleanly");
+    }
+}

@@ -1,0 +1,192 @@
+//! LRU cache of [`PreparedCalibration`] plans keyed by measured qubit set.
+//!
+//! The expensive part of answering a calibrate request is not the engine
+//! walk but re-deriving the per-iteration sub-noise matrices and execution
+//! plans for the request's measured set ([`qufem_core::QuFem::prepare`]).
+//! The server keeps the most recently used prepared plans; plan
+//! construction is deterministic per measured set, so serving from the
+//! cache cannot change any response bit.
+
+use qufem_core::PreparedCalibration;
+use qufem_types::{QubitSet, Result};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Thread-safe LRU map from measured [`QubitSet`] to a shared
+/// [`PreparedCalibration`].
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Lru>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Lru {
+    plans: HashMap<QubitSet, Arc<PreparedCalibration>>,
+    /// Keys ordered least-recently-used first.
+    order: Vec<QubitSet>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` prepared plans
+    /// (`capacity` of 0 behaves like 1: the current plan is always kept).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache { inner: Mutex::new(Lru::default()), capacity: capacity.max(1) }
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let lru = self.inner.lock().expect("plan cache lock");
+        (lru.hits, lru.misses)
+    }
+
+    /// Returns the cached plan for `measured`, building and inserting it
+    /// with `build` on a miss (evicting the least recently used entry once
+    /// over capacity).
+    ///
+    /// `build` runs outside the cache lock, so a slow plan build does not
+    /// stall requests for already-cached sets; if two workers race on the
+    /// same missing key the loser's build is discarded in favour of the
+    /// winner's (both are bit-identical by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors without caching anything.
+    pub fn get_or_build(
+        &self,
+        measured: &QubitSet,
+        build: impl FnOnce() -> Result<PreparedCalibration>,
+    ) -> Result<Arc<PreparedCalibration>> {
+        {
+            let mut lru = self.inner.lock().expect("plan cache lock");
+            if let Some(plan) = lru.plans.get(measured).cloned() {
+                lru.hits += 1;
+                lru.touch(measured);
+                return Ok(plan);
+            }
+            lru.misses += 1;
+        }
+        let built = Arc::new(build()?);
+        let mut lru = self.inner.lock().expect("plan cache lock");
+        let plan = match lru.plans.get(measured).cloned() {
+            Some(existing) => existing, // lost a race; keep the first insert
+            None => {
+                lru.plans.insert(measured.clone(), Arc::clone(&built));
+                lru.order.push(measured.clone());
+                while lru.plans.len() > self.capacity {
+                    let evicted = lru.order.remove(0);
+                    lru.plans.remove(&evicted);
+                }
+                built
+            }
+        };
+        lru.touch(measured);
+        Ok(plan)
+    }
+}
+
+impl Lru {
+    /// Moves `key` to the most-recently-used end.
+    fn touch(&mut self, key: &QubitSet) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_core::{QuFem, QuFemConfig};
+    use qufem_device::presets;
+
+    fn qufem() -> QuFem {
+        let config = QuFemConfig::builder()
+            .characterization_threshold(5e-4)
+            .shots(300)
+            .seed(11)
+            .build()
+            .unwrap();
+        QuFem::characterize(&presets::ibmq_7(11), config).unwrap()
+    }
+
+    #[test]
+    fn caches_and_evicts_in_lru_order() {
+        let qufem = qufem();
+        let cache = PlanCache::new(2);
+        let sets: Vec<QubitSet> = vec![
+            [0usize, 1].into_iter().collect(),
+            [2usize, 3].into_iter().collect(),
+            [4usize, 5].into_iter().collect(),
+        ];
+        for s in &sets {
+            cache.get_or_build(s, || qufem.prepare(s)).unwrap();
+        }
+        assert_eq!(cache.len(), 2, "capacity bound");
+        // sets[0] was least recently used and must have been evicted:
+        // rebuilding it counts a miss, sets[2] a hit.
+        let (_, misses_before) = cache.stats();
+        cache.get_or_build(&sets[2], || qufem.prepare(&sets[2])).unwrap();
+        cache.get_or_build(&sets[0], || qufem.prepare(&sets[0])).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_before + 1, "evicted set rebuilt");
+        assert_eq!(hits, 1, "cached set served without rebuild");
+    }
+
+    #[test]
+    fn touch_on_hit_protects_recently_used_entries() {
+        let qufem = qufem();
+        let cache = PlanCache::new(2);
+        let a: QubitSet = [0usize, 1].into_iter().collect();
+        let b: QubitSet = [2usize, 3].into_iter().collect();
+        let c: QubitSet = [4usize, 5].into_iter().collect();
+        cache.get_or_build(&a, || qufem.prepare(&a)).unwrap();
+        cache.get_or_build(&b, || qufem.prepare(&b)).unwrap();
+        // Touch `a`, then insert `c`: `b` is now the LRU victim.
+        cache.get_or_build(&a, || qufem.prepare(&a)).unwrap();
+        cache.get_or_build(&c, || qufem.prepare(&c)).unwrap();
+        let mut rebuilt_b = false;
+        cache
+            .get_or_build(&b, || {
+                rebuilt_b = true;
+                qufem.prepare(&b)
+            })
+            .unwrap();
+        assert!(rebuilt_b, "b should have been evicted after a was touched");
+        let mut rebuilt_c = false;
+        cache
+            .get_or_build(&c, || {
+                rebuilt_c = true;
+                qufem.prepare(&c)
+            })
+            .unwrap();
+        assert!(!rebuilt_c, "c must still be cached");
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let qufem = qufem();
+        let cache = PlanCache::new(2);
+        let out_of_range: QubitSet = [0usize, 99].into_iter().collect();
+        assert!(cache.get_or_build(&out_of_range, || qufem.prepare(&out_of_range)).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+}

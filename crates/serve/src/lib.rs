@@ -1,0 +1,49 @@
+//! # qufem-serve — a concurrent calibration service over QuFEM
+//!
+//! The paper treats calibration parameters as a **shared device-level
+//! artifact**: characterization is expensive and device-specific, but once
+//! computed it calibrates arbitrarily many programs' outputs (Eq. 7, §3.2).
+//! This crate serves that artifact over TCP so clients do not have to link
+//! the library or re-run characterization: a [`Server`] holds one
+//! characterized [`qufem_core::QuFem`] in memory, keeps an LRU cache of
+//! prepared plans per measured qubit set, and answers newline-delimited
+//! JSON requests from a bounded worker pool.
+//!
+//! ```text
+//! → {"cmd":"calibrate","measured":[0,1,2],"dist":[3,["000",0.9],["111",0.1]]}
+//! ← {"ok":true,"dist":[3,…],"stats":{…}}
+//! → {"cmd":"status"}
+//! ← {"ok":true,"status":{"n_qubits":7,…}}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true}
+//! ```
+//!
+//! Responses are **bit-identical** to calling
+//! [`qufem_core::PreparedCalibration::apply`] in-process on the same input
+//! — the server adds transport, caching, and concurrency, never numerics.
+//! Operational limits (frame size, queue depth, timeouts) and the
+//! backpressure policy are documented on [`ServeConfig`] and in the
+//! README's "Serving" section.
+//!
+//! ```no_run
+//! use qufem_core::{QuFem, QuFemConfig};
+//! use qufem_device::presets;
+//! use qufem_serve::{Server, ServeConfig};
+//!
+//! let qufem = QuFem::characterize(&presets::ibmq_7(1), QuFemConfig::default())?;
+//! let server = Server::start(qufem, "127.0.0.1:0", ServeConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! server.join(); // returns after a `shutdown` request drains in-flight work
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod protocol;
+mod server;
+
+pub use cache::PlanCache;
+pub use protocol::{Request, Response, StatusInfo, CMD_CALIBRATE, CMD_SHUTDOWN, CMD_STATUS};
+pub use server::{request_once, Client, ServeConfig, ServeHandle, Server};

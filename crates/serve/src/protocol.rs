@@ -1,0 +1,159 @@
+//! Wire types for the qufem-serve newline-delimited JSON protocol.
+//!
+//! One request is one line of JSON, one response is one line of JSON; a
+//! connection carries any number of request/response pairs in order. The
+//! format is documented in the README's "Serving" section and pinned by the
+//! round-trip tests below — it is a compatibility surface, change it only
+//! with a protocol version bump.
+
+use qufem_core::EngineStats;
+use qufem_types::ProbDist;
+use serde::{Deserialize, Serialize};
+
+/// Command verb: calibrate one distribution.
+pub const CMD_CALIBRATE: &str = "calibrate";
+/// Command verb: report server status.
+pub const CMD_STATUS: &str = "status";
+/// Command verb: begin graceful shutdown.
+pub const CMD_SHUTDOWN: &str = "shutdown";
+
+/// One request frame.
+///
+/// `cmd` selects the operation; the remaining fields are optional and only
+/// read by the commands that need them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// `"calibrate"`, `"status"`, or `"shutdown"`.
+    pub cmd: String,
+    /// Measured qubit indices for `calibrate` (defaults to the full
+    /// register of the served calibrator).
+    #[serde(default)]
+    pub measured: Option<Vec<usize>>,
+    /// The measured distribution to calibrate (required by `calibrate`).
+    #[serde(default)]
+    pub dist: Option<ProbDist>,
+}
+
+impl Request {
+    /// A `calibrate` request over an explicit measured set.
+    pub fn calibrate(dist: ProbDist, measured: Option<Vec<usize>>) -> Self {
+        Request { cmd: CMD_CALIBRATE.to_string(), measured, dist: Some(dist) }
+    }
+
+    /// A `status` request.
+    pub fn status() -> Self {
+        Request { cmd: CMD_STATUS.to_string(), measured: None, dist: None }
+    }
+
+    /// A `shutdown` request.
+    pub fn shutdown() -> Self {
+        Request { cmd: CMD_SHUTDOWN.to_string(), measured: None, dist: None }
+    }
+}
+
+/// Server status snapshot returned by the `status` command.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusInfo {
+    /// Qubit count of the served calibrator.
+    pub n_qubits: usize,
+    /// Calibration iterations of the served calibrator.
+    pub iterations: usize,
+    /// Requests answered (any command, successful or failed).
+    pub requests: u64,
+    /// Connections rejected because the queue was full.
+    pub rejected: u64,
+    /// Prepared plans currently cached.
+    pub plan_cache_len: usize,
+    /// Plan-cache capacity.
+    pub plan_cache_capacity: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+}
+
+/// One response frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Calibrated quasi-probability distribution (`calibrate` only).
+    #[serde(default)]
+    pub dist: Option<ProbDist>,
+    /// Engine counters for this request (`calibrate` only).
+    #[serde(default)]
+    pub stats: Option<EngineStats>,
+    /// Status snapshot (`status` only).
+    #[serde(default)]
+    pub status: Option<StatusInfo>,
+}
+
+impl Response {
+    /// A failure response.
+    pub fn err(message: impl Into<String>) -> Self {
+        Response { ok: false, error: Some(message.into()), dist: None, stats: None, status: None }
+    }
+
+    /// A bare success response (shutdown acknowledgement).
+    pub fn ack() -> Self {
+        Response { ok: true, error: None, dist: None, stats: None, status: None }
+    }
+
+    /// A calibration result response.
+    pub fn calibrated(dist: ProbDist, stats: EngineStats) -> Self {
+        Response { ok: true, error: None, dist: Some(dist), stats: Some(stats), status: None }
+    }
+
+    /// A status response.
+    pub fn with_status(status: StatusInfo) -> Self {
+        Response { ok: true, error: None, dist: None, stats: None, status: Some(status) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qufem_types::BitString;
+
+    #[test]
+    fn request_json_matches_documented_shape() {
+        let mut dist = ProbDist::new(2);
+        dist.set(BitString::zeros(2), 0.75);
+        let req = Request::calibrate(dist, Some(vec![0, 2]));
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"cmd\":\"calibrate\""), "json: {json}");
+        assert!(json.contains("\"measured\":[0,2]"), "json: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cmd, CMD_CALIBRATE);
+        assert_eq!(back.measured, Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn response_roundtrip_preserves_dist_bits() {
+        let mut dist = ProbDist::new(3);
+        dist.set(BitString::from_index(5, 3).unwrap(), 0.1 + 0.2); // non-representable sum
+        dist.set(BitString::from_index(2, 3).unwrap(), -1.5e-9);
+        let stats =
+            EngineStats { products: 7, kept_per_level: vec![3, 1], ..EngineStats::default() };
+        let resp = Response::calibrated(dist.clone(), stats.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.stats.as_ref().unwrap(), &stats);
+        let (a, b) = (dist.sorted_pairs(), back.dist.unwrap().sorted_pairs());
+        assert_eq!(a.len(), b.len());
+        for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "float bits must survive the wire");
+        }
+    }
+
+    #[test]
+    fn minimal_request_line_parses_with_defaults() {
+        let req: Request = serde_json::from_str(r#"{"cmd":"status"}"#).unwrap();
+        assert_eq!(req.cmd, CMD_STATUS);
+        assert!(req.measured.is_none());
+        assert!(req.dist.is_none());
+    }
+}

@@ -1,0 +1,478 @@
+//! The calibration server: TCP accept loop, bounded worker pool, and the
+//! per-connection request loop.
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread pushes accepted connections into a **bounded**
+//! queue; `workers` threads pop connections and serve them to completion.
+//! When the queue is full the acceptor answers the connection with a
+//! `server busy` error frame and closes it immediately — load sheds at the
+//! edge instead of buffering without bound. A graceful shutdown (the
+//! `shutdown` command or [`ServeHandle::shutdown`]) stops the acceptor,
+//! then lets the workers drain every already-accepted connection: requests
+//! whose bytes reached the server are answered, never dropped.
+//!
+//! ## Determinism
+//!
+//! Calibration goes through the exact library path
+//! ([`PreparedCalibration::apply_sharded`]), whose output is bit-identical
+//! to the sequential in-process result at any `QUFEM_THREADS` setting, and
+//! plans are cached per measured set ([`PlanCache`]) — so a response is
+//! byte-for-byte reproducible no matter which worker serves it, how many
+//! clients are connected, or whether the plan was cached.
+
+use crate::cache::PlanCache;
+use crate::protocol::{Request, Response, StatusInfo, CMD_CALIBRATE, CMD_SHUTDOWN, CMD_STATUS};
+use qufem_core::{engine, EngineStats, QuFem};
+use qufem_types::QubitSet;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving connections concurrently.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this the acceptor
+    /// rejects with an error frame.
+    pub queue_depth: usize,
+    /// Maximum bytes in one request line (JSON frame + newline).
+    pub max_request_bytes: usize,
+    /// Idle time after which a connection holding a worker is closed.
+    pub read_timeout: Option<Duration>,
+    /// Prepared-plan LRU capacity (distinct measured sets kept hot).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_request_bytes: 8 << 20,
+            read_timeout: Some(Duration::from_secs(30)),
+            plan_cache_capacity: 8,
+        }
+    }
+}
+
+/// Shared server state.
+#[derive(Debug)]
+struct Inner {
+    qufem: QuFem,
+    cache: PlanCache,
+    config: ServeConfig,
+    full_register: QubitSet,
+    local_addr: SocketAddr,
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    queue_len: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    /// Flips the shutdown flag (once) and pokes the acceptor awake.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // The acceptor blocks in `accept`; a throwaway local connection
+            // wakes it so it can observe the flag and stop.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running calibration server (see the module docs for the model).
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Cloneable handle for stopping and observing a [`Server`] from another
+/// thread (or from a worker, for the `shutdown` command).
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServeHandle {
+    /// Begins a graceful shutdown: stop accepting, drain queued and
+    /// in-flight requests, then let every thread exit.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Requests answered so far (any command, including failures).
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted into the queue so far (tests synchronize on
+    /// this to know a written request will be drained by a shutdown).
+    pub fn accepted(&self) -> u64 {
+        self.inner.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected by backpressure so far.
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// the acceptor and worker threads over a characterized calibrator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn start(
+        qufem: QuFem,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let n_qubits = qufem.n_qubits();
+        let inner = Arc::new(Inner {
+            cache: PlanCache::new(config.plan_cache_capacity),
+            full_register: QubitSet::full(n_qubits),
+            local_addr,
+            requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_len: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            qufem,
+            config,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(inner.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("qufem-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("qufem-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&inner, &listener, &tx))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { inner, acceptor, workers: worker_handles })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// A handle for stopping/observing the server from elsewhere.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Blocks until the server has fully stopped (acceptor and workers
+    /// exited). Call [`ServeHandle::shutdown`] — or send the `shutdown`
+    /// command — to make that happen.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Convenience: begin a graceful shutdown and wait for it to finish.
+    pub fn shutdown_and_join(self) {
+        self.inner.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Accept loop: enqueue connections, shed load when the queue is full.
+fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Count the enqueue *before* try_send: a worker may dequeue (and
+        // decrement) the instant the send succeeds, so incrementing after
+        // the fact would race the counter below zero.
+        let depth = inner.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(stream) {
+            Ok(()) => {
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
+                qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
+                qufem_telemetry::gauge_max("serve.queue_depth.peak", depth as f64);
+            }
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                inner.queue_len.fetch_sub(1, Ordering::Relaxed);
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                qufem_telemetry::counter_add("serve.rejected", 1);
+                let reason = if inner.shutting_down() {
+                    "server shutting down"
+                } else {
+                    "server busy: connection queue full, retry later"
+                };
+                let _ = stream.set_write_timeout(inner.config.read_timeout);
+                let _ = write_response(&stream, &Response::err(reason));
+                drop(stream);
+            }
+        }
+    }
+    // Dropping the sender lets workers drain the queue and then exit.
+}
+
+/// Worker loop: serve queued connections until the queue closes empty.
+fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Holding the lock across the blocking `recv` is intentional: only
+        // one idle worker waits on the channel at a time, the rest wait on
+        // the mutex, and every worker still serves its own connection with
+        // the lock released.
+        let next = {
+            let guard = rx.lock().expect("worker queue lock");
+            guard.recv()
+        };
+        let Ok(stream) = next else { break };
+        let depth = inner.queue_len.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
+        serve_connection(inner, stream);
+    }
+}
+
+/// Outcome of reading one frame off a connection.
+enum Frame {
+    /// A complete request line (without the trailing newline).
+    Line(String),
+    /// The line exceeded `max_request_bytes`; the stream can no longer be
+    /// re-synchronized to a frame boundary.
+    Oversized,
+    /// Clean end of stream, timeout, or I/O failure — close quietly.
+    Closed,
+}
+
+/// Reads one newline-delimited frame, never buffering more than the
+/// configured byte limit.
+fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
+    let mut buf = Vec::new();
+    // `take` caps what a single oversized frame can make the server buffer;
+    // +1 distinguishes "exactly max_bytes plus newline" from "too long".
+    let mut limited = reader.take(max_bytes as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => Frame::Closed,
+        Ok(_) if buf.last() != Some(&b'\n') && buf.len() > max_bytes => Frame::Oversized,
+        Ok(_) => match String::from_utf8(buf) {
+            Ok(line) => Frame::Line(line.trim_end_matches(['\r', '\n']).to_string()),
+            Err(_) => Frame::Line(String::from("\u{FFFD}")), // fails JSON parse downstream
+        },
+        Err(_) => Frame::Closed,
+    }
+}
+
+/// Serializes a response as one JSON line onto the stream.
+fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// Serves every request on one connection, in order.
+fn serve_connection(inner: &Inner, stream: TcpStream) {
+    let _ = stream.set_read_timeout(inner.config.read_timeout);
+    let _ = stream.set_write_timeout(inner.config.read_timeout);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match read_frame(&mut reader, inner.config.max_request_bytes) {
+            Frame::Closed => break,
+            Frame::Oversized => {
+                // A frame past the limit cannot be skipped reliably (its
+                // tail would parse as garbage requests), so answer once and
+                // drop the connection.
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                qufem_telemetry::counter_add("serve.requests", 1);
+                qufem_telemetry::counter_add("serve.oversized", 1);
+                let _ = write_response(
+                    &stream,
+                    &Response::err(format!(
+                        "request exceeds the {} byte frame limit",
+                        inner.config.max_request_bytes
+                    )),
+                );
+                break;
+            }
+            Frame::Line(line) => {
+                if line.is_empty() {
+                    continue; // tolerate blank keepalive lines
+                }
+                let (response, shutdown) = handle_request(inner, &line);
+                if write_response(&stream, &response).is_err() {
+                    break;
+                }
+                if shutdown {
+                    inner.begin_shutdown();
+                }
+                if inner.shutting_down() {
+                    break; // drained: the current request was answered
+                }
+            }
+        }
+    }
+}
+
+/// Parses and executes one request line. Returns the response and whether
+/// the request asked for a server shutdown.
+fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
+    let _span = qufem_telemetry::span!("serve.request");
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    qufem_telemetry::counter_add("serve.requests", 1);
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            qufem_telemetry::counter_add("serve.malformed", 1);
+            return (Response::err(format!("malformed request: {e}")), false);
+        }
+    };
+    match request.cmd.as_str() {
+        CMD_CALIBRATE => (calibrate(inner, request), false),
+        CMD_STATUS => {
+            let status = StatusInfo {
+                n_qubits: inner.qufem.n_qubits(),
+                iterations: inner.qufem.iterations().len(),
+                requests: inner.requests.load(Ordering::Relaxed),
+                rejected: inner.rejected.load(Ordering::Relaxed),
+                plan_cache_len: inner.cache.len(),
+                plan_cache_capacity: inner.cache.capacity(),
+                workers: inner.config.workers.max(1),
+            };
+            (Response::with_status(status), false)
+        }
+        CMD_SHUTDOWN => (Response::ack(), true),
+        other => (Response::err(format!("unknown command {other:?}")), false),
+    }
+}
+
+/// Executes a `calibrate` request through the library path.
+fn calibrate(inner: &Inner, request: Request) -> Response {
+    let Some(dist) = request.dist else {
+        return Response::err("calibrate requires a `dist` field");
+    };
+    let measured: QubitSet = match request.measured {
+        Some(qubits) => qubits.into_iter().collect(),
+        None => inner.full_register.clone(),
+    };
+    if measured.is_empty() {
+        return Response::err("calibrate requires a non-empty measured set");
+    }
+    let prepared = match inner.cache.get_or_build(&measured, || inner.qufem.prepare(&measured)) {
+        Ok(p) => p,
+        Err(e) => return Response::err(e.to_string()),
+    };
+    let mut stats = EngineStats::default();
+    match prepared.apply_sharded(&dist, engine::configured_threads(), &mut stats) {
+        Ok(out) => Response::calibrated(out, stats),
+        Err(e) => Response::err(e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A blocking client connection speaking the JSON-lines protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection surfaces as
+    /// [`io::ErrorKind::UnexpectedEof`] and an unparseable response as
+    /// [`io::ErrorKind::InvalidData`]. A `Response { ok: false, .. }` is
+    /// returned as `Ok` — protocol-level failures are the caller's to
+    /// inspect.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes (tests use this for malformed/oversized frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        serde_json::from_str(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// One-shot convenience: connect, send a single request, return the
+/// response.
+///
+/// # Errors
+///
+/// See [`Client::request`].
+pub fn request_once(addr: impl ToSocketAddrs, request: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.request(request)
+}

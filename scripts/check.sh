@@ -24,4 +24,10 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q -p qufem-core --test plan_execute
 done
 
+echo "==> QUFEM_THREADS matrix: served responses must match in-process calibration"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t cargo test -q --test serve"
+  QUFEM_THREADS="$t" cargo test -q --test serve
+done
+
 echo "==> all checks passed"

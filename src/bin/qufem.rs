@@ -9,12 +9,22 @@
 //!        [--measured 0,1,2] [--project] [--telemetry run.json]
 //! qufem calibrate    --device quafu-18 --out calibrated.json [--algorithm ghz] [--shots 2000]
 //! qufem inspect      --params params.json
+//! qufem serve        --params params.json [--addr 127.0.0.1:0] [--workers 4]
+//!        [--queue-depth 64] [--max-request-bytes N] [--plan-cache 8] [--telemetry run.json]
+//! qufem client       --addr HOST:PORT --input noisy.json --out calibrated.json
+//!        [--measured 0,1,2]
+//! qufem client       --addr HOST:PORT --status | --shutdown
 //! ```
 //!
 //! `calibrate --device` without `--params` runs the full pipeline —
 //! characterize, synthesize a noisy input (unless `--input` is given),
 //! calibrate. `--telemetry <path>` enables the collector and writes a run
 //! manifest (JSON; loads directly into `chrome://tracing` / Perfetto).
+//!
+//! `serve` holds one characterized calibrator in memory and answers
+//! newline-delimited JSON calibration requests concurrently (see the
+//! README's "Serving" section); `client` speaks that protocol. A serve run
+//! with `--telemetry` writes its manifest after a graceful shutdown.
 //!
 //! Devices are the built-in presets (`ibmq-7`, `quafu-18`, `custom-36`,
 //! `rigetti-79`, `quafu-136`, or `grid-N`); distributions are the JSON
@@ -39,7 +49,13 @@ fn usage() -> ! {
          [--measured 0,1,2] [--project] [--telemetry <run.json>]\n  \
          qufem calibrate --device <preset> --out <out.json> [--algorithm A] [--shots N] \
          [--telemetry <run.json>]   (full pipeline: characterize + calibrate)\n  \
-         qufem inspect --params <params.json>\n\n\
+         qufem inspect --params <params.json>\n  \
+         qufem serve --params <params.json> | --device <preset> [--addr 127.0.0.1:0] \
+         [--workers N] [--queue-depth N] [--max-request-bytes N] [--plan-cache N] \
+         [--telemetry <run.json>]\n  \
+         qufem client --addr <host:port> --input <dist.json> --out <out.json> \
+         [--measured 0,1,2]\n  \
+         qufem client --addr <host:port> --status | --shutdown\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>"
     );
     std::process::exit(2);
@@ -270,6 +286,107 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             );
             if let Some(path) = telemetry {
                 telemetry_finish(&path)?;
+            }
+        }
+        "serve" => {
+            let telemetry = telemetry_setup(&flags, "serve", seed);
+            // Validate flags before the (expensive) parameter load so typos
+            // fail fast instead of after a full characterization.
+            let addr = get("addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+            let mut serve_config = qufem::serve::ServeConfig::default();
+            if let Some(v) = get("workers") {
+                serve_config.workers = v.parse()?;
+            }
+            if let Some(v) = get("queue-depth") {
+                serve_config.queue_depth = v.parse()?;
+            }
+            if let Some(v) = get("max-request-bytes") {
+                serve_config.max_request_bytes = v.parse()?;
+            }
+            if let Some(v) = get("plan-cache") {
+                serve_config.plan_cache_capacity = v.parse()?;
+            }
+            if let Some(v) = get("read-timeout-secs") {
+                serve_config.read_timeout = Some(std::time::Duration::from_secs_f64(v.parse()?));
+            }
+            let qufem = match get("params") {
+                Some(params_path) => {
+                    let data: QuFemData =
+                        serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
+                    QuFem::import(data)?
+                }
+                None => {
+                    let device_name = get("device").ok_or("serve needs --params or --device")?;
+                    let device = device_by_name(&device_name, seed)
+                        .ok_or_else(|| format!("unknown device preset {device_name:?}"))?;
+                    let config = config_from_flags(&flags, seed)?;
+                    eprintln!("characterizing {} …", device.name());
+                    QuFem::characterize(&device, config)?
+                }
+            };
+            let server = qufem::serve::Server::start(qufem, addr.as_str(), serve_config)?;
+            let handle = server.handle();
+            // The address line is the startup handshake: scripts and the
+            // CLI tests wait for it before connecting.
+            eprintln!("qufem-serve listening on {}", server.local_addr());
+            server.join();
+            eprintln!(
+                "qufem-serve stopped after {} requests ({} rejected)",
+                handle.requests(),
+                handle.rejected()
+            );
+            if let Some(path) = telemetry {
+                telemetry_finish(&path)?;
+            }
+        }
+        "client" => {
+            let addr = require("addr");
+            if switches.contains(&"shutdown".to_string()) {
+                let response =
+                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::shutdown())?;
+                if !response.ok {
+                    return Err(response.error.unwrap_or_else(|| "shutdown failed".into()).into());
+                }
+                eprintln!("server at {addr} shutting down");
+            } else if switches.contains(&"status".to_string()) {
+                let response =
+                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::status())?;
+                let status = match (response.ok, response.status) {
+                    (true, Some(status)) => status,
+                    _ => {
+                        return Err(response.error.unwrap_or_else(|| "status failed".into()).into())
+                    }
+                };
+                println!("{}", serde_json::to_string_pretty(&status)?);
+            } else {
+                let input = require("input");
+                let out = require("out");
+                let dist: ProbDist = serde_json::from_str(&std::fs::read_to_string(&input)?)?;
+                let measured: Option<Vec<usize>> = match get("measured") {
+                    Some(spec) => Some(
+                        spec.split(',')
+                            .map(|s| s.trim().parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    None => None,
+                };
+                let request = qufem::serve::Request::calibrate(dist.clone(), measured);
+                let response = qufem::serve::request_once(addr.as_str(), &request)?;
+                if !response.ok {
+                    return Err(response
+                        .error
+                        .unwrap_or_else(|| "calibration failed".into())
+                        .into());
+                }
+                let result = response.dist.ok_or("server response carried no distribution")?;
+                std::fs::write(&out, serde_json::to_string(&result)?)?;
+                let products = response.stats.as_ref().map(|s| s.products).unwrap_or_default();
+                eprintln!(
+                    "calibrated {} -> {} outcomes ({} engine products) -> {out}",
+                    dist.support_len(),
+                    result.support_len(),
+                    products
+                );
             }
         }
         "inspect" => {

@@ -83,3 +83,8 @@ pub mod linalg {
 pub mod metrics {
     pub use qufem_metrics::*;
 }
+
+/// TCP JSON-lines calibration service (server + client).
+pub mod serve {
+    pub use qufem_serve::*;
+}

@@ -150,6 +150,202 @@ fn full_pipeline_calibrate_writes_telemetry_manifest() {
 }
 
 #[test]
+fn serve_and_client_roundtrip_with_telemetry() {
+    use std::io::BufRead;
+
+    let params = tmpfile("serve_params.json");
+    let noisy = tmpfile("serve_noisy.json");
+    let calibrated = tmpfile("serve_calibrated.json");
+    let manifest = tmpfile("serve_manifest.json");
+
+    for (what, args) in [
+        (
+            "characterize",
+            vec![
+                "characterize",
+                "--device",
+                "ibmq-7",
+                "--out",
+                params.to_str().unwrap(),
+                "--shots",
+                "300",
+                "--alpha",
+                "5e-4",
+                "--seed",
+                "3",
+            ],
+        ),
+        (
+            "simulate",
+            vec![
+                "simulate",
+                "--device",
+                "ibmq-7",
+                "--algorithm",
+                "ghz",
+                "--shots",
+                "800",
+                "--out",
+                noisy.to_str().unwrap(),
+                "--seed",
+                "3",
+            ],
+        ),
+    ] {
+        assert!(qufem().args(&args).status().expect("spawn qufem").success(), "{what} failed");
+    }
+
+    // Start the server on an ephemeral port; the "listening on" stderr line
+    // is the startup handshake carrying the resolved address.
+    let mut server = qufem()
+        .args([
+            "serve",
+            "--params",
+            params.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--telemetry",
+            manifest.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn qufem serve");
+    let mut server_stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            server_stderr.read_line(&mut line).expect("read server stderr") > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("qufem-serve listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Calibrate over the wire…
+    let status = qufem()
+        .args([
+            "client",
+            "--addr",
+            &addr,
+            "--input",
+            noisy.to_str().unwrap(),
+            "--out",
+            calibrated.to_str().unwrap(),
+        ])
+        .status()
+        .expect("spawn qufem client");
+    assert!(status.success(), "client calibrate failed");
+
+    // …and the response must be bit-identical to the in-process library
+    // path on the same params and input.
+    let data: qufem::QuFemData =
+        serde_json::from_str(&std::fs::read_to_string(&params).unwrap()).unwrap();
+    let qufem_inproc = qufem::QuFem::import(data).unwrap();
+    let noisy_dist: qufem::ProbDist =
+        serde_json::from_str(&std::fs::read_to_string(&noisy).unwrap()).unwrap();
+    let expected =
+        qufem_inproc.prepare(&qufem::QubitSet::full(7)).unwrap().apply(&noisy_dist).unwrap();
+    let served: qufem::ProbDist =
+        serde_json::from_str(&std::fs::read_to_string(&calibrated).unwrap()).unwrap();
+    let (a, b) = (expected.sorted_pairs(), served.sorted_pairs());
+    assert_eq!(a.len(), b.len(), "served support diverges from in-process calibration");
+    for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+        assert_eq!(ka, kb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "served value at {ka} diverges bit-wise");
+    }
+
+    // Status round-trip prints machine-readable JSON on stdout.
+    let output =
+        qufem().args(["client", "--addr", &addr, "--status"]).output().expect("spawn qufem client");
+    assert!(output.status.success(), "client status failed");
+    let status_json: serde::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(status_json.get("n_qubits").unwrap().as_u64(), Some(7));
+    assert!(status_json.get("requests").unwrap().as_u64().unwrap() >= 2);
+
+    // Graceful shutdown: the server process exits cleanly and writes the
+    // telemetry manifest on its way out.
+    let status = qufem()
+        .args(["client", "--addr", &addr, "--shutdown"])
+        .status()
+        .expect("spawn qufem client");
+    assert!(status.success(), "client shutdown failed");
+    let exit = server.wait().expect("wait for qufem serve");
+    assert!(exit.success(), "serve process should exit cleanly after shutdown");
+
+    let manifest: serde::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+    let counters = manifest.get("counters").expect("counters");
+    assert!(counters.get("serve.requests").unwrap().as_u64().unwrap() >= 3);
+    let spans = manifest.get("spans").and_then(|s| s.as_seq()).expect("spans array");
+    let span_names: Vec<&str> =
+        spans.iter().filter_map(|s| s.get("name").and_then(|n| n.as_str())).collect();
+    assert!(span_names.contains(&"serve.request"), "per-request spans: {span_names:?}");
+    assert!(span_names.contains(&"prepare"), "plan build on the cache miss: {span_names:?}");
+    assert!(span_names.contains(&"calibrate"), "engine span inside the request: {span_names:?}");
+    assert!(
+        manifest.get("gauges").and_then(|g| g.get("serve.queue_depth")).is_some(),
+        "queue-depth gauge in manifest"
+    );
+}
+
+#[test]
+fn serve_without_source_or_client_without_addr_fail_cleanly() {
+    // serve needs --params or --device.
+    let output = qufem().args(["serve"]).output().expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("--params or --device"), "stderr: {err}");
+
+    // serve rejects unknown presets before binding a socket.
+    let output = qufem().args(["serve", "--device", "nonsense-99"]).output().expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown device"), "stderr: {err}");
+
+    // serve validates numeric flags.
+    let output = qufem()
+        .args(["serve", "--device", "ibmq-7", "--workers", "many"])
+        .output()
+        .expect("spawn qufem");
+    assert!(!output.status.success());
+
+    // client requires --addr.
+    let output = qufem().args(["client"]).output().expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("missing required flag --addr"), "stderr: {err}");
+
+    // client calibrate requires --input/--out.
+    let output = qufem().args(["client", "--addr", "127.0.0.1:9"]).output().expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("missing required flag --input"), "stderr: {err}");
+
+    // client surfaces connection failures as errors, not panics.
+    let missing_input = tmpfile("never_written.json");
+    std::fs::write(&missing_input, "[2]").unwrap();
+    let output = qufem()
+        .args([
+            "client",
+            "--addr",
+            "127.0.0.1:1",
+            "--input",
+            missing_input.to_str().unwrap(),
+            "--out",
+            tmpfile("never_out.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn qufem");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("error:"), "stderr: {err}");
+}
+
+#[test]
 fn unknown_device_fails_cleanly() {
     let out = tmpfile("never.json");
     let output = qufem()

@@ -1,0 +1,297 @@
+//! Integration tests for the qufem-serve calibration daemon: concurrent
+//! responses must be **bit-identical** to in-process library calibration,
+//! malformed and oversized frames must be isolated, backpressure must
+//! reject rather than buffer, and a graceful shutdown must drain every
+//! accepted request.
+//!
+//! The CI matrix runs this file under `QUFEM_THREADS ∈ {1, 4}`: the server
+//! calibrates through `PreparedCalibration::apply_sharded` at the
+//! configured thread count, and every assertion here compares against the
+//! sequential in-process path.
+
+use qufem::device::presets;
+use qufem::serve::{Client, Request, ServeConfig, Server};
+use qufem::{EngineStats, ProbDist, QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn characterized() -> (qufem::device::Device, QuFem) {
+    let device = presets::ibmq_7(1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    (device, qufem)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig { read_timeout: Some(Duration::from_secs(10)), ..ServeConfig::default() }
+}
+
+/// The measured subsets the concurrent clients mix (full register, pairs,
+/// odd qubits, a prefix).
+fn mixed_measured_sets() -> Vec<Vec<usize>> {
+    vec![vec![0, 1, 2, 3, 4, 5, 6], vec![0, 2, 4, 6], vec![1, 3, 5], vec![0, 1], vec![2, 3, 4]]
+}
+
+/// A deterministic noisy input over `measured`, distinct per `seed`.
+fn noisy_input(device: &qufem::device::Device, measured: &[usize], seed: u64) -> ProbDist {
+    let set: QubitSet = measured.iter().copied().collect();
+    let ideal = qufem::circuits::ghz(measured.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    device.measure_distribution(&ideal, &set, 600, &mut rng)
+}
+
+fn assert_bit_identical(a: &ProbDist, b: &ProbDist, context: &str) {
+    let (pa, pb) = (a.sorted_pairs(), b.sorted_pairs());
+    assert_eq!(pa.len(), pb.len(), "support diverges: {context}");
+    for ((ka, va), (kb, vb)) in pa.iter().zip(&pb) {
+        assert_eq!(ka, kb, "key diverges: {context}");
+        assert_eq!(va.to_bits(), vb.to_bits(), "value at {ka} diverges: {context}");
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses() {
+    let (device, qufem) = characterized();
+    let device = std::sync::Arc::new(device);
+    let server = Server::start(qufem.clone(), "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let sets = mixed_measured_sets();
+
+    // 8 concurrent clients, 3 requests each, cycling over the measured
+    // subsets so plan-cache hits, misses, and evictions all occur while
+    // requests are in flight.
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: u64 = 3;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let sets = sets.clone();
+            let device = std::sync::Arc::clone(&device);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut out = Vec::new();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let measured = sets[(c + r as usize) % sets.len()].clone();
+                    let seed = (c as u64) << 8 | r;
+                    let dist = noisy_input(&device, &measured, seed);
+                    let response = client
+                        .request(&Request::calibrate(dist.clone(), Some(measured.clone())))
+                        .unwrap();
+                    out.push((measured, dist, response));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut answered = 0;
+    for worker in workers {
+        for (measured, dist, response) in worker.join().expect("client thread") {
+            let context = format!("measured {measured:?}");
+            assert!(response.ok, "server error: {:?} ({context})", response.error);
+            let set: QubitSet = measured.iter().copied().collect();
+            let prepared = qufem.prepare(&set).unwrap();
+            let mut expected_stats = EngineStats::default();
+            let expected = prepared.apply_with_stats(&dist, &mut expected_stats).unwrap();
+            assert_bit_identical(&expected, response.dist.as_ref().unwrap(), &context);
+            assert_eq!(
+                response.stats.as_ref().unwrap(),
+                &expected_stats,
+                "engine stats diverge: {context}"
+            );
+            answered += 1;
+        }
+    }
+    assert_eq!(answered, CLIENTS * REQUESTS_PER_CLIENT as usize);
+
+    let handle = server.handle();
+    assert_eq!(handle.requests(), (CLIENTS as u64) * REQUESTS_PER_CLIENT);
+    assert_eq!(handle.rejected(), 0);
+    handle.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_frame_fails_the_request_not_the_connection() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.send_raw(b"this is not json\n").unwrap();
+    let response = client.read_response().unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("malformed"), "{response:?}");
+
+    // Valid JSON but an unknown command also fails only that request.
+    client.send_raw(b"{\"cmd\":\"frobnicate\"}\n").unwrap();
+    let response = client.read_response().unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("unknown command"), "{response:?}");
+
+    // A calibrate without a dist is an application-level error.
+    client.send_raw(b"{\"cmd\":\"calibrate\"}\n").unwrap();
+    let response = client.read_response().unwrap();
+    assert!(!response.ok, "{response:?}");
+
+    // The same connection still serves valid requests afterwards.
+    let dist = noisy_input(&device, &[0, 1, 2], 9);
+    let response = client.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap();
+    assert!(response.ok, "{response:?}");
+    assert!(response.dist.is_some());
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_closes_the_connection() {
+    let (_, qufem) = characterized();
+    let config = ServeConfig { max_request_bytes: 1024, ..test_config() };
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut big = Vec::from(&b"{\"cmd\":\"calibrate\",\"pad\":\""[..]);
+    big.resize(big.len() + 4096, b'x');
+    big.extend(b"\"}\n");
+    client.send_raw(&big).unwrap();
+    let response = client.read_response().unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("frame limit"), "{response:?}");
+    // An over-limit stream cannot be re-synchronized: the server closes it.
+    assert!(client.read_response().is_err(), "connection should be closed");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn full_queue_rejects_with_error_instead_of_buffering() {
+    let (_, qufem) = characterized();
+    let config = ServeConfig { workers: 1, queue_depth: 1, ..test_config() };
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    // Occupy the single worker: a status round-trip proves the worker owns
+    // this connection, and keeping it open blocks the worker in read.
+    let mut busy = Client::connect(addr).unwrap();
+    assert!(busy.request(&Request::status()).unwrap().ok);
+
+    // Fill the single queue slot.
+    let mut queued = Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.accepted() < 2 {
+        assert!(std::time::Instant::now() < deadline, "second connection never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The next connection must be shed with an error frame.
+    let mut shed = Client::connect(addr).unwrap();
+    let response = shed.read_response().unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("busy"), "{response:?}");
+    assert_eq!(handle.rejected(), 1);
+
+    // Releasing the worker lets the queued connection be served normally.
+    drop(busy);
+    let response = queued.request(&Request::status()).unwrap();
+    assert!(response.ok);
+    let status = response.status.unwrap();
+    assert_eq!(status.rejected, 1);
+    assert_eq!(status.workers, 1);
+
+    handle.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_accepted_requests() {
+    let (device, qufem) = characterized();
+    let config = ServeConfig { workers: 2, queue_depth: 16, ..test_config() };
+    let server = Server::start(qufem.clone(), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    // Write a calibrate request on each connection but do not read yet, so
+    // several sit queued behind the two workers when shutdown begins.
+    const CONNECTIONS: usize = 6;
+    let measured = vec![0usize, 1, 2, 3];
+    let mut clients = Vec::new();
+    for c in 0..CONNECTIONS {
+        let dist = noisy_input(&device, &measured, 100 + c as u64);
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .send_raw(
+                format!(
+                    "{}\n",
+                    serde_json::to_string(&Request::calibrate(
+                        dist.clone(),
+                        Some(measured.clone())
+                    ))
+                    .unwrap()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        clients.push((dist, client));
+    }
+
+    // Wait until the acceptor has queued every connection, then begin the
+    // graceful shutdown: all six written requests are in flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.accepted() < CONNECTIONS as u64 {
+        assert!(std::time::Instant::now() < deadline, "connections never all accepted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+
+    // Every accepted request still receives its full, correct response.
+    let set: QubitSet = measured.iter().copied().collect();
+    let prepared = qufem.prepare(&set).unwrap();
+    for (i, (dist, mut client)) in clients.into_iter().enumerate() {
+        let response = client.read_response().unwrap_or_else(|e| {
+            panic!("request {i} dropped during graceful shutdown: {e}");
+        });
+        assert!(response.ok, "request {i}: {:?}", response.error);
+        let expected = prepared.apply(&dist).unwrap();
+        assert_bit_identical(&expected, response.dist.as_ref().unwrap(), &format!("request {i}"));
+    }
+    server.join();
+
+    // And new connections after shutdown are refused or closed unanswered.
+    assert!(
+        Client::connect(addr).and_then(|mut c| c.request(&Request::status())).is_err(),
+        "server should be gone after join"
+    );
+}
+
+#[test]
+fn shutdown_command_stops_the_server() {
+    let (_, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let response = qufem::serve::request_once(addr, &Request::shutdown()).unwrap();
+    assert!(response.ok);
+    // join() returning proves the acceptor and all workers exited.
+    server.join();
+}
+
+#[test]
+fn status_reports_cache_and_counters() {
+    let (device, qufem) = characterized();
+    let config = ServeConfig { plan_cache_capacity: 2, ..test_config() };
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for measured in [vec![0usize, 1], vec![2, 3], vec![4, 5]] {
+        let dist = noisy_input(&device, &measured, 7);
+        assert!(client.request(&Request::calibrate(dist, Some(measured))).unwrap().ok);
+    }
+    let status = client.request(&Request::status()).unwrap().status.unwrap();
+    assert_eq!(status.n_qubits, 7);
+    assert_eq!(status.iterations, 2);
+    assert_eq!(status.requests, 4, "three calibrates plus this status");
+    assert_eq!(status.plan_cache_len, 2, "LRU capacity bounds the cache");
+    assert_eq!(status.plan_cache_capacity, 2);
+
+    server.shutdown_and_join();
+}
