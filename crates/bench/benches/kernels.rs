@@ -145,6 +145,50 @@ fn bench_plan_execute(c: &mut Criterion) {
     }
 }
 
+/// The characterization→prepare pipeline, sequential vs fanned out. Both
+/// legs are bit-identical by construction (record-and-replay merge), so
+/// this measures pure scheduling overhead vs speedup.
+fn bench_characterize_prepare(c: &mut Criterion) {
+    use qufem_core::QuFem;
+    let threads = engine::configured_threads().max(4);
+
+    // `from_snapshot` on a pre-generated 36q snapshot: per-record Eq. 7
+    // self-calibration plus per-set matrix/plan builds, at 1 vs N threads.
+    let n = 36;
+    let device = presets::for_qubits(n, 1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(500).build().unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
+    let mut group = c.benchmark_group("characterize_36q");
+    group.sample_size(10);
+    for (label, t) in [("sequential", 1), ("parallel", threads)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                QuFem::from_snapshot_with_threads(snapshot.clone(), config.clone(), t).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // `prepare` on the 136q preset: per-iteration matrix generation and
+    // plan construction over the full register, at 1 vs N threads.
+    let n = 136;
+    let device = presets::for_qubits(n, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (snapshot, _) = benchgen::generate(&device, &config, &mut rng).unwrap();
+    let qufem = QuFem::from_snapshot_with_threads(snapshot, config.clone(), threads).unwrap();
+    let full = QubitSet::full(n);
+    let mut group = c.benchmark_group("prepare_136q");
+    group.sample_size(10);
+    for (label, t) in [("sequential", 1), ("parallel", threads)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| qufem.prepare_with_threads(&full, t).unwrap());
+        });
+    }
+    group.finish();
+}
+
 fn bench_matrix_generation(c: &mut Criterion) {
     let device = presets::quafu_18(1);
     let config =
@@ -286,7 +330,8 @@ fn bench_statevector(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_lu, bench_engine, bench_plan_execute, bench_matrix_generation, bench_partition,
+    targets = bench_lu, bench_engine, bench_plan_execute, bench_characterize_prepare,
+        bench_matrix_generation, bench_partition,
         bench_interaction_table, bench_bitstring_ops, bench_device_sampling,
         bench_golden_matrix, bench_simplex_projection, bench_statevector
 }

@@ -45,6 +45,7 @@ fn main() {
         ("ext_adaption_ablation", experiments::ext_adaption::run),
         ("ext_correlated_noise", experiments::ext_correlated::run),
         ("ext_serve_throughput", experiments::ext_serve::run),
+        ("ext_parallel_scaling", experiments::ext_parallel::run),
     ];
 
     let mut summary: Vec<(String, Value)> = Vec::new();
@@ -68,21 +69,41 @@ fn main() {
         qufem_telemetry::write_manifest(&manifest_path, &[]).expect("write telemetry manifest");
         let snapshot = qufem_telemetry::snapshot();
         let peak_bytes = snapshot.gauge("memwatch.peak_bytes").unwrap_or(0.0);
-        summary.push((
-            stem.to_string(),
-            Value::Map(vec![
-                ("wall_secs".to_string(), Value::Float(wall_secs)),
-                ("peak_bytes".to_string(), Value::Float(peak_bytes)),
-                // Time inside the calibration engine proper ("engine" phase
-                // spans) and in plan construction, separated from benchmark
-                // generation and partitioning.
-                ("engine_secs".to_string(), Value::Float(snapshot.span_total_secs("engine"))),
-                (
-                    "plan_build_secs".to_string(),
-                    Value::Float(snapshot.span_total_secs("plan-build")),
-                ),
-            ]),
-        ));
+        let mut fields = vec![
+            ("wall_secs".to_string(), Value::Float(wall_secs)),
+            ("peak_bytes".to_string(), Value::Float(peak_bytes)),
+            // Time inside the calibration engine proper ("engine" phase
+            // spans) and in plan construction, separated from benchmark
+            // generation and partitioning.
+            ("engine_secs".to_string(), Value::Float(snapshot.span_total_secs("engine"))),
+            ("plan_build_secs".to_string(), Value::Float(snapshot.span_total_secs("plan-build"))),
+            // End-to-end characterization and prepare time (outer spans);
+            // both stages fan out across QUFEM_THREADS workers.
+            (
+                "characterize_secs".to_string(),
+                Value::Float(snapshot.span_total_secs("characterize")),
+            ),
+            ("prepare_secs".to_string(), Value::Float(snapshot.span_total_secs("prepare"))),
+        ];
+        // The parallel-scaling experiment publishes its measurements as
+        // gauges; carry them into the aggregate summary when present.
+        for gauge in [
+            "parallel.characterize_seq_secs",
+            "parallel.characterize_par_secs",
+            "parallel.prepare_seq_secs",
+            "parallel.prepare_par_secs",
+            "parallel.characterize_speedup",
+            "parallel.prepare_speedup",
+            "parallel.pipeline_speedup",
+            "parallel.threads",
+            "parallel.host_cores",
+        ] {
+            if let Some(value) = snapshot.gauge(gauge) {
+                fields
+                    .push((gauge.trim_start_matches("parallel.").to_string(), Value::Float(value)));
+            }
+        }
+        summary.push((stem.to_string(), Value::Map(fields)));
         eprintln!("[exp_all] {stem} finished in {wall_secs:.1}s");
     }
     qufem_telemetry::disable();

@@ -1,0 +1,117 @@
+//! Extension experiment (beyond the paper): scaling of the deterministic
+//! parallel characterization→prepare pipeline on the 136-qubit preset.
+//!
+//! The paper's harness runs on a 128-core server; this repo's pipeline fans
+//! out benchmark sampling, per-record self-calibration, matrix generation,
+//! and plan building while staying **bit-identical at any thread count**
+//! (the differential suite in `crates/core/tests/characterize_parallel.rs`
+//! enforces that). This experiment measures what the fan-out buys: the same
+//! benchmarking snapshot is characterized and prepared once sequentially
+//! and once at 8 threads, and the speedups are published as telemetry
+//! gauges so `bench_summary.json` records them per run.
+
+use crate::report::Table;
+use crate::RunOptions;
+use qufem_core::{benchgen, QuFem};
+use qufem_types::QubitSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Thread count for the parallel leg; the sequential leg always uses 1.
+pub const PARALLEL_THREADS: usize = 8;
+
+/// Runs the sequential-vs-parallel pipeline comparison on the 136-qubit
+/// preset (quick mode keeps the preset but scales shots/threshold down via
+/// the shared harness config).
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let n = 136;
+    let device = crate::experiments::device_for(n, opts.seed);
+    let config = crate::experiments::qufem_config_for(n, opts.quick, opts.seed);
+
+    // Sample the benchmarking circuits once; both legs characterize from
+    // the same records, so the comparison isolates the pipeline. Sampling
+    // itself is fanned out too (derived per-circuit RNG streams), so this
+    // also exercises the parallel `benchgen` path at scale.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let (snapshot, report) =
+        benchgen::generate_with_threads(&device, &config, &mut rng, PARALLEL_THREADS)
+            .expect("benchmark generation must fit the budget");
+
+    let full = QubitSet::full(n);
+    let (seq_qufem, char_seq) = crate::experiments::timed(|| {
+        QuFem::from_snapshot_with_threads(snapshot.clone(), config.clone(), 1)
+            .expect("sequential characterization converges")
+    });
+    let (_, prep_seq) = crate::experiments::timed(|| {
+        seq_qufem.prepare_with_threads(&full, 1).expect("sequential prepare")
+    });
+    let (par_qufem, char_par) = crate::experiments::timed(|| {
+        QuFem::from_snapshot_with_threads(snapshot, config, PARALLEL_THREADS)
+            .expect("parallel characterization converges")
+    });
+    let (_, prep_par) = crate::experiments::timed(|| {
+        par_qufem.prepare_with_threads(&full, PARALLEL_THREADS).expect("parallel prepare")
+    });
+
+    let speedup = |seq: f64, par: f64| if par > 0.0 { seq / par } else { 1.0 };
+    let char_speedup = speedup(char_seq, char_par);
+    let prep_speedup = speedup(prep_seq, prep_par);
+    let pipeline_speedup = speedup(char_seq + prep_seq, char_par + prep_par);
+    qufem_telemetry::gauge_set("parallel.characterize_seq_secs", char_seq);
+    qufem_telemetry::gauge_set("parallel.characterize_par_secs", char_par);
+    qufem_telemetry::gauge_set("parallel.prepare_seq_secs", prep_seq);
+    qufem_telemetry::gauge_set("parallel.prepare_par_secs", prep_par);
+    qufem_telemetry::gauge_set("parallel.characterize_speedup", char_speedup);
+    qufem_telemetry::gauge_set("parallel.prepare_speedup", prep_speedup);
+    qufem_telemetry::gauge_set("parallel.pipeline_speedup", pipeline_speedup);
+    qufem_telemetry::gauge_set("parallel.threads", PARALLEL_THREADS as f64);
+    qufem_telemetry::gauge_set(
+        "parallel.host_cores",
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) as f64,
+    );
+
+    let mut table = Table::new(
+        "Extension: pipeline scaling, sequential vs 8 threads (136-qubit preset)",
+        &["Stage", "Seq secs", "Par secs", "Speedup"],
+    );
+    for (stage, seq, par, s) in [
+        ("characterize (from snapshot)", char_seq, char_par, char_speedup),
+        ("prepare (full register)", prep_seq, prep_par, prep_speedup),
+        ("characterize + prepare", char_seq + prep_seq, char_par + prep_par, pipeline_speedup),
+    ] {
+        table.push_row(vec![
+            stage.to_string(),
+            format!("{seq:.3}"),
+            format!("{par:.3}"),
+            format!("{s:.2}x"),
+        ]);
+    }
+    table.note(format!(
+        "{} benchmarking circuits sampled once and shared by both legs; \
+         both legs are bit-identical by construction (see characterize_parallel tests).",
+        report.total_circuits
+    ));
+    table.note(format!(
+        "Host exposes {} core(s); the parallel leg uses {PARALLEL_THREADS} workers, so \
+         speedup saturates at the core count.",
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+    ));
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "characterizes the 136-qubit preset twice; exercised by the exp_all binary"]
+    fn scaling_rows_cover_both_stages() {
+        let opts = RunOptions { quick: true, ..RunOptions::default() };
+        let tables = run(&opts);
+        assert_eq!(tables[0].rows.len(), 3);
+        for row in &tables[0].rows {
+            assert!(row[1].parse::<f64>().unwrap() > 0.0);
+            assert!(row[2].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+}

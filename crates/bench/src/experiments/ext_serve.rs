@@ -52,7 +52,14 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         &["Workers", "Clients", "Requests", "Wall secs", "Req/s"],
     );
     for &workers in &worker_counts {
-        let config = ServeConfig { workers, queue_depth: clients * 2, ..ServeConfig::default() };
+        // Prewarm off: the sweep wants the documented mixed hit/miss stream,
+        // not a pre-populated full-register plan.
+        let config = ServeConfig {
+            workers,
+            queue_depth: clients * 2,
+            prewarm: false,
+            ..ServeConfig::default()
+        };
         let server = Server::start(qufem.clone(), "127.0.0.1:0", config).expect("server starts");
         let addr = server.local_addr();
 
@@ -93,7 +100,39 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     }
     table.note("Mixed measured subsets (full register, evens, odds, half prefix): plan-cache hits and misses both occur.");
     table.note("Not part of the paper; measures the serving layer added on top of the engine.");
-    vec![table]
+
+    // Cold vs warm first-request latency: a cold server pays the
+    // full-register `prepare` inside the first request; a prewarmed server
+    // built it on a background thread at startup (`serve.prewarm` span).
+    let mut latency = Table::new(
+        "Extension: qufem-serve first-request latency (cold vs prewarmed plan cache)",
+        &["Mode", "Prewarm wait secs", "First-request secs"],
+    );
+    for (label, prewarm) in [("cold", false), ("warm", true)] {
+        let config = ServeConfig { workers: 2, prewarm, ..ServeConfig::default() };
+        let server = Server::start(qufem.clone(), "127.0.0.1:0", config).expect("server starts");
+        let wait = Instant::now();
+        if prewarm {
+            server.wait_for_prewarm();
+        }
+        let wait_secs = wait.elapsed().as_secs_f64();
+        let (measured, dist) = &mix[0]; // the full register
+        let mut client = Client::connect(server.local_addr()).expect("client connects");
+        let start = Instant::now();
+        let response = client
+            .request(&Request::calibrate(dist.clone(), Some(measured.clone())))
+            .expect("request round-trips");
+        assert!(response.ok, "serve error: {:?}", response.error);
+        let first_secs = start.elapsed().as_secs_f64();
+        server.shutdown_and_join();
+        latency.push_row(vec![
+            label.to_string(),
+            format!("{wait_secs:.4}"),
+            format!("{first_secs:.4}"),
+        ]);
+    }
+    latency.note("Warm rows wait for the background prewarm before the first request; the wait overlaps server startup in real deployments.");
+    vec![table, latency]
 }
 
 #[cfg(test)]
@@ -108,6 +147,11 @@ mod tests {
         assert_eq!(tables[0].rows.len(), 2);
         for row in &tables[0].rows {
             assert!(row[4].parse::<f64>().unwrap() > 0.0);
+        }
+        // Cold and warm first-request latency rows.
+        assert_eq!(tables[1].rows.len(), 2);
+        for row in &tables[1].rows {
+            assert!(row[2].parse::<f64>().unwrap() > 0.0);
         }
     }
 }

@@ -1,0 +1,42 @@
+//! Memory-accounting regression for the calibration parameters:
+//! `IterationParams` keeps its snapshot behind an `Arc`, so cloning a
+//! `QuFem` — the harness does it for every worker sweep and server start —
+//! must share the stored `BP_i` allocations instead of deep-copying them.
+
+use qufem_bench::memwatch::MemoryAccount;
+use qufem_core::{BenchmarkSnapshot, QuFem, QuFemConfig};
+use qufem_device::presets;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+#[test]
+fn cloned_calibrators_account_a_single_snapshot_set() {
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    let qufem = QuFem::characterize(&presets::ibmq_7(1), config).unwrap();
+    let clones: Vec<QuFem> = (0..8).map(|_| qufem.clone()).collect();
+
+    // Account every *distinct* snapshot allocation across the original and
+    // all clones, deduplicated by Arc pointer identity.
+    let mut account = MemoryAccount::new();
+    let mut seen: HashSet<*const BenchmarkSnapshot> = HashSet::new();
+    let mut distinct_bytes = 0usize;
+    for calibrator in std::iter::once(&qufem).chain(&clones) {
+        for params in calibrator.iterations() {
+            let arc = params.snapshot_arc();
+            if seen.insert(Arc::as_ptr(&arc)) {
+                distinct_bytes += params.snapshot().heap_bytes();
+            }
+        }
+    }
+    account.set("distinct-snapshots", distinct_bytes);
+
+    let single_instance: usize = qufem.iterations().iter().map(|p| p.snapshot().heap_bytes()).sum();
+    assert!(single_instance > 0, "the 7-qubit characterization stores nonempty snapshots");
+    assert_eq!(seen.len(), qufem.iterations().len(), "one allocation per iteration, not per clone");
+    assert_eq!(
+        account.peak(),
+        single_instance,
+        "9 calibrators (original + 8 clones) must account the snapshot bytes of exactly one"
+    );
+}

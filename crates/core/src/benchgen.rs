@@ -11,10 +11,12 @@
 
 use crate::config::QuFemConfig;
 use crate::interaction::{HotInteraction, InteractionTable};
+use crate::parallel;
 use crate::snapshot::{BenchmarkRecord, BenchmarkSnapshot, IdealCondition};
 use qufem_device::{BenchmarkCircuit, Device, QubitOp};
 use qufem_types::{Error, Result};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Summary of a benchmark-generation run (feeds Table 3 and Figure 12a).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -154,6 +156,31 @@ fn random_op<R: Rng + ?Sized>(rng: &mut R) -> QubitOp {
     }
 }
 
+/// Executes a batch of benchmarking circuits against the device across up
+/// to `threads` scoped workers, returning the records in submission order.
+///
+/// Determinism: one child RNG seed per circuit is drawn from the parent
+/// `rng` *before* the fan-out, in submission order (the same seed-split
+/// pattern as `Device::measure_distribution`). Each worker samples shots
+/// from its own `ChaCha8Rng`, so every sampled distribution depends only
+/// on the parent stream position of its circuit — never on the thread
+/// count or the scheduling of the workers.
+fn execute_batch<R: Rng + ?Sized>(
+    device: &Device,
+    circuits: Vec<BenchmarkCircuit>,
+    shots: u64,
+    rng: &mut R,
+    threads: usize,
+) -> Vec<BenchmarkRecord> {
+    let jobs: Vec<(BenchmarkCircuit, u64)> =
+        circuits.into_iter().map(|c| (c, rng.gen::<u64>())).collect();
+    parallel::map_in_order(&jobs, threads, |_, (circuit, seed)| {
+        let mut child = ChaCha8Rng::seed_from_u64(*seed);
+        let dist = device.execute(circuit, shots, &mut child);
+        BenchmarkRecord::new(circuit.clone(), dist)
+    })
+}
+
 /// Runs QuFEM's adaptive benchmark generation against a device, returning
 /// the initial snapshot `BP_1` (paper Algorithm 1, line 1).
 ///
@@ -172,15 +199,32 @@ pub fn generate<R: Rng + ?Sized>(
     config: &QuFemConfig,
     rng: &mut R,
 ) -> Result<(BenchmarkSnapshot, BenchGenReport)> {
+    generate_with_threads(device, config, rng, parallel::configured_threads())
+}
+
+/// [`generate`] with an explicit worker count. The returned snapshot is
+/// **bit-identical at any `threads`** (see [`execute_batch`]); `generate`
+/// delegates here with [`parallel::configured_threads`].
+///
+/// # Errors
+///
+/// Returns [`Error::ResourceExhausted`] if `config.max_benchmark_circuits`
+/// is reached before every interaction satisfies `θ ≤ α`.
+pub fn generate_with_threads<R: Rng + ?Sized>(
+    device: &Device,
+    config: &QuFemConfig,
+    rng: &mut R,
+    threads: usize,
+) -> Result<(BenchmarkSnapshot, BenchGenReport)> {
     let _span = qufem_telemetry::span!("benchgen");
     let n = device.n_qubits();
     let mut snapshot = BenchmarkSnapshot::new(n);
     let mut table = InteractionTable::new(n);
     let initial = config.initial_circuits_per_qubit * n;
-    for _ in 0..initial {
-        let circuit = random_circuit(n, rng);
-        let dist = device.execute(&circuit, config.shots, rng);
-        let record = BenchmarkRecord::new(circuit, dist);
+    // Circuit construction stays on the caller's RNG stream; only the shot
+    // sampling fans out.
+    let seed_batch: Vec<BenchmarkCircuit> = (0..initial).map(|_| random_circuit(n, rng)).collect();
+    for record in execute_batch(device, seed_batch, config.shots, rng, threads) {
         table.add_record(&record);
         snapshot.push(record);
     }
@@ -216,9 +260,8 @@ pub fn generate<R: Rng + ?Sized>(
             pack_round(n, &hot, config.circuits_per_round, rng)
         };
         let budget = config.max_benchmark_circuits - snapshot.len();
-        for circuit in circuits.into_iter().take(budget) {
-            let dist = device.execute(&circuit, config.shots, rng);
-            let record = BenchmarkRecord::new(circuit, dist);
+        let round: Vec<BenchmarkCircuit> = circuits.into_iter().take(budget).collect();
+        for record in execute_batch(device, round, config.shots, rng, threads) {
             table.add_record(&record);
             snapshot.push(record);
         }
@@ -239,10 +282,9 @@ pub fn generate_random_budget<R: Rng + ?Sized>(
 ) -> BenchmarkSnapshot {
     let n = device.n_qubits();
     let mut snapshot = BenchmarkSnapshot::new(n);
-    for _ in 0..count {
-        let circuit = random_circuit(n, rng);
-        let dist = device.execute(&circuit, shots, rng);
-        snapshot.push(BenchmarkRecord::new(circuit, dist));
+    let circuits: Vec<BenchmarkCircuit> = (0..count).map(|_| random_circuit(n, rng)).collect();
+    for record in execute_batch(device, circuits, shots, rng, parallel::configured_threads()) {
+        snapshot.push(record);
     }
     snapshot
 }
@@ -258,6 +300,7 @@ pub fn generate_qubit_independent<R: Rng + ?Sized>(
 ) -> BenchmarkSnapshot {
     let n = device.n_qubits();
     let mut snapshot = BenchmarkSnapshot::new(n);
+    let mut circuits = Vec::with_capacity(2 * n);
     for q in 0..n {
         for bit in [false, true] {
             let ops: Vec<QubitOp> = (0..n)
@@ -269,10 +312,11 @@ pub fn generate_qubit_independent<R: Rng + ?Sized>(
                     }
                 })
                 .collect();
-            let circuit = BenchmarkCircuit::new(ops);
-            let dist = device.execute(&circuit, shots, rng);
-            snapshot.push(BenchmarkRecord::new(circuit, dist));
+            circuits.push(BenchmarkCircuit::new(ops));
         }
+    }
+    for record in execute_batch(device, circuits, shots, rng, parallel::configured_threads()) {
+        snapshot.push(record);
     }
     snapshot
 }

@@ -561,15 +561,7 @@ pub fn execute_sharded(
     out
 }
 
-/// The engine's thread count: `QUFEM_THREADS` when set (values below 1 or
-/// unparsable fall back to 1), otherwise the machine's available
-/// parallelism.
-pub fn configured_threads() -> usize {
-    match std::env::var("QUFEM_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    }
-}
+pub use crate::parallel::configured_threads;
 
 /// Applies one calibration iteration (paper Eq. 7) to a distribution.
 ///

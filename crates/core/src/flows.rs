@@ -6,6 +6,7 @@ use crate::config::QuFemConfig;
 use crate::engine::{self, EngineStats, IterationPlan};
 use crate::interaction::InteractionTable;
 use crate::noisematrix::{group_noise_matrix_with, GroupMatrix};
+use crate::parallel;
 use crate::partition::{self, grouped_pairs, Grouping};
 use crate::snapshot::BenchmarkSnapshot;
 use qufem_device::Device;
@@ -14,6 +15,8 @@ use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Pruning floor applied while self-calibrating the benchmarking
 /// distributions inside the characterization flow (see
@@ -25,20 +28,30 @@ use std::collections::{HashMap, HashSet};
 /// *calibration* flow.
 const MIN_CHARACTERIZATION_BETA: f64 = 1e-3;
 
+/// Cap on the number of measured sets whose prepared calibrations a
+/// [`QuFem`] memoizes (see [`QuFem::prepared`]). When a workload cycles
+/// through more distinct sets than this, the memo is cleared rather than
+/// grown without bound.
+const PREPARED_MEMO_CAP: usize = 32;
+
 /// The static calibration parameters of one iteration: the grouping scheme
 /// `G_i` and the benchmarking distributions `BP_i` (paper Algorithm 1's
 /// output `CP`).
+///
+/// The snapshot sits behind an [`Arc`]: the characterization loop's working
+/// snapshot and the recorded `BP_i` are the same allocation, and cloning a
+/// [`QuFem`] shares every stored snapshot instead of deep-copying them.
 #[derive(Debug, Clone)]
 pub struct IterationParams {
     grouping: Grouping,
-    snapshot: BenchmarkSnapshot,
+    snapshot: Arc<BenchmarkSnapshot>,
 }
 
 impl IterationParams {
     /// Reassembles iteration parameters from their parts (used by the
     /// persistence layer).
     pub(crate) fn from_parts(grouping: Grouping, snapshot: BenchmarkSnapshot) -> Self {
-        IterationParams { grouping, snapshot }
+        IterationParams { grouping, snapshot: Arc::new(snapshot) }
     }
 
     /// The grouping scheme `G_i`.
@@ -50,6 +63,13 @@ impl IterationParams {
     /// probabilities from.
     pub fn snapshot(&self) -> &BenchmarkSnapshot {
         &self.snapshot
+    }
+
+    /// A shared handle to the snapshot. Cheap to clone; memory-accounting
+    /// tests use the pointer identity to verify that [`QuFem::clone`]
+    /// shares rather than duplicates the stored `BP_i`.
+    pub fn snapshot_arc(&self) -> Arc<BenchmarkSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 }
 
@@ -76,6 +96,10 @@ pub struct QuFem {
     iterations: Vec<IterationParams>,
     benchgen_report: Option<BenchGenReport>,
     characterization_engine_stats: EngineStats,
+    /// Prepared calibrations per measured set, built on first use and
+    /// shared across clones (plan construction is deterministic, so
+    /// serving a memoized plan cannot change any output bit).
+    prepared_memo: Arc<Mutex<HashMap<QubitSet, Arc<PreparedCalibration>>>>,
 }
 
 impl QuFem {
@@ -93,6 +117,7 @@ impl QuFem {
             iterations,
             benchgen_report,
             characterization_engine_stats: EngineStats::default(),
+            prepared_memo: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -105,11 +130,29 @@ impl QuFem {
     /// Propagates configuration validation, benchmark-generation budget
     /// exhaustion, and matrix-generation failures.
     pub fn characterize(device: &Device, config: QuFemConfig) -> Result<Self> {
+        Self::characterize_with_threads(device, config, parallel::configured_threads())
+    }
+
+    /// [`QuFem::characterize`] with an explicit worker count for both the
+    /// benchmark sampling and the self-calibration fan-out. The result is
+    /// **bit-identical at any `threads`**; `characterize` delegates here
+    /// with [`parallel::configured_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation, benchmark-generation budget
+    /// exhaustion, and matrix-generation failures.
+    pub fn characterize_with_threads(
+        device: &Device,
+        config: QuFemConfig,
+        threads: usize,
+    ) -> Result<Self> {
         let _span = qufem_telemetry::span!("characterize");
         config.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let (snapshot, report) = benchgen::generate(device, &config, &mut rng)?;
-        let mut qufem = Self::from_snapshot(snapshot, config)?;
+        let (snapshot, report) =
+            benchgen::generate_with_threads(device, &config, &mut rng, threads)?;
+        let mut qufem = Self::from_snapshot_with_threads(snapshot, config, threads)?;
         qufem.benchgen_report = Some(report);
         Ok(qufem)
     }
@@ -123,13 +166,35 @@ impl QuFem {
     ///
     /// Propagates configuration validation and matrix-generation failures.
     pub fn from_snapshot(snapshot: BenchmarkSnapshot, config: QuFemConfig) -> Result<Self> {
+        Self::from_snapshot_with_threads(snapshot, config, parallel::configured_threads())
+    }
+
+    /// [`QuFem::from_snapshot`] with an explicit worker count.
+    ///
+    /// Each iteration fans out twice: the per-measured-set plan builds
+    /// (all distinct sets up front, instead of lazily on first hit) and the
+    /// per-record Eq. 7 self-calibration. Both are pure per-item maps whose
+    /// results merge in submission order, and [`EngineStats::merge`] is a
+    /// sum of integer counters — so the iterations, the merged stats, and
+    /// the exported JSON are **bit-identical at any `threads`**, including
+    /// the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and matrix-generation failures.
+    pub fn from_snapshot_with_threads(
+        snapshot: BenchmarkSnapshot,
+        config: QuFemConfig,
+        threads: usize,
+    ) -> Result<Self> {
         config.validate()?;
+        let threads = threads.max(1);
         let n = snapshot.n_qubits();
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         let mut iterations = Vec::with_capacity(config.iterations);
         let mut stats = EngineStats::default();
         let mut penalized: HashSet<(usize, usize)> = HashSet::new();
-        let mut current = snapshot;
+        let mut current = Arc::new(snapshot);
 
         for i in 0..config.iterations {
             let _iteration_span = qufem_telemetry::span!("iteration", i);
@@ -154,8 +219,9 @@ impl QuFem {
             };
             penalized.extend(grouped_pairs(&grouping));
 
-            // Line 4: record G_i and BP_i.
-            let params = IterationParams { grouping: grouping.clone(), snapshot: current.clone() };
+            // Line 4: record G_i and BP_i (shared, not deep-copied).
+            let params =
+                IterationParams { grouping: grouping.clone(), snapshot: Arc::clone(&current) };
 
             // Lines 5–10: update every benchmarking distribution with Eq. 7.
             // Self-calibration always prunes at least at
@@ -164,40 +230,79 @@ impl QuFem {
             // (4^groups outputs per string). The β under study still applies
             // unmodified in the calibration flow.
             let char_beta = config.beta.max(MIN_CHARACTERIZATION_BETA);
-            let mut next = BenchmarkSnapshot::new(n);
+
             // Matrix generation is deterministic per measured set within one
             // iteration, so records sharing a measured set (the common case:
-            // full-register benchmark circuits) share one plan.
-            let mut plan_cache: HashMap<QubitSet, IterationPlan> = HashMap::new();
-            for record in current.records() {
-                let measured = record.measured_set();
-                if !plan_cache.contains_key(&measured) {
-                    let _phase = phases.enter("matrix-gen");
-                    let groups = build_group_matrices_with(
+            // full-register benchmark circuits) share one plan. All distinct
+            // sets are built up front, concurrently; nested group-level
+            // parallelism takes whatever the set-level fan-out leaves over.
+            let mut set_index: HashMap<QubitSet, usize> = HashMap::new();
+            let mut sets: Vec<QubitSet> = Vec::new();
+            let record_set: Vec<usize> = current
+                .records()
+                .iter()
+                .map(|record| {
+                    let measured = record.measured_set();
+                    *set_index.entry(measured.clone()).or_insert_with(|| {
+                        sets.push(measured);
+                        sets.len() - 1
+                    })
+                })
+                .collect();
+            let (outer, inner) = parallel::split_threads(threads, sets.len());
+            let built: Vec<(IterationPlan, u64)> =
+                parallel::try_map_in_order(&sets, outer, |_, measured| {
+                    let start = phase_clock();
+                    let groups = build_group_matrices_threaded(
                         &current,
                         &grouping,
-                        &measured,
+                        measured,
                         config.joint_group_estimation,
+                        inner,
                     )?;
                     let positions: Vec<usize> = measured.iter().collect();
-                    plan_cache.insert(
-                        measured.clone(),
-                        IterationPlan::build(&positions, &groups, char_beta),
-                    );
+                    let plan = IterationPlan::build(&positions, &groups, char_beta);
+                    Ok((plan, phase_micros(start)))
+                })?;
+            qufem_telemetry::counter_add("characterize.plan_builds", built.len() as u64);
+            let plans: Vec<IterationPlan> = {
+                let mut plans = Vec::with_capacity(built.len());
+                let mut matrix_gen_us = 0u64;
+                for (plan, us) in built {
+                    matrix_gen_us += us;
+                    plans.push(plan);
                 }
-                let plan = &plan_cache[&measured];
-                let updated = {
-                    let _phase = phases.enter("engine");
+                phases.add_micros("matrix-gen", matrix_gen_us, plans.len() as u64);
+                plans
+            };
+
+            let record_results: Vec<(ProbDist, EngineStats, u64)> =
+                parallel::map_in_order(current.records(), threads, |ri, record| {
+                    let start = phase_clock();
+                    let mut local = EngineStats::default();
                     let input = SupportIndex::from_dist(record.dist());
-                    engine::execute(plan, &input, &mut iter_stats).to_dist()
-                };
+                    let updated =
+                        engine::execute(&plans[record_set[ri]], &input, &mut local).to_dist();
+                    (updated, local, phase_micros(start))
+                });
+            qufem_telemetry::counter_add("characterize.records", record_results.len() as u64);
+            let mut next = BenchmarkSnapshot::new(n);
+            let mut engine_us = 0u64;
+            for ((updated, local, us), record) in record_results.into_iter().zip(current.records())
+            {
+                // Record-order merge: EngineStats::merge sums integer
+                // counters, so this equals the sequential accumulation.
+                iter_stats.merge(&local);
+                engine_us += us;
                 next.push(crate::snapshot::BenchmarkRecord::new(record.circuit().clone(), updated));
             }
+            phases.add_micros("engine", engine_us, next.len() as u64);
+
             iter_stats.publish_to(&qufem_telemetry::GlobalSink);
             stats.merge(&iter_stats);
             phases.emit();
             iterations.push(params);
-            current = next;
+            current = Arc::new(next);
         }
 
         Ok(QuFem {
@@ -206,6 +311,7 @@ impl QuFem {
             iterations,
             benchgen_report: None,
             characterization_engine_stats: stats,
+            prepared_memo: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -246,6 +352,24 @@ impl QuFem {
     /// Returns [`Error::QubitOutOfRange`] if `measured` references a qubit
     /// beyond the device and propagates matrix-generation failures.
     pub fn prepare(&self, measured: &QubitSet) -> Result<PreparedCalibration> {
+        self.prepare_with_threads(measured, parallel::configured_threads())
+    }
+
+    /// [`QuFem::prepare`] with an explicit worker count: the `L` iterations
+    /// fan out (each builds its group matrices and plan independently), and
+    /// each iteration's per-group matrix generation fans out over whatever
+    /// the iteration-level split leaves. The prepared plans are
+    /// **bit-identical at any `threads`**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QubitOutOfRange`] if `measured` references a qubit
+    /// beyond the device and propagates matrix-generation failures.
+    pub fn prepare_with_threads(
+        &self,
+        measured: &QubitSet,
+        threads: usize,
+    ) -> Result<PreparedCalibration> {
         let _span = qufem_telemetry::span!("prepare");
         if let Some(&max) = measured.as_slice().last() {
             if max >= self.n_qubits {
@@ -253,17 +377,44 @@ impl QuFem {
             }
         }
         let positions: Vec<usize> = measured.iter().collect();
-        let mut plans = Vec::with_capacity(self.iterations.len());
-        for params in &self.iterations {
-            let groups = build_group_matrices_with(
-                &params.snapshot,
+        let (outer, inner) = parallel::split_threads(threads, self.iterations.len());
+        let plans = parallel::try_map_in_order(&self.iterations, outer, |_, params| {
+            let groups = build_group_matrices_threaded(
+                params.snapshot(),
                 &params.grouping,
                 measured,
                 self.config.joint_group_estimation,
+                inner,
             )?;
-            plans.push(IterationPlan::build(&positions, &groups, self.config.beta));
-        }
+            Ok(IterationPlan::build(&positions, &groups, self.config.beta))
+        })?;
         Ok(PreparedCalibration { width: positions.len(), plans })
+    }
+
+    /// A shared prepared calibration for `measured`, built on first use and
+    /// memoized (capped at [`PREPARED_MEMO_CAP`] distinct sets, shared
+    /// across clones). Repeat callers of [`QuFem::calibrate`] over the same
+    /// measured set skip the redundant matrix generation and plan builds;
+    /// because plan construction is deterministic, the memoized plans
+    /// calibrate to the exact bits a fresh [`QuFem::prepare`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuFem::prepare`] failures.
+    pub fn prepared(&self, measured: &QubitSet) -> Result<Arc<PreparedCalibration>> {
+        if let Some(hit) = self.prepared_memo.lock().expect("prepared memo lock").get(measured) {
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock: preparation can take seconds at scale and
+        // other measured sets should not serialize behind it. If two threads
+        // race on the same set, both build identical plans and the loser's
+        // copy is simply dropped.
+        let built = Arc::new(self.prepare(measured)?);
+        let mut memo = self.prepared_memo.lock().expect("prepared memo lock");
+        if memo.len() >= PREPARED_MEMO_CAP && !memo.contains_key(measured) {
+            memo.clear();
+        }
+        Ok(Arc::clone(memo.entry(measured.clone()).or_insert(built)))
     }
 
     /// Calibrates one measured distribution (paper Algorithm 2).
@@ -290,7 +441,7 @@ impl QuFem {
         measured: &QubitSet,
         stats: &mut EngineStats,
     ) -> Result<ProbDist> {
-        let prepared = self.prepare(measured)?;
+        let prepared = self.prepared(measured)?;
         prepared.apply_with_stats(dist, stats)
     }
 
@@ -392,13 +543,35 @@ pub fn build_group_matrices_with(
     measured: &QubitSet,
     joint: bool,
 ) -> Result<Vec<GroupMatrix>> {
-    let mut out = Vec::new();
-    for group in grouping {
-        if let Some(gm) = group_noise_matrix_with(snapshot, group, measured, joint)? {
-            out.push(gm);
-        }
-    }
-    Ok(out)
+    build_group_matrices_threaded(snapshot, grouping, measured, joint, 1)
+}
+
+/// [`build_group_matrices_with`] fanned out over the groups across up to
+/// `threads` scoped workers. Each group's matrix is a pure function of the
+/// snapshot and the group, and the results keep group order, so the output
+/// is bit-identical at any thread count.
+pub fn build_group_matrices_threaded(
+    snapshot: &BenchmarkSnapshot,
+    grouping: &Grouping,
+    measured: &QubitSet,
+    joint: bool,
+    threads: usize,
+) -> Result<Vec<GroupMatrix>> {
+    let maybe = parallel::try_map_in_order(grouping, threads, |_, group| {
+        group_noise_matrix_with(snapshot, group, measured, joint)
+    })?;
+    Ok(maybe.into_iter().flatten().collect())
+}
+
+/// Starts a phase stopwatch on a parallel worker — `None` (free) when the
+/// telemetry collector is disabled.
+fn phase_clock() -> Option<Instant> {
+    qufem_telemetry::enabled().then(Instant::now)
+}
+
+/// Elapsed microseconds of a [`phase_clock`] stopwatch.
+fn phase_micros(start: Option<Instant>) -> u64 {
+    start.map_or(0, |s| s.elapsed().as_micros() as u64)
 }
 
 /// Convenience wrapper: characterize and calibrate in one call for

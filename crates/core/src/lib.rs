@@ -53,6 +53,7 @@ pub mod engine;
 mod flows;
 mod interaction;
 mod noisematrix;
+pub mod parallel;
 pub mod partition;
 mod persist;
 mod snapshot;
@@ -60,8 +61,8 @@ mod snapshot;
 pub use config::{QuFemConfig, QuFemConfigBuilder};
 pub use engine::{configured_threads, execute, execute_sharded, EngineStats, IterationPlan};
 pub use flows::{
-    build_group_matrices, build_group_matrices_with, calibrate_once, IterationParams,
-    PreparedCalibration, QuFem,
+    build_group_matrices, build_group_matrices_threaded, build_group_matrices_with, calibrate_once,
+    IterationParams, PreparedCalibration, QuFem,
 };
 pub use interaction::{HotInteraction, InteractionTable};
 pub use noisematrix::{group_noise_matrix, group_noise_matrix_with, GroupMatrix};

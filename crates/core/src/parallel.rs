@@ -1,0 +1,199 @@
+//! Deterministic fan-out helpers shared by the engine, the flows, and the
+//! benchmark generator.
+//!
+//! Every parallel path in this codebase holds the same invariant:
+//! **bit-identical output at any thread count**. The pattern that delivers
+//! it (proven first in [`crate::engine::execute_sharded`]) is
+//! *record-and-replay*: the work list is cut into contiguous chunks, each
+//! scoped worker computes its chunk's results independently, and a serial
+//! merge consumes them in submission order. As long as each item's result
+//! is a pure function of the item (no shared mutable state, no
+//! worker-local RNG draws that depend on scheduling), concatenating the
+//! chunks in chunk order reproduces the sequential result stream exactly.
+//!
+//! [`map_in_order`] and [`try_map_in_order`] package that pattern for the
+//! characterization pipeline: per-record Eq. 7 self-calibration, per-group
+//! matrix generation, per-iteration plan building, and per-circuit device
+//! sampling all reduce to "map a pure function over a slice, keep input
+//! order".
+
+/// The pipeline's thread count: `QUFEM_THREADS` when set (values below 1 or
+/// unparsable fall back to 1), otherwise the machine's available
+/// parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var("QUFEM_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Splits `threads` over an outer fan-out of `outer_items` work items,
+/// returning `(outer, inner)` thread counts whose product stays within
+/// `threads`: `outer` workers run concurrently and each may fan out over
+/// `inner` more. Keeps nested parallelism (iterations × groups, measured
+/// sets × groups) from oversubscribing the pool.
+pub fn split_threads(threads: usize, outer_items: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let outer = threads.min(outer_items.max(1));
+    (outer, (threads / outer).max(1))
+}
+
+/// Applies `f` to every item of `items` across up to `threads` scoped
+/// workers and returns the results **in input order**.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them — it
+/// runs on an unspecified worker at an unspecified time. With `threads <= 1`
+/// (or fewer than two items) the map runs inline on the caller's thread;
+/// the result is identical either way.
+pub fn map_in_order<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let chunks: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, item)| f(lo + k, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+    .expect("parallel scope never panics");
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// [`map_in_order`] for fallible `f`: returns the results in input order, or
+/// the error of the lowest-indexed failing item.
+///
+/// Each worker stops its own chunk at the chunk's first error; because the
+/// chunks partition the input contiguously and are merged in chunk order,
+/// the error that surfaces is exactly the one the sequential loop would
+/// have returned first.
+pub fn try_map_in_order<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let chunks: Vec<Result<Vec<R>, E>> = crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, item)| f(lo + k, item))
+                        .collect::<Result<Vec<R>, E>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+    .expect("parallel scope never panics");
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 7, 16, 200] {
+            assert_eq!(map_in_order(&items, threads, |_, &x| x * 3 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn map_passes_global_indices() {
+        let items = vec!["a"; 23];
+        for threads in [1, 4] {
+            let got = map_in_order(&items, threads, |i, _| i);
+            assert_eq!(got, (0..23).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_in_order(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(map_in_order(&[5u8], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 3, 16] {
+            let got: Result<Vec<usize>, usize> =
+                try_map_in_order(&items, threads, |i, &x| if x % 9 == 4 { Err(i) } else { Ok(x) });
+            // Items 4, 13, 22, … fail; the sequential loop stops at 4.
+            assert_eq!(got.unwrap_err(), 4, "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_map_collects_all_on_success() {
+        let items: Vec<usize> = (0..31).collect();
+        for threads in [1, 5] {
+            let got: Result<Vec<usize>, ()> = try_map_in_order(&items, threads, |_, &x| Ok(x * x));
+            assert_eq!(got.unwrap(), items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn split_threads_bounds_the_product() {
+        assert_eq!(split_threads(8, 2), (2, 4));
+        assert_eq!(split_threads(8, 100), (8, 1));
+        assert_eq!(split_threads(1, 5), (1, 1));
+        assert_eq!(split_threads(7, 3), (3, 2));
+        assert_eq!(split_threads(0, 0), (1, 1));
+        for threads in 1..20 {
+            for items in 0..20 {
+                let (outer, inner) = split_threads(threads, items);
+                assert!(outer * inner <= threads.max(1));
+                assert!(outer >= 1 && inner >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+}

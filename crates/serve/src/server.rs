@@ -47,6 +47,10 @@ pub struct ServeConfig {
     pub read_timeout: Option<Duration>,
     /// Prepared-plan LRU capacity (distinct measured sets kept hot).
     pub plan_cache_capacity: usize,
+    /// Build the full-register plan on a background thread at startup, so
+    /// the first full-register request finds it cached instead of paying
+    /// the cold `prepare` latency.
+    pub prewarm: bool,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +61,7 @@ impl Default for ServeConfig {
             max_request_bytes: 8 << 20,
             read_timeout: Some(Duration::from_secs(30)),
             plan_cache_capacity: 8,
+            prewarm: true,
         }
     }
 }
@@ -74,6 +79,7 @@ struct Inner {
     rejected: AtomicU64,
     queue_len: AtomicUsize,
     shutdown: AtomicBool,
+    prewarmed: AtomicBool,
 }
 
 impl Inner {
@@ -97,6 +103,7 @@ pub struct Server {
     inner: Arc<Inner>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    prewarm: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// Cloneable handle for stopping and observing a [`Server`] from another
@@ -128,6 +135,12 @@ impl ServeHandle {
     pub fn rejected(&self) -> u64 {
         self.inner.rejected.load(Ordering::Relaxed)
     }
+
+    /// Whether the startup prewarm has finished (always `false` when
+    /// [`ServeConfig::prewarm`] is off).
+    pub fn prewarmed(&self) -> bool {
+        self.inner.prewarmed.load(Ordering::SeqCst)
+    }
 }
 
 impl Server {
@@ -155,8 +168,26 @@ impl Server {
             rejected: AtomicU64::new(0),
             queue_len: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            prewarmed: AtomicBool::new(false),
             qufem,
             config,
+        });
+
+        // Build the full-register plan off the startup path: the cache's
+        // build-outside-the-lock discipline means a racing first request
+        // either finds the prewarmed entry or builds an identical plan.
+        let prewarm_handle = inner.config.prewarm.then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("qufem-serve-prewarm".to_string())
+                .spawn(move || {
+                    let _span = qufem_telemetry::span!("serve.prewarm");
+                    let full = inner.full_register.clone();
+                    if inner.cache.get_or_build(&full, || inner.qufem.prepare(&full)).is_ok() {
+                        inner.prewarmed.store(true, Ordering::SeqCst);
+                    }
+                })
+                .expect("spawn prewarm thread")
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(inner.config.queue_depth.max(1));
@@ -179,7 +210,15 @@ impl Server {
                 .expect("spawn acceptor thread")
         };
 
-        Ok(Server { inner, acceptor, workers: worker_handles })
+        Ok(Server { inner, acceptor, workers: worker_handles, prewarm: Mutex::new(prewarm_handle) })
+    }
+
+    /// Blocks until the startup prewarm (if configured) has finished, so a
+    /// subsequent full-register request is guaranteed a warm plan cache.
+    pub fn wait_for_prewarm(&self) {
+        if let Some(h) = self.prewarm.lock().expect("prewarm handle lock").take() {
+            let _ = h.join();
+        }
     }
 
     /// The bound socket address (resolves ephemeral ports).
@@ -196,6 +235,9 @@ impl Server {
     /// exited). Call [`ServeHandle::shutdown`] — or send the `shutdown`
     /// command — to make that happen.
     pub fn join(self) {
+        if let Some(h) = self.prewarm.lock().expect("prewarm handle lock").take() {
+            let _ = h.join();
+        }
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();

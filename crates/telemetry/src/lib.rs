@@ -357,6 +357,22 @@ impl PhaseSet {
         PhaseGuard { set: self, name, start }
     }
 
+    /// Adds an externally measured duration to phase `name` (`count` enter
+    /// equivalents). Parallel fan-outs use this to attribute per-worker
+    /// wall time measured off-thread, so a phase's accumulated total still
+    /// sums to what the sequential loop would have recorded. Inert when the
+    /// collector was disabled at construction.
+    pub fn add_micros(&mut self, name: &'static str, dur_us: u64, count: u64) {
+        let Some(inner) = self.inner.as_mut() else { return };
+        match inner.phases.iter_mut().find(|(n, _, _)| *n == name) {
+            Some(slot) => {
+                slot.1 += dur_us;
+                slot.2 += count;
+            }
+            None => inner.phases.push((name, dur_us, count)),
+        }
+    }
+
     /// Records one span per accumulated phase and clears the set.
     pub fn emit(&mut self) {
         let Some(inner) = self.inner.as_mut() else { return };
@@ -825,6 +841,37 @@ mod tests {
         assert_eq!(alpha.label.as_deref(), Some("3 passes"));
         // Packed placement: beta starts where alpha ends.
         assert_eq!(beta.start_us, alpha.start_us + alpha.dur_us);
+    }
+
+    #[test]
+    fn phase_set_add_micros_merges_external_durations() {
+        let _guard = fresh();
+        {
+            let _parent = span!("loop");
+            let mut phases = PhaseSet::new();
+            // Worker-measured time folds into the same slot `enter` uses.
+            phases.add_micros("engine", 40, 2);
+            phases.add_micros("engine", 60, 3);
+            phases.add_micros("matrix-gen", 10, 1);
+            phases.emit();
+        }
+        let snap = snapshot();
+        let engine = snap.spans.iter().find(|s| s.name == "engine").unwrap();
+        assert_eq!(engine.dur_us, 100);
+        assert_eq!(engine.label.as_deref(), Some("5 passes"));
+        let matrix = snap.spans.iter().find(|s| s.name == "matrix-gen").unwrap();
+        assert_eq!(matrix.dur_us, 10);
+    }
+
+    #[test]
+    fn phase_set_add_micros_is_inert_when_disabled() {
+        let _guard = fresh();
+        disable();
+        reset();
+        let mut phases = PhaseSet::new();
+        phases.add_micros("engine", 40, 1);
+        phases.emit();
+        assert!(snapshot().spans.is_empty());
     }
 
     #[test]

@@ -24,6 +24,12 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q -p qufem-core --test plan_execute
 done
 
+echo "==> QUFEM_THREADS matrix: characterization pipeline must be bit-identical"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t cargo test -q -p qufem-core --test characterize_parallel"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-core --test characterize_parallel
+done
+
 echo "==> QUFEM_THREADS matrix: served responses must match in-process calibration"
 for t in 1 4; do
   echo "==> QUFEM_THREADS=$t cargo test -q --test serve"
