@@ -1,10 +1,11 @@
 //! The CTMP-style qubit-independent inversion baseline \[9\].
 
-use crate::{Calibrator, QubitMatrices};
-use qufem_core::benchgen;
+use crate::{Mitigator, PreparedMitigator, PreparedStateless, QubitMatrices};
+use qufem_core::{benchgen, BenchmarkSnapshot};
 use qufem_device::Device;
 use qufem_types::{Error, ProbDist, QubitSet, Result};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Continuous-time-Markov-process-style calibration: model readout noise as
 /// a product of independent single-qubit channels and apply the exact
@@ -40,26 +41,49 @@ impl Ctmp {
         Ok(Ctmp { matrices: QubitMatrices::from_snapshot(&snapshot)?, circuits, cutoff: 1e-8 })
     }
 
+    /// Builds CTMP from an existing benchmarking snapshot (e.g. QuFEM's
+    /// `BP_1`) — the [`crate::standard_registry`] constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-estimation failures.
+    pub fn from_benchmarks(snapshot: &BenchmarkSnapshot) -> Result<Self> {
+        let mut ctmp = Ctmp::from_matrices(QubitMatrices::from_snapshot(snapshot)?);
+        ctmp.circuits = snapshot.len() as u64;
+        Ok(ctmp)
+    }
+
     /// Builds CTMP directly from per-qubit matrices (tests, ablations).
     pub fn from_matrices(matrices: QubitMatrices) -> Self {
         Ctmp { matrices, circuits: 0, cutoff: 1e-8 }
     }
-}
 
-impl Calibrator for Ctmp {
-    fn name(&self) -> &'static str {
-        "CTMP"
-    }
-
-    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
-        let _span = qufem_telemetry::span!("calibrate", "CTMP");
+    /// The tensor-product inverse itself, for one measured set.
+    fn apply_to(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         if dist.width() != measured.len() {
             return Err(Error::WidthMismatch { expected: measured.len(), actual: dist.width() });
         }
         self.matrices.apply_inverse(dist, measured, self.cutoff)
     }
+}
 
-    fn characterization_circuits(&self) -> u64 {
+impl Mitigator for Ctmp {
+    fn name(&self) -> &'static str {
+        "CTMP"
+    }
+
+    fn prepare(&self, measured: &QubitSet) -> Result<Arc<dyn PreparedMitigator>> {
+        let method = self.clone();
+        let measured = measured.clone();
+        Ok(PreparedStateless::boxed(
+            "CTMP",
+            measured.len(),
+            self.matrices.heap_bytes(),
+            move |dist| method.apply_to(dist, &measured),
+        ))
+    }
+
+    fn n_benchmark_circuits(&self) -> u64 {
         self.circuits
     }
 
@@ -142,7 +166,7 @@ mod tests {
         let device = presets::ibmq_7(3);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let ctmp = Ctmp::characterize(&device, 2000, &mut rng).unwrap();
-        assert_eq!(ctmp.characterization_circuits(), 14);
+        assert_eq!(ctmp.n_benchmark_circuits(), 14);
         let measured = QubitSet::full(7);
         let ideal = qufem_circuits::ghz(7);
         let noisy = device.measure_distribution(&ideal, &measured, 4000, &mut rng);

@@ -1,12 +1,13 @@
 //! The golden (exhaustive) matrix-based calibration baseline.
 
-use crate::Calibrator;
+use crate::{Mitigator, PreparedMitigator};
+use qufem_core::EngineStats;
 use qufem_device::Device;
 use qufem_linalg::{Lu, Matrix};
 use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
 use rand::Rng;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The paper's baseline calibration: characterize the full `2^m × 2^m`
 /// noise matrix by preparing every basis state (Eq. 3), then solve
@@ -21,8 +22,9 @@ pub struct Golden {
     max_qubits: usize,
     matrix_source: MatrixSource,
     circuits_executed: u64,
-    /// LU factorizations cached per measured set.
-    cache: RefCell<HashMap<QubitSet, CachedSystem>>,
+    /// LU factorizations cached per measured set, shared with the prepared
+    /// handles [`Mitigator::prepare`] gives out.
+    cache: Mutex<HashMap<QubitSet, Arc<CachedSystem>>>,
 }
 
 #[derive(Debug)]
@@ -86,7 +88,7 @@ impl Golden {
             max_qubits,
             matrix_source: MatrixSource::Sampled { columns },
             circuits_executed: dim as u64,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -105,7 +107,7 @@ impl Golden {
             max_qubits,
             matrix_source: MatrixSource::Exact { matrices },
             circuits_executed: 0,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -117,18 +119,17 @@ impl Golden {
         }
     }
 
-    fn solve(&self, measured: &QubitSet, dist: &ProbDist) -> Result<ProbDist> {
+    /// The LU-factorized system for a measured set, factorized on first use
+    /// and cached (shared with any prepared handles already given out).
+    fn system(&self, measured: &QubitSet) -> Result<Arc<CachedSystem>> {
         let m = measured.len();
-        if dist.width() != m {
-            return Err(Error::WidthMismatch { expected: m, actual: dist.width() });
-        }
         if m > self.max_qubits {
             return Err(Error::ResourceExhausted(format!(
                 "golden solve over {m} qubits exceeds the {}-qubit bound",
                 self.max_qubits
             )));
         }
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock().expect("golden LU cache lock");
         if !cache.contains_key(measured) {
             let matrix = self.noise_matrix(measured).ok_or_else(|| {
                 Error::MissingCharacterization(format!(
@@ -138,17 +139,36 @@ impl Golden {
             let bytes = matrix.heap_bytes();
             cache.insert(
                 measured.clone(),
-                CachedSystem { lu: Lu::factorize(&matrix)?, matrix_bytes: bytes },
+                Arc::new(CachedSystem { lu: Lu::factorize(&matrix)?, matrix_bytes: bytes }),
             );
         }
-        let system = cache.get(measured).expect("inserted above");
+        Ok(Arc::clone(cache.get(measured).expect("inserted above")))
+    }
+}
 
+/// Golden calibration prepared for one measured set: the LU factorization
+/// of its full noise matrix, shared with the owning [`Golden`]'s cache.
+#[derive(Debug)]
+struct PreparedGolden {
+    width: usize,
+    system: Arc<CachedSystem>,
+}
+
+impl PreparedMitigator for PreparedGolden {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn apply_with_stats(&self, dist: &ProbDist, _stats: &mut EngineStats) -> Result<ProbDist> {
+        let _span = qufem_telemetry::span!("calibrate", "Golden");
+        let m = self.width;
+        dist.check_width(m)?;
         let dim = 1usize << m;
         let mut b = vec![0.0; dim];
         for (k, v) in dist.iter() {
             b[k.to_index().expect("width m <= word size")] = v;
         }
-        let x = system.lu.solve(&b)?;
+        let x = self.system.lu.solve(&b)?;
         let mut out = ProbDist::new(m);
         for (idx, &v) in x.iter().enumerate() {
             if v != 0.0 {
@@ -157,19 +177,22 @@ impl Golden {
         }
         Ok(out)
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.system.matrix_bytes
+    }
 }
 
-impl Calibrator for Golden {
+impl Mitigator for Golden {
     fn name(&self) -> &'static str {
         "Golden"
     }
 
-    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
-        let _span = qufem_telemetry::span!("calibrate", "Golden");
-        self.solve(measured, dist)
+    fn prepare(&self, measured: &QubitSet) -> Result<Arc<dyn PreparedMitigator>> {
+        Ok(Arc::new(PreparedGolden { width: measured.len(), system: self.system(measured)? }))
     }
 
-    fn characterization_circuits(&self) -> u64 {
+    fn n_benchmark_circuits(&self) -> u64 {
         self.circuits_executed
     }
 
@@ -178,7 +201,14 @@ impl Calibrator for Golden {
             MatrixSource::Sampled { columns } => columns.values().map(Matrix::heap_bytes).sum(),
             MatrixSource::Exact { matrices } => matrices.values().map(Matrix::heap_bytes).sum(),
         };
-        matrices + self.cache.borrow().values().map(|s| s.matrix_bytes).sum::<usize>()
+        matrices
+            + self
+                .cache
+                .lock()
+                .expect("golden LU cache lock")
+                .values()
+                .map(|s| s.matrix_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -210,7 +240,7 @@ mod tests {
         device.reset_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let golden = Golden::characterize(&device, &measured, 500, 8, &mut rng).unwrap();
-        assert_eq!(golden.characterization_circuits(), 16);
+        assert_eq!(golden.n_benchmark_circuits(), 16);
         assert_eq!(device.stats().circuits(), 16);
     }
 

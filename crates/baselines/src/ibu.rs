@@ -1,11 +1,12 @@
 //! Iterative Bayesian unfolding (IBU) baseline \[50\].
 
-use crate::{Calibrator, QubitMatrices};
-use qufem_core::benchgen;
+use crate::{Mitigator, PreparedMitigator, PreparedStateless, QubitMatrices};
+use qufem_core::{benchgen, BenchmarkSnapshot};
 use qufem_device::Device;
 use qufem_types::{BitString, ProbDist, QubitSet, Result, SupportIndex};
 use rand::Rng;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Iterative Bayesian unfolding over a qubit-independent noise model.
 ///
@@ -43,6 +44,9 @@ pub struct Ibu {
 }
 
 impl Ibu {
+    /// Default [`Ibu::max_domain`] cap (used by every constructor).
+    pub const DEFAULT_MAX_DOMAIN: usize = 4096;
+
     /// Characterizes per-qubit matrices with `2·N_q` qubit-independent
     /// circuits.
     ///
@@ -59,8 +63,21 @@ impl Ibu {
             max_iterations: 1000,
             tolerance: 1e-5,
             domain_radius: 1,
-            max_domain: 4096,
+            max_domain: Self::DEFAULT_MAX_DOMAIN,
         })
+    }
+
+    /// Builds IBU from an existing benchmarking snapshot (e.g. QuFEM's
+    /// `BP_1`), estimating the per-qubit matrices from its conditional
+    /// marginals — the [`crate::standard_registry`] constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-estimation failures.
+    pub fn from_benchmarks(snapshot: &BenchmarkSnapshot) -> Result<Self> {
+        let mut ibu = Ibu::from_matrices(QubitMatrices::from_snapshot(snapshot)?);
+        ibu.circuits = snapshot.len() as u64;
+        Ok(ibu)
     }
 
     /// Builds IBU directly from per-qubit matrices (tests, ablations).
@@ -71,7 +88,7 @@ impl Ibu {
             max_iterations: 1000,
             tolerance: 1e-5,
             domain_radius: 1,
-            max_domain: 4096,
+            max_domain: Self::DEFAULT_MAX_DOMAIN,
         }
     }
 
@@ -110,15 +127,9 @@ impl Ibu {
         }
         domain
     }
-}
 
-impl Calibrator for Ibu {
-    fn name(&self) -> &'static str {
-        "IBU"
-    }
-
-    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
-        let _span = qufem_telemetry::span!("calibrate", "IBU");
+    /// The Bayesian unfolding itself, for one measured set.
+    fn apply_to(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         let positions: Vec<usize> = measured.iter().collect();
         dist.check_width(positions.len())?;
         let observed = SupportIndex::positive_from_dist(dist);
@@ -174,8 +185,25 @@ impl Calibrator for Ibu {
         }
         Ok(out)
     }
+}
 
-    fn characterization_circuits(&self) -> u64 {
+impl Mitigator for Ibu {
+    fn name(&self) -> &'static str {
+        "IBU"
+    }
+
+    fn prepare(&self, measured: &QubitSet) -> Result<Arc<dyn PreparedMitigator>> {
+        let method = self.clone();
+        let measured = measured.clone();
+        Ok(PreparedStateless::boxed(
+            "IBU",
+            measured.len(),
+            self.matrices.heap_bytes(),
+            move |dist| method.apply_to(dist, &measured),
+        ))
+    }
+
+    fn n_benchmark_circuits(&self) -> u64 {
         self.circuits
     }
 
@@ -246,7 +274,7 @@ mod tests {
         device.reset_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let ibu = Ibu::characterize(&device, 500, &mut rng).unwrap();
-        assert_eq!(ibu.characterization_circuits(), 14);
+        assert_eq!(ibu.n_benchmark_circuits(), 14);
         assert_eq!(device.stats().circuits(), 14);
     }
 

@@ -1,11 +1,12 @@
 //! The M3 (matrix-free measurement mitigation) baseline \[37\].
 
-use crate::{Calibrator, QubitMatrices};
-use qufem_core::benchgen;
+use crate::{Mitigator, PreparedMitigator, PreparedStateless, QubitMatrices};
+use qufem_core::{benchgen, BenchmarkSnapshot};
 use qufem_device::Device;
 use qufem_linalg::{gmres, GmresOptions};
 use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 use rand::Rng;
+use std::sync::Arc;
 
 /// IBM's M3: restrict the assignment matrix to the *observed* bit strings,
 /// prune entries beyond a Hamming-distance threshold, renormalize the
@@ -53,6 +54,18 @@ impl M3 {
         })
     }
 
+    /// Builds M3 from an existing benchmarking snapshot (e.g. QuFEM's
+    /// `BP_1`) — the [`crate::standard_registry`] constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-estimation failures.
+    pub fn from_benchmarks(snapshot: &BenchmarkSnapshot) -> Result<Self> {
+        let mut m3 = M3::from_matrices(QubitMatrices::from_snapshot(snapshot)?);
+        m3.circuits = snapshot.len() as u64;
+        Ok(m3)
+    }
+
     /// Builds M3 directly from per-qubit matrices (tests, ablations).
     pub fn from_matrices(matrices: QubitMatrices) -> Self {
         M3 {
@@ -69,15 +82,9 @@ impl M3 {
     pub fn subspace_dim(dist: &ProbDist) -> usize {
         dist.iter().filter(|(_, p)| *p > 0.0).count()
     }
-}
 
-impl Calibrator for M3 {
-    fn name(&self) -> &'static str {
-        "M3"
-    }
-
-    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
-        let _span = qufem_telemetry::span!("calibrate", "M3");
+    /// The reduced-subspace GMRES solve itself, for one measured set.
+    fn apply_to(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         let positions: Vec<usize> = measured.iter().collect();
         dist.check_width(positions.len())?;
         let observed = SupportIndex::positive_from_dist(dist);
@@ -148,8 +155,25 @@ impl Calibrator for M3 {
         }
         Ok(out)
     }
+}
 
-    fn characterization_circuits(&self) -> u64 {
+impl Mitigator for M3 {
+    fn name(&self) -> &'static str {
+        "M3"
+    }
+
+    fn prepare(&self, measured: &QubitSet) -> Result<Arc<dyn PreparedMitigator>> {
+        let method = self.clone();
+        let measured = measured.clone();
+        Ok(PreparedStateless::boxed(
+            "M3",
+            measured.len(),
+            self.matrices.heap_bytes(),
+            move |dist| method.apply_to(dist, &measured),
+        ))
+    }
+
+    fn n_benchmark_circuits(&self) -> u64 {
         self.circuits
     }
 
@@ -236,7 +260,7 @@ mod tests {
         device.reset_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let m3 = M3::characterize(&device, 500, &mut rng).unwrap();
-        assert_eq!(m3.characterization_circuits(), 14);
+        assert_eq!(m3.n_benchmark_circuits(), 14);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The Q-BEEP-style Hamming-spectrum Bayesian baseline \[53\].
 
-use crate::{Calibrator, QubitMatrices};
-use qufem_core::benchgen;
+use crate::{Mitigator, PreparedMitigator, PreparedStateless, QubitMatrices};
+use qufem_core::{benchgen, BenchmarkSnapshot};
 use qufem_device::Device;
 use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Q-BEEP-style calibration: Bayesian reallocation of probability mass over
 /// the Hamming spectrum using a Poisson model of bit-flip counts.
@@ -46,6 +47,18 @@ impl QBeep {
         })
     }
 
+    /// Builds Q-BEEP from an existing benchmarking snapshot (e.g. QuFEM's
+    /// `BP_1`) — the [`crate::standard_registry`] constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-estimation failures.
+    pub fn from_benchmarks(snapshot: &BenchmarkSnapshot) -> Result<Self> {
+        let mut qbeep = QBeep::from_matrices(QubitMatrices::from_snapshot(snapshot)?);
+        qbeep.circuits = snapshot.len() as u64;
+        Ok(qbeep)
+    }
+
     /// Builds Q-BEEP directly from per-qubit matrices (tests, ablations).
     pub fn from_matrices(matrices: QubitMatrices) -> Self {
         QBeep { matrices, circuits: 0, iterations: 20, max_nodes: 50_000 }
@@ -72,13 +85,9 @@ fn poisson_pmf(k: usize, lambda: f64) -> f64 {
     log_p.exp()
 }
 
-impl Calibrator for QBeep {
-    fn name(&self) -> &'static str {
-        "Q-BEEP"
-    }
-
-    fn calibrate(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
-        let _span = qufem_telemetry::span!("calibrate", "QBeep");
+impl QBeep {
+    /// The Poisson-Hamming reallocation itself, for one measured set.
+    fn apply_to(&self, dist: &ProbDist, measured: &QubitSet) -> Result<ProbDist> {
         let positions: Vec<usize> = measured.iter().collect();
         if dist.width() != positions.len() {
             return Err(Error::WidthMismatch { expected: positions.len(), actual: dist.width() });
@@ -158,8 +167,25 @@ impl Calibrator for QBeep {
         }
         Ok(out)
     }
+}
 
-    fn characterization_circuits(&self) -> u64 {
+impl Mitigator for QBeep {
+    fn name(&self) -> &'static str {
+        "Q-BEEP"
+    }
+
+    fn prepare(&self, measured: &QubitSet) -> Result<Arc<dyn PreparedMitigator>> {
+        let method = self.clone();
+        let measured = measured.clone();
+        Ok(PreparedStateless::boxed(
+            "QBeep",
+            measured.len(),
+            self.matrices.heap_bytes(),
+            move |dist| method.apply_to(dist, &measured),
+        ))
+    }
+
+    fn n_benchmark_circuits(&self) -> u64 {
         self.circuits
     }
 
@@ -243,7 +269,7 @@ mod tests {
         device.reset_stats();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let qbeep = QBeep::characterize(&device, 500, &mut rng).unwrap();
-        assert_eq!(qbeep.characterization_circuits(), 14);
+        assert_eq!(qbeep.n_benchmark_circuits(), 14);
     }
 
     #[test]

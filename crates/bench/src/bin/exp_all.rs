@@ -103,6 +103,13 @@ fn main() {
                     .push((gauge.trim_start_matches("parallel.").to_string(), Value::Float(value)));
             }
         }
+        // Per-method apply latency from the registry sweeps (table4):
+        // `method_apply.<id>_secs` gauges, one per registered method.
+        for (name, &value) in &snapshot.gauges {
+            if name.starts_with("method_apply.") {
+                fields.push((name.clone(), Value::Float(value)));
+            }
+        }
         summary.push((stem.to_string(), Value::Map(fields)));
         eprintln!("[exp_all] {stem} finished in {wall_secs:.1}s");
     }

@@ -13,7 +13,7 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ibu};
+use qufem_baselines::{Ibu, Mitigator};
 use qufem_core::{QuFem, QuFemConfig};
 use qufem_device::{presets, Device, Topology};
 use rand::SeedableRng;
@@ -64,7 +64,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     );
     let mut sums = [0.0f64; 3];
     for w in &ws {
-        let methods: [&dyn Calibrator; 3] = [&ibu, &product, &joint];
+        let methods: [&dyn Mitigator; 3] = [&ibu, &product, &joint];
         let mut row = vec![w.name.clone(), format!("{:.4}", w.baseline_fidelity())];
         for (mi, method) in methods.iter().enumerate() {
             let out = method.calibrate(&w.noisy, &w.measured).expect("calibrates");

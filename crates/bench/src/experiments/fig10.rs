@@ -3,14 +3,12 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ibu, M3};
 use qufem_circuits::Algorithm;
 use qufem_metrics::hellinger_fidelity;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Runs the GHZ scaling experiment on subsets of the 136-qubit device:
-/// QuFEM vs M3 vs IBU, absolute Hellinger fidelity after calibration.
+/// the registry methods that scale to 136 qubits (IBU, M3, QuFEM),
+/// absolute Hellinger fidelity after calibration.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let device = crate::experiments::device_for(136, opts.seed);
     let n = device.n_qubits();
@@ -19,31 +17,32 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         if opts.quick { vec![10, 30] } else { vec![10, 30, 50, 70, 90, 110, 131] };
 
     let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x10);
-    let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
-    let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
-    ibu.max_iterations = 200;
+    // The size gate drops CTMP and Q-BEEP, leaving IBU, M3, QuFEM.
+    let methods = crate::experiments::registry_methods(&qufem, n);
 
+    let mut headers = vec!["#Qubits".to_string(), "Uncalibrated".to_string()];
+    headers.extend(methods.iter().map(|run| run.display.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "Figure 10: GHZ output fidelity, 10- to 131-qubit subsets of the 136-qubit device",
-        &["#Qubits", "Uncalibrated", "IBU [50]", "M3 [37]", "QuFEM"],
+        &header_refs,
     );
     for &k in &sizes {
         // Contiguous physical qubits keep the GHZ chain local, as on hardware.
         let subset: qufem_types::QubitSet = (0..k).collect();
         let w = workloads::subset_workload(&device, Algorithm::Ghz, &subset, shots, opts.seed);
         let mut row = vec![k.to_string(), format!("{:.4}", w.baseline_fidelity())];
-        let methods: [&dyn Calibrator; 3] = [&ibu, &m3, &qufem];
-        let mut cells = vec![String::new(); 3];
-        for (mi, method) in methods.iter().enumerate() {
-            let out = method.calibrate(&w.noisy, &w.measured).expect("calibrates");
+        for run in &methods {
+            let out = run.mitigator.calibrate(&w.noisy, &w.measured).expect("calibrates");
             let f = hellinger_fidelity(&out.project_to_probabilities(), &w.ideal);
-            cells[mi] = format!("{f:.4}");
+            row.push(format!("{f:.4}"));
         }
-        row.extend(cells);
         table.push_row(row);
     }
     table.note("Absolute Hellinger fidelity to the ideal GHZ distribution (paper plots the same).");
+    table.note(
+        "Baselines are instantiated from QuFEM's first benchmarking snapshot (registry replay).",
+    );
     vec![table]
 }
 

@@ -4,7 +4,7 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, M3};
+use qufem_baselines::{Mitigator, M3};
 use qufem_core::{benchgen, QuFem, QuFemConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -4,34 +4,21 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
     let device = crate::experiments::device_for(n, opts.seed);
     let shots = crate::experiments::shots_for(n, opts.quick);
     let ws = workloads::algorithm_workloads(&device, shots, opts.seed);
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x99);
 
+    // One characterization run; every registry method replays its snapshot.
     let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
-    let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
-    let ctmp = Ctmp::characterize(&device, shots, &mut rng).expect("characterizes");
-    let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
-    ibu.max_iterations = 200;
-    let qbeep = if include_qbeep {
-        Some(QBeep::characterize(&device, shots, &mut rng).expect("characterizes"))
-    } else {
-        None
-    };
-
-    let mut methods: Vec<&dyn Calibrator> = vec![&qufem, &m3, &ctmp, &ibu];
-    if let Some(ref q) = qbeep {
-        methods.push(q);
-    }
+    let methods: Vec<_> = crate::experiments::registry_methods(&qufem, n)
+        .into_iter()
+        .filter(|run| include_qbeep || run.id != "qbeep")
+        .collect();
 
     let mut headers = vec!["Algorithm".to_string(), "Fidelity (uncal.)".to_string()];
-    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    headers.extend(methods.iter().map(|run| run.display.to_string()));
     if !include_qbeep {
         headers.push("Q-BEEP [53]".to_string());
     }
@@ -47,8 +34,9 @@ fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
     let mut sums = vec![0.0f64; methods.len()];
     for w in &ws {
         let mut row = vec![w.name.clone(), format!("{:.4}", w.baseline_fidelity())];
-        for (mi, method) in methods.iter().enumerate() {
-            let calibrated = method.calibrate(&w.noisy, &w.measured).expect("calibration succeeds");
+        for (mi, run) in methods.iter().enumerate() {
+            let calibrated =
+                run.mitigator.calibrate(&w.noisy, &w.measured).expect("calibration succeeds");
             let rf = w.relative_fidelity(&calibrated);
             sums[mi] += rf;
             row.push(format!("{rf:.4}"));
@@ -67,6 +55,9 @@ fn run_device(n: usize, include_qbeep: bool, opts: &RunOptions) -> Table {
     }
     table.push_row(avg_row);
     table.note("Relative fidelity = F(calibrated, ideal) / F(measured, ideal); < 1 marks a calibration failure.");
+    table.note(
+        "Baselines are instantiated from QuFEM's first benchmarking snapshot (registry replay).",
+    );
     table
 }
 
@@ -92,7 +83,8 @@ mod tests {
         let t = &tables[0];
         assert_eq!(t.rows.len(), 8); // 7 algorithms + average
         let avg = t.rows.last().unwrap();
-        let qufem_avg: f64 = avg[2].parse().unwrap();
+        // Registry (sorted-id) order puts QuFEM in the last column.
+        let qufem_avg: f64 = avg.last().unwrap().parse().unwrap();
         assert!(qufem_avg > 1.0, "QuFEM should improve on average, got {qufem_avg}");
     }
 }

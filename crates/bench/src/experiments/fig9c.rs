@@ -4,7 +4,7 @@
 use crate::report::Table;
 use crate::workloads;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Golden, Ibu};
+use qufem_baselines::{Golden, Ibu, Mitigator};
 use qufem_circuits::Algorithm;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -42,7 +42,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 workloads::subset_workload(&device, alg, &subset, shots, opts.seed + rep as u64);
             let golden = Golden::characterize(&device, &subset, shots, 12, &mut rng)
                 .expect("10-qubit golden fits");
-            let methods: [&dyn Calibrator; 3] = [&qufem, &ibu, &golden];
+            let methods: [&dyn Mitigator; 3] = [&qufem, &ibu, &golden];
             for (mi, method) in methods.iter().enumerate() {
                 let out = method.calibrate(&w.noisy, &w.measured).expect("calibrates");
                 sums[mi] += w.relative_fidelity(&out);

@@ -23,8 +23,10 @@ pub mod table4;
 pub mod table5;
 pub mod table6;
 
-use qufem_core::{QuFem, QuFemConfig};
+use qufem_baselines::{standard_registry, Mitigator};
+use qufem_core::{MethodOptions, QuFem, QuFemConfig};
 use qufem_device::{presets, Device};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Times a closure, returning its value and the elapsed seconds.
@@ -90,6 +92,80 @@ pub fn table_sizes(quick: bool) -> Vec<usize> {
 /// interpolation size).
 pub fn device_for(n: usize, seed: u64) -> Device {
     presets::for_qubits(n, seed)
+}
+
+/// Display label (paper citation form) for a standard-registry method id.
+pub fn method_display(id: &str) -> &'static str {
+    match id {
+        "ibu" => "IBU [50]",
+        "ctmp" => "CTMP [9]",
+        "m3" => "M3 [37]",
+        "qbeep" => "Q-BEEP [53]",
+        "qufem" => "QuFEM",
+        _ => "?",
+    }
+}
+
+/// Largest device (qubits) at which a method still finishes in the
+/// single-threaded harness, mirroring the paper's time-outs; `None` means
+/// the method runs at every size.
+pub fn method_max_qubits(id: &str) -> Option<usize> {
+    match id {
+        "qbeep" => Some(18), // exponential state-graph growth
+        "ctmp" => Some(49),  // full tensor-product inversion
+        _ => None,
+    }
+}
+
+/// Per-method option overrides the sweeps use (the paper's evaluation
+/// settings).
+pub fn method_sweep_options(id: &str) -> MethodOptions {
+    let mut options = MethodOptions::new();
+    if id == "ibu" {
+        options.insert("max_iterations".to_string(), 200.0);
+    }
+    options
+}
+
+/// One registry method instantiated for a sweep.
+pub struct MethodRun {
+    /// Registry id (`"qufem"`, `"ibu"`, …).
+    pub id: String,
+    /// Table-header label, in the paper's citation form.
+    pub display: &'static str,
+    /// The instantiated method.
+    pub mitigator: Arc<dyn Mitigator>,
+}
+
+/// Instantiates every standard-registry method from one characterized
+/// QuFEM, in registry (sorted-id) order. QuFEM serves itself; the
+/// baselines are built from its first benchmarking snapshot (`BP_1`) with
+/// [`method_sweep_options`] applied — the same snapshot-replay path the
+/// serve daemon uses, so sweep numbers and served numbers agree. Methods
+/// gated below `n_qubits` by [`method_max_qubits`] are skipped.
+///
+/// # Panics
+///
+/// Panics if `qufem` carries no iterations or a registry build fails
+/// (harness bugs, not input errors).
+pub fn registry_methods(qufem: &QuFem, n_qubits: usize) -> Vec<MethodRun> {
+    let registry = standard_registry(qufem.config().clone());
+    let snapshot = qufem.iterations().first().expect("characterized calibrator").snapshot();
+    registry
+        .ids()
+        .into_iter()
+        .filter(|id| method_max_qubits(id).is_none_or(|max| n_qubits <= max))
+        .map(|id| {
+            let mitigator: Arc<dyn Mitigator> = if id == "qufem" {
+                Arc::new(qufem.clone())
+            } else {
+                registry
+                    .build(&id, snapshot, &method_sweep_options(&id))
+                    .expect("standard registry builds its own methods")
+            };
+            MethodRun { display: method_display(&id), mitigator, id }
+        })
+        .collect()
 }
 
 /// Builds the device used by the per-size cost sweeps (Tables 3-5): a grid

@@ -4,7 +4,7 @@
 
 use crate::report::Table;
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Golden, Ibu, M3};
+use qufem_baselines::{Golden, Ibu, Mitigator, M3};
 use qufem_linalg::Matrix;
 use qufem_metrics::residual_hs_distance;
 use qufem_types::{BitString, QubitSet};
@@ -74,7 +74,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     table.push_row(vec![
         "Golden (sampled)".into(),
         "full 2^n matrix".into(),
-        golden.characterization_circuits().to_string(),
+        golden.n_benchmark_circuits().to_string(),
         "Exp.".into(),
         format!("{:.4}", residual_hs_distance(&real, &golden_matrix)),
     ]);
@@ -86,7 +86,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     table.push_row(vec![
         "IBU [50]".into(),
         "qubit-independent ⊗".into(),
-        ibu.characterization_circuits().to_string(),
+        ibu.n_benchmark_circuits().to_string(),
         "Exp.".into(),
         format!("{:.4}", residual_hs_distance(&real, &ibu_matrix)),
     ]);
@@ -103,7 +103,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     table.push_row(vec![
         "M3 [37]".into(),
         "sparsity-aware (d≤3)".into(),
-        m3.characterization_circuits().to_string(),
+        m3.n_benchmark_circuits().to_string(),
         "Exp.".into(),
         format!("{:.4}", residual_hs_distance(&real, &m3_matrix)),
     ]);
@@ -115,7 +115,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     table.push_row(vec![
         "QuFEM".into(),
         "FEM (grouped ⊗, iterated)".into(),
-        Calibrator::characterization_circuits(&qufem).to_string(),
+        Mitigator::n_benchmark_circuits(&qufem).to_string(),
         "Poly.".into(),
         format!("{:.4}", residual_hs_distance(&real, &qufem_matrix)),
     ]);

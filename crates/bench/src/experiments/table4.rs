@@ -10,14 +10,13 @@
 //! beyond via an exponential fit — estimated cells carry the paper's `~`
 //! marker.
 
+use crate::experiments::MethodRun;
 use crate::fit;
-use crate::memwatch::MemoryAccount;
 use crate::report::{fmt_estimate, fmt_mb, fmt_seconds, Table};
 use crate::workloads::{self, Workload};
 use crate::RunOptions;
-use qufem_baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qufem_baselines::Ibu;
+use qufem_core::EngineStats;
 
 /// Per-method measurement at one size: `None` means the method was gated
 /// (would time out) at this size.
@@ -32,24 +31,60 @@ fn entry_bytes(n: usize) -> f64 {
     (n.div_ceil(64) * 8 + 48) as f64
 }
 
-fn calibrate_all(method: &dyn Calibrator, workloads: &[Workload]) -> (f64, usize) {
+/// Prepares a method once and applies it to every workload, returning
+/// `(apply seconds, max output support, prepared heap, engine stats)`.
+fn calibrate_all(run: &MethodRun, workloads: &[Workload]) -> (f64, usize, usize, EngineStats) {
+    let prepared =
+        run.mitigator.prepare(&workloads[0].measured).expect("prepare succeeds on supported sizes");
+    let mut stats = EngineStats::default();
     let mut max_support = 0usize;
-    // Timings come from the telemetry collector: every Calibrator opens a
-    // "calibrate" span per call, so the sum of spans completed after `mark`
-    // is exactly this method's calibration time. The stopwatch is only a
-    // fallback for a disabled collector.
+    // Timings come from the telemetry collector: every prepared mitigator
+    // opens a "calibrate" span per apply, so the sum of spans completed
+    // after `mark` is exactly this method's calibration time. The stopwatch
+    // is only a fallback for a disabled collector.
     let mark = qufem_telemetry::mark();
     let (_, wall) = crate::experiments::timed(|| {
         for w in workloads {
-            let out = method
-                .calibrate(&w.noisy, &w.measured)
+            let out = prepared
+                .apply_with_stats(&w.noisy, &mut stats)
                 .expect("calibration must succeed on supported sizes");
             max_support = max_support.max(out.support_len());
         }
     });
     let spans = qufem_telemetry::span_secs_since(mark, "calibrate");
     let seconds = if spans > 0.0 { spans } else { wall };
-    (seconds, max_support)
+    (seconds, max_support, prepared.heap_bytes(), stats)
+}
+
+/// Structure-size memory accounting for one method run (DESIGN.md §1):
+/// the prepared structures plus the method-specific transient that
+/// dominates its footprint.
+fn account_bytes(
+    run: &MethodRun,
+    n: usize,
+    workloads: &[Workload],
+    max_support: usize,
+    prepared_heap: usize,
+    stats: &EngineStats,
+) -> f64 {
+    let observed = workloads.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0);
+    let extra = match run.id.as_str() {
+        // Response matrix: observed support × restricted domain.
+        "ibu" => {
+            let domain = (observed * (n + 1)).min(Ibu::DEFAULT_MAX_DOMAIN);
+            observed as f64 * domain as f64 * 8.0
+        }
+        // Reduced-matrix footprint: |S|² entries within the Hamming ball.
+        "m3" => {
+            let s = observed as f64;
+            s * s * 16.0
+        }
+        // Peak intermediate support from the engine counters.
+        "qufem" => stats.peak_output_support as f64 * entry_bytes(n),
+        // Quasi-probability output support (CTMP, Q-BEEP).
+        _ => max_support as f64 * entry_bytes(n),
+    };
+    prepared_heap as f64 + extra
 }
 
 /// Builds the workload set for a size: algorithm outputs up to 18 qubits,
@@ -66,83 +101,33 @@ fn workload_set(n: usize, quick: bool, seed: u64) -> Vec<Workload> {
 }
 
 /// Runs the cost sweep, returning `[Table 4 (time), Table 5 (memory)]`.
+///
+/// Every standard-registry method is driven through the same loop:
+/// characterize QuFEM once per size, instantiate the registry from its
+/// first benchmarking snapshot, then prepare + apply each method on the
+/// shared workload set. Methods gated by
+/// [`crate::experiments::method_max_qubits`] are extrapolated via an
+/// exponential fit over the sizes they did run at.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     qufem_telemetry::enable();
     let sizes = crate::experiments::table_sizes(opts.quick);
-    let method_names = ["IBU [50]", "CTMP [9]", "M3 [37]", "Q-BEEP [53]", "QuFEM"];
+    let config = crate::experiments::qufem_config_for(sizes[0], opts.quick, opts.seed);
+    let method_ids = qufem_baselines::standard_registry(config).ids();
+    let method_names: Vec<&'static str> =
+        method_ids.iter().map(|id| crate::experiments::method_display(id)).collect();
     // measured[method][size_index] = Some(cost) if executed.
-    let mut measured: Vec<Vec<Option<Cost>>> = vec![vec![None; sizes.len()]; method_names.len()];
+    let mut measured: Vec<Vec<Option<Cost>>> = vec![vec![None; sizes.len()]; method_ids.len()];
 
     for (si, &n) in sizes.iter().enumerate() {
         let device = crate::experiments::sweep_device_for(n, opts.seed);
-        let shots = crate::experiments::shots_for(n, opts.quick);
         let ws = workload_set(n, opts.quick, opts.seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x44);
-
-        // IBU — runs at every size thanks to the restricted domain.
-        {
-            let mut ibu = Ibu::characterize(&device, shots, &mut rng).expect("characterizes");
-            ibu.max_iterations = 200;
-            let (seconds, _) = calibrate_all(&ibu, &ws);
-            let domain = ws
-                .iter()
-                .map(|w| (w.noisy.support_len() * (n + 1)).min(ibu.max_domain))
-                .max()
-                .unwrap_or(0);
-            let response_bytes = ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64
-                * domain as f64
-                * 8.0;
-            let mut mem = MemoryAccount::new();
-            mem.set("matrices", ibu.heap_bytes());
-            mem.add("response", response_bytes as usize);
-            measured[0][si] = Some(Cost { seconds, bytes: mem.peak() as f64 });
-        }
-
-        // CTMP — full tensor inversion, gated at 49 qubits.
-        if n <= 49 {
-            let ctmp = Ctmp::characterize(&device, shots, &mut rng).expect("characterizes");
-            let (seconds, support) = calibrate_all(&ctmp, &ws);
-            let bytes = ctmp.heap_bytes() as f64 + support as f64 * entry_bytes(n);
-            measured[1][si] = Some(Cost { seconds, bytes });
-        }
-
-        // M3 — observed-subspace GMRES, runs at every size.
-        {
-            let m3 = M3::characterize(&device, shots, &mut rng).expect("characterizes");
-            let (seconds, _) = calibrate_all(&m3, &ws);
-            // Reduced-matrix footprint: |S|² entries within the Hamming ball.
-            let s = ws.iter().map(|w| w.noisy.support_len()).max().unwrap_or(0) as f64;
-            let bytes = m3.heap_bytes() as f64 + s * s * 16.0;
-            measured[2][si] = Some(Cost { seconds, bytes });
-        }
-
-        // Q-BEEP — exponential state-graph growth, gated at 18 qubits.
-        if n <= 18 {
-            let qbeep = QBeep::characterize(&device, shots, &mut rng).expect("characterizes");
-            let (seconds, support) = calibrate_all(&qbeep, &ws);
-            let bytes = qbeep.heap_bytes() as f64 + support as f64 * entry_bytes(n);
-            measured[3][si] = Some(Cost { seconds, bytes });
-        }
-
-        // QuFEM — characterize once, prepare once, calibrate everything.
-        {
-            let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
-            let measured_set = ws[0].measured.clone();
-            let prepared = qufem.prepare(&measured_set).expect("prepare succeeds");
-            let mut stats = qufem_core::EngineStats::default();
-            let mark = qufem_telemetry::mark();
-            let (_, wall) = crate::experiments::timed(|| {
-                for w in &ws {
-                    let _ = prepared
-                        .apply_with_stats(&w.noisy, &mut stats)
-                        .expect("calibration succeeds");
-                }
-            });
-            let spans = qufem_telemetry::span_secs_since(mark, "calibrate");
-            let seconds = if spans > 0.0 { spans } else { wall };
-            let bytes =
-                prepared.heap_bytes() as f64 + stats.peak_output_support as f64 * entry_bytes(n);
-            measured[4][si] = Some(Cost { seconds, bytes });
+        let qufem = crate::experiments::characterize_qufem(&device, opts.quick, opts.seed);
+        for run in crate::experiments::registry_methods(&qufem, n) {
+            let mi = method_ids.iter().position(|id| *id == run.id).expect("registry id");
+            let (seconds, max_support, prepared_heap, stats) = calibrate_all(&run, &ws);
+            let bytes = account_bytes(&run, n, &ws, max_support, prepared_heap, &stats);
+            qufem_telemetry::gauge_set(&format!("method_apply.{}_secs", run.id), seconds);
+            measured[mi][si] = Some(Cost { seconds, bytes });
         }
     }
 
@@ -188,9 +173,10 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     }
 
     // Complexity annotation rows from the measured QuFEM points.
+    let qufem_idx = method_ids.iter().position(|id| id == "qufem").expect("qufem is registered");
     let qufem_pts: Vec<(f64, f64, f64)> = sizes
         .iter()
-        .zip(&measured[4])
+        .zip(&measured[qufem_idx])
         .filter_map(|(&x, c)| c.map(|c| (x as f64, c.seconds, c.bytes)))
         .collect();
     if qufem_pts.len() >= 3 {

@@ -203,7 +203,7 @@ pub fn generate<R: Rng + ?Sized>(
 }
 
 /// [`generate`] with an explicit worker count. The returned snapshot is
-/// **bit-identical at any `threads`** (see [`execute_batch`]); `generate`
+/// **bit-identical at any `threads`** (see `execute_batch`); `generate`
 /// delegates here with [`parallel::configured_threads`].
 ///
 /// # Errors

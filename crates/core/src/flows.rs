@@ -392,7 +392,7 @@ impl QuFem {
     }
 
     /// A shared prepared calibration for `measured`, built on first use and
-    /// memoized (capped at [`PREPARED_MEMO_CAP`] distinct sets, shared
+    /// memoized (capped at `PREPARED_MEMO_CAP` distinct sets, shared
     /// across clones). Repeat callers of [`QuFem::calibrate`] over the same
     /// measured set skip the redundant matrix generation and plan builds;
     /// because plan construction is deterministic, the memoized plans
@@ -596,6 +596,12 @@ pub struct PreparedCalibration {
 }
 
 impl PreparedCalibration {
+    /// Number of measured qubits the plans were prepared for (the required
+    /// input distribution width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
     /// Calibrates one distribution over the prepared measured set.
     ///
     /// # Errors

@@ -52,6 +52,7 @@ mod config;
 pub mod engine;
 mod flows;
 mod interaction;
+pub mod mitigate;
 mod noisematrix;
 pub mod parallel;
 pub mod partition;
@@ -65,6 +66,7 @@ pub use flows::{
     IterationParams, PreparedCalibration, QuFem,
 };
 pub use interaction::{HotInteraction, InteractionTable};
+pub use mitigate::{MethodOptions, MethodRegistry, Mitigator, PreparedMitigator};
 pub use noisematrix::{group_noise_matrix, group_noise_matrix_with, GroupMatrix};
 pub use partition::Grouping;
 pub use persist::{IterationData, QuFemData, RecordData};

@@ -151,7 +151,7 @@ impl ReadoutNoiseModel {
         Ok(())
     }
 
-    /// Adds a correlated pair-flip event (see [`CorrelatedFlip`]).
+    /// Adds a correlated pair-flip event (see `CorrelatedFlip`).
     ///
     /// # Errors
     ///

@@ -1,19 +1,24 @@
-//! LRU cache of [`PreparedCalibration`] plans keyed by measured qubit set.
+//! LRU cache of prepared mitigations keyed by `(method id, measured set)`.
 //!
-//! The expensive part of answering a calibrate request is not the engine
-//! walk but re-deriving the per-iteration sub-noise matrices and execution
-//! plans for the request's measured set ([`qufem_core::QuFem::prepare`]).
-//! The server keeps the most recently used prepared plans; plan
-//! construction is deterministic per measured set, so serving from the
-//! cache cannot change any response bit.
+//! The expensive part of answering a calibrate request is not the apply but
+//! re-deriving the method's calibration data for the request's measured set
+//! ([`qufem_core::Mitigator::prepare`] — for QuFEM, the per-iteration
+//! sub-noise matrices and execution plans). The server keeps the most
+//! recently used prepared objects across *all* methods in one LRU;
+//! preparation is deterministic per `(method, measured set)`, so serving
+//! from the cache cannot change any response bit.
 
-use qufem_core::PreparedCalibration;
+use qufem_core::PreparedMitigator;
 use qufem_types::{QubitSet, Result};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Thread-safe LRU map from measured [`QubitSet`] to a shared
-/// [`PreparedCalibration`].
+/// Cache key: method id plus measured qubit set. Two methods prepared for
+/// the same measured set occupy distinct entries.
+type PlanKey = (String, QubitSet);
+
+/// Thread-safe LRU map from `(method id, measured [`QubitSet`])` to a
+/// shared prepared mitigation.
 #[derive(Debug)]
 pub struct PlanCache {
     inner: Mutex<Lru>,
@@ -22,26 +27,26 @@ pub struct PlanCache {
 
 #[derive(Debug, Default)]
 struct Lru {
-    plans: HashMap<QubitSet, Arc<PreparedCalibration>>,
+    plans: HashMap<PlanKey, Arc<dyn PreparedMitigator>>,
     /// Keys ordered least-recently-used first.
-    order: Vec<QubitSet>,
+    order: Vec<PlanKey>,
     hits: u64,
     misses: u64,
 }
 
 impl PlanCache {
-    /// Creates a cache holding at most `capacity` prepared plans
-    /// (`capacity` of 0 behaves like 1: the current plan is always kept).
+    /// Creates a cache holding at most `capacity` prepared mitigations
+    /// (`capacity` of 0 behaves like 1: the current entry is always kept).
     pub fn new(capacity: usize) -> Self {
         PlanCache { inner: Mutex::new(Lru::default()), capacity: capacity.max(1) }
     }
 
-    /// Maximum number of cached plans.
+    /// Maximum number of cached entries.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Number of plans currently cached.
+    /// Number of entries currently cached.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("plan cache lock").plans.len()
     }
@@ -57,12 +62,12 @@ impl PlanCache {
         (lru.hits, lru.misses)
     }
 
-    /// Returns the cached plan for `measured`, building and inserting it
-    /// with `build` on a miss (evicting the least recently used entry once
-    /// over capacity).
+    /// Returns the cached preparation for `(method, measured)`, building
+    /// and inserting it with `build` on a miss (evicting the least recently
+    /// used entry once over capacity).
     ///
-    /// `build` runs outside the cache lock, so a slow plan build does not
-    /// stall requests for already-cached sets; if two workers race on the
+    /// `build` runs outside the cache lock, so a slow preparation does not
+    /// stall requests for already-cached keys; if two workers race on the
     /// same missing key the loser's build is discarded in favour of the
     /// winner's (both are bit-identical by construction).
     ///
@@ -71,25 +76,27 @@ impl PlanCache {
     /// Propagates `build` errors without caching anything.
     pub fn get_or_build(
         &self,
+        method: &str,
         measured: &QubitSet,
-        build: impl FnOnce() -> Result<PreparedCalibration>,
-    ) -> Result<Arc<PreparedCalibration>> {
+        build: impl FnOnce() -> Result<Arc<dyn PreparedMitigator>>,
+    ) -> Result<Arc<dyn PreparedMitigator>> {
+        let key: PlanKey = (method.to_string(), measured.clone());
         {
             let mut lru = self.inner.lock().expect("plan cache lock");
-            if let Some(plan) = lru.plans.get(measured).cloned() {
+            if let Some(plan) = lru.plans.get(&key).cloned() {
                 lru.hits += 1;
-                lru.touch(measured);
+                lru.touch(&key);
                 return Ok(plan);
             }
             lru.misses += 1;
         }
-        let built = Arc::new(build()?);
+        let built = build()?;
         let mut lru = self.inner.lock().expect("plan cache lock");
-        let plan = match lru.plans.get(measured).cloned() {
+        let plan = match lru.plans.get(&key).cloned() {
             Some(existing) => existing, // lost a race; keep the first insert
             None => {
-                lru.plans.insert(measured.clone(), Arc::clone(&built));
-                lru.order.push(measured.clone());
+                lru.plans.insert(key.clone(), Arc::clone(&built));
+                lru.order.push(key.clone());
                 while lru.plans.len() > self.capacity {
                     let evicted = lru.order.remove(0);
                     lru.plans.remove(&evicted);
@@ -97,14 +104,14 @@ impl PlanCache {
                 built
             }
         };
-        lru.touch(measured);
+        lru.touch(&key);
         Ok(plan)
     }
 }
 
 impl Lru {
     /// Moves `key` to the most-recently-used end.
-    fn touch(&mut self, key: &QubitSet) {
+    fn touch(&mut self, key: &PlanKey) {
         if let Some(pos) = self.order.iter().position(|k| k == key) {
             let k = self.order.remove(pos);
             self.order.push(k);
@@ -115,7 +122,7 @@ impl Lru {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qufem_core::{QuFem, QuFemConfig};
+    use qufem_core::{Mitigator, QuFem, QuFemConfig};
     use qufem_device::presets;
 
     fn qufem() -> QuFem {
@@ -138,14 +145,14 @@ mod tests {
             [4usize, 5].into_iter().collect(),
         ];
         for s in &sets {
-            cache.get_or_build(s, || qufem.prepare(s)).unwrap();
+            cache.get_or_build("qufem", s, || Mitigator::prepare(&qufem, s)).unwrap();
         }
         assert_eq!(cache.len(), 2, "capacity bound");
         // sets[0] was least recently used and must have been evicted:
         // rebuilding it counts a miss, sets[2] a hit.
         let (_, misses_before) = cache.stats();
-        cache.get_or_build(&sets[2], || qufem.prepare(&sets[2])).unwrap();
-        cache.get_or_build(&sets[0], || qufem.prepare(&sets[0])).unwrap();
+        cache.get_or_build("qufem", &sets[2], || Mitigator::prepare(&qufem, &sets[2])).unwrap();
+        cache.get_or_build("qufem", &sets[0], || Mitigator::prepare(&qufem, &sets[0])).unwrap();
         let (hits, misses) = cache.stats();
         assert_eq!(misses, misses_before + 1, "evicted set rebuilt");
         assert_eq!(hits, 1, "cached set served without rebuild");
@@ -158,27 +165,46 @@ mod tests {
         let a: QubitSet = [0usize, 1].into_iter().collect();
         let b: QubitSet = [2usize, 3].into_iter().collect();
         let c: QubitSet = [4usize, 5].into_iter().collect();
-        cache.get_or_build(&a, || qufem.prepare(&a)).unwrap();
-        cache.get_or_build(&b, || qufem.prepare(&b)).unwrap();
+        cache.get_or_build("qufem", &a, || Mitigator::prepare(&qufem, &a)).unwrap();
+        cache.get_or_build("qufem", &b, || Mitigator::prepare(&qufem, &b)).unwrap();
         // Touch `a`, then insert `c`: `b` is now the LRU victim.
-        cache.get_or_build(&a, || qufem.prepare(&a)).unwrap();
-        cache.get_or_build(&c, || qufem.prepare(&c)).unwrap();
+        cache.get_or_build("qufem", &a, || Mitigator::prepare(&qufem, &a)).unwrap();
+        cache.get_or_build("qufem", &c, || Mitigator::prepare(&qufem, &c)).unwrap();
         let mut rebuilt_b = false;
         cache
-            .get_or_build(&b, || {
+            .get_or_build("qufem", &b, || {
                 rebuilt_b = true;
-                qufem.prepare(&b)
+                Mitigator::prepare(&qufem, &b)
             })
             .unwrap();
         assert!(rebuilt_b, "b should have been evicted after a was touched");
         let mut rebuilt_c = false;
         cache
-            .get_or_build(&c, || {
+            .get_or_build("qufem", &c, || {
                 rebuilt_c = true;
-                qufem.prepare(&c)
+                Mitigator::prepare(&qufem, &c)
             })
             .unwrap();
         assert!(!rebuilt_c, "c must still be cached");
+    }
+
+    #[test]
+    fn method_id_is_part_of_the_key() {
+        let qufem = qufem();
+        let cache = PlanCache::new(4);
+        let s: QubitSet = [0usize, 1].into_iter().collect();
+        cache.get_or_build("qufem", &s, || Mitigator::prepare(&qufem, &s)).unwrap();
+        let mut built_other = false;
+        cache
+            .get_or_build("other", &s, || {
+                built_other = true;
+                Mitigator::prepare(&qufem, &s)
+            })
+            .unwrap();
+        assert!(built_other, "same measured set under another method id must miss");
+        assert_eq!(cache.len(), 2);
+        let (hits, _) = cache.stats();
+        assert_eq!(hits, 0);
     }
 
     #[test]
@@ -186,7 +212,9 @@ mod tests {
         let qufem = qufem();
         let cache = PlanCache::new(2);
         let out_of_range: QubitSet = [0usize, 99].into_iter().collect();
-        assert!(cache.get_or_build(&out_of_range, || qufem.prepare(&out_of_range)).is_err());
+        assert!(cache
+            .get_or_build("qufem", &out_of_range, || Mitigator::prepare(&qufem, &out_of_range))
+            .is_err());
         assert_eq!(cache.len(), 0);
     }
 }

@@ -4,23 +4,29 @@
 //! artifact**: characterization is expensive and device-specific, but once
 //! computed it calibrates arbitrarily many programs' outputs (Eq. 7, §3.2).
 //! This crate serves that artifact over TCP so clients do not have to link
-//! the library or re-run characterization: a [`Server`] holds one
-//! characterized [`qufem_core::QuFem`] in memory, keeps an LRU cache of
-//! prepared plans per measured qubit set, and answers newline-delimited
-//! JSON requests from a bounded worker pool.
+//! the library or re-run characterization: a [`Server`] holds a
+//! characterized [`qufem_core::QuFem`] plus a [`qufem_core::MethodRegistry`]
+//! of alternative methods in memory, keeps one LRU cache of prepared
+//! mitigations keyed by `(method, measured qubit set)`, and answers
+//! newline-delimited JSON requests from a bounded worker pool.
 //!
 //! ```text
 //! → {"cmd":"calibrate","measured":[0,1,2],"dist":[3,["000",0.9],["111",0.1]]}
 //! ← {"ok":true,"dist":[3,…],"stats":{…}}
+//! → {"cmd":"calibrate","method":"m3","dist":[3,["000",0.9],["111",0.1]]}
+//! ← {"ok":true,"dist":[3,…]}
 //! → {"cmd":"status"}
-//! ← {"ok":true,"status":{"n_qubits":7,…}}
+//! ← {"ok":true,"status":{"n_qubits":7,"methods":["qufem",…],…}}
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true}
 //! ```
 //!
-//! Responses are **bit-identical** to calling
-//! [`qufem_core::PreparedCalibration::apply`] in-process on the same input
+//! Responses are **bit-identical** to calling the selected method's
+//! [`qufem_core::Mitigator::prepare`] + apply in-process on the same input
 //! — the server adds transport, caching, and concurrency, never numerics.
+//! Requests that omit `method` (including every pre-registry client) are
+//! served by [`ServeConfig::default_method`]; an unknown method id fails
+//! only that request with an error frame.
 //! Operational limits (frame size, queue depth, timeouts) and the
 //! backpressure policy are documented on [`ServeConfig`] and in the
 //! README's "Serving" section.

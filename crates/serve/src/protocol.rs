@@ -6,7 +6,7 @@
 //! round-trip tests below — it is a compatibility surface, change it only
 //! with a protocol version bump.
 
-use qufem_core::EngineStats;
+use qufem_core::{EngineStats, MethodOptions};
 use qufem_types::ProbDist;
 use serde::{Deserialize, Serialize};
 
@@ -32,22 +32,66 @@ pub struct Request {
     /// The measured distribution to calibrate (required by `calibrate`).
     #[serde(default)]
     pub dist: Option<ProbDist>,
+    /// Calibration method id for `calibrate` (defaults to the server's
+    /// default method; requests from older clients omit this field). An
+    /// unknown id fails *that request* with an error frame — the connection
+    /// stays open.
+    #[serde(default)]
+    pub method: Option<String>,
+    /// Per-request method options for `calibrate` (e.g. `max_iterations`
+    /// for `ibu`). When present and non-empty the method is rebuilt for
+    /// this request with the overrides applied, bypassing the plan cache.
+    #[serde(default)]
+    pub options: Option<MethodOptions>,
 }
 
 impl Request {
-    /// A `calibrate` request over an explicit measured set.
+    /// A `calibrate` request over an explicit measured set, using the
+    /// server's default method.
     pub fn calibrate(dist: ProbDist, measured: Option<Vec<usize>>) -> Self {
-        Request { cmd: CMD_CALIBRATE.to_string(), measured, dist: Some(dist) }
+        Request {
+            cmd: CMD_CALIBRATE.to_string(),
+            measured,
+            dist: Some(dist),
+            method: None,
+            options: None,
+        }
+    }
+
+    /// Selects an explicit calibration method for this request.
+    #[must_use]
+    pub fn with_method(mut self, method: impl Into<String>) -> Self {
+        self.method = Some(method.into());
+        self
+    }
+
+    /// Attaches per-request method options.
+    #[must_use]
+    pub fn with_options(mut self, options: MethodOptions) -> Self {
+        self.options = Some(options);
+        self
     }
 
     /// A `status` request.
     pub fn status() -> Self {
-        Request { cmd: CMD_STATUS.to_string(), measured: None, dist: None }
+        Request {
+            cmd: CMD_STATUS.to_string(),
+            measured: None,
+            dist: None,
+            method: None,
+            options: None,
+        }
     }
 
     /// A `shutdown` request.
     pub fn shutdown() -> Self {
-        Request { cmd: CMD_SHUTDOWN.to_string(), measured: None, dist: None }
+        Request {
+            cmd: CMD_SHUTDOWN.to_string(),
+            measured: None,
+            dist: None,
+            method: None,
+            options: None,
+        }
     }
 }
 
@@ -68,6 +112,12 @@ pub struct StatusInfo {
     pub plan_cache_capacity: usize,
     /// Worker threads serving connections.
     pub workers: usize,
+    /// Method ids this server can calibrate with (sorted).
+    #[serde(default)]
+    pub methods: Vec<String>,
+    /// Method used when a request omits `method`.
+    #[serde(default)]
+    pub default_method: String,
 }
 
 /// One response frame.
@@ -103,6 +153,12 @@ impl Response {
     /// A calibration result response.
     pub fn calibrated(dist: ProbDist, stats: EngineStats) -> Self {
         Response { ok: true, error: None, dist: Some(dist), stats: Some(stats), status: None }
+    }
+
+    /// A calibration result from a method that reports no engine counters
+    /// (the stateless baselines).
+    pub fn calibrated_without_stats(dist: ProbDist) -> Self {
+        Response { ok: true, error: None, dist: Some(dist), stats: None, status: None }
     }
 
     /// A status response.
@@ -155,5 +211,57 @@ mod tests {
         assert_eq!(req.cmd, CMD_STATUS);
         assert!(req.measured.is_none());
         assert!(req.dist.is_none());
+        assert!(req.method.is_none());
+        assert!(req.options.is_none());
+    }
+
+    #[test]
+    fn request_with_method_and_options_round_trips() {
+        let mut dist = ProbDist::new(2);
+        dist.set(BitString::zeros(2), 1.0);
+        let mut options = MethodOptions::new();
+        options.insert("max_iterations".to_string(), 50.0);
+        let req = Request::calibrate(dist, None).with_method("ibu").with_options(options.clone());
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"method\":\"ibu\""), "json: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method.as_deref(), Some("ibu"));
+        assert_eq!(back.options, Some(options));
+    }
+
+    #[test]
+    fn old_method_less_wire_format_still_parses() {
+        // The exact calibrate line shape shipped before the method field
+        // existed — old clients must keep working against new servers.
+        let dist =
+            ProbDist::from_pairs(2, [(BitString::from_binary_str("10").unwrap(), 0.75)]).unwrap();
+        let dist_json = serde_json::to_string(&dist).unwrap();
+        let line = format!(r#"{{"cmd":"calibrate","measured":[0,1],"dist":{dist_json}}}"#);
+        let req: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(req.cmd, CMD_CALIBRATE);
+        assert_eq!(req.measured, Some(vec![0, 1]));
+        assert!(req.method.is_none(), "missing method must default to None");
+        assert!(req.options.is_none());
+
+        // Likewise old StatusInfo frames without methods/default_method.
+        let status: StatusInfo = serde_json::from_str(
+            r#"{"n_qubits":7,"iterations":2,"requests":0,"rejected":0,
+                "plan_cache_len":0,"plan_cache_capacity":8,"workers":4}"#,
+        )
+        .unwrap();
+        assert!(status.methods.is_empty());
+        assert!(status.default_method.is_empty());
+    }
+
+    #[test]
+    fn calibrated_without_stats_omits_counters() {
+        let mut dist = ProbDist::new(1);
+        dist.set(BitString::zeros(1), 1.0);
+        let resp = Response::calibrated_without_stats(dist);
+        assert!(resp.ok);
+        assert!(resp.stats.is_none());
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert!(back.stats.is_none());
+        assert!(back.dist.is_some());
     }
 }

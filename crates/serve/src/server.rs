@@ -12,19 +12,39 @@
 //! then lets the workers drain every already-accepted connection: requests
 //! whose bytes reached the server are answered, never dropped.
 //!
+//! ## Methods
+//!
+//! The server hosts a [`MethodRegistry`]: every registered method can be
+//! selected per request via the optional `method` field (defaulting to
+//! [`ServeConfig::default_method`]). The [`QuFem`] instance handed to
+//! [`Server::start`] is always served under id `"qufem"` — exactly that
+//! instance, so wire responses match its in-process `prepare` + `apply`
+//! bit for bit. Other methods are built lazily, once, from the first
+//! benchmarking snapshot (`BP_1`) of that instance; registry constructors
+//! are deterministic functions of the snapshot, so a server-side build is
+//! bit-identical to the same build done in process. An unknown `method`
+//! (or a bad per-method option) fails only that request with an error
+//! frame — the connection survives — and increments the
+//! `serve.unknown_method` counter.
+//!
 //! ## Determinism
 //!
 //! Calibration goes through the exact library path
-//! ([`PreparedCalibration::apply_sharded`]), whose output is bit-identical
-//! to the sequential in-process result at any `QUFEM_THREADS` setting, and
-//! plans are cached per measured set ([`PlanCache`]) — so a response is
-//! byte-for-byte reproducible no matter which worker serves it, how many
-//! clients are connected, or whether the plan was cached.
+//! ([`qufem_core::PreparedMitigator::apply_sharded`]), whose output is
+//! bit-identical to the sequential in-process result at any
+//! `QUFEM_THREADS` setting for every method (the baselines are sequential
+//! by construction), and preparations are cached per `(method, measured
+//! set)` ([`PlanCache`]) — so a response is byte-for-byte reproducible no
+//! matter which worker serves it, how many clients are connected, or
+//! whether the preparation was cached.
 
 use crate::cache::PlanCache;
 use crate::protocol::{Request, Response, StatusInfo, CMD_CALIBRATE, CMD_SHUTDOWN, CMD_STATUS};
-use qufem_core::{engine, EngineStats, QuFem};
-use qufem_types::QubitSet;
+use qufem_core::{
+    engine, BenchmarkSnapshot, EngineStats, MethodOptions, MethodRegistry, Mitigator, QuFem,
+};
+use qufem_types::{Error, QubitSet, Result};
+use std::collections::{BTreeSet, HashMap};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -47,10 +67,17 @@ pub struct ServeConfig {
     pub read_timeout: Option<Duration>,
     /// Prepared-plan LRU capacity (distinct measured sets kept hot).
     pub plan_cache_capacity: usize,
-    /// Build the full-register plan on a background thread at startup, so
-    /// the first full-register request finds it cached instead of paying
-    /// the cold `prepare` latency.
+    /// Build the default method's full-register preparation on a background
+    /// thread at startup, so the first full-register request finds it
+    /// cached instead of paying the cold `prepare` latency. Only the
+    /// default method is warmed; others prepare lazily on first request.
     pub prewarm: bool,
+    /// Methods servable by string id (e.g. `qufem_baselines::standard_registry`).
+    /// The served [`QuFem`] instance is always available as `"qufem"` even
+    /// when the registry is empty.
+    pub registry: Arc<MethodRegistry>,
+    /// Method used when a request omits the `method` field.
+    pub default_method: String,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +89,8 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(30)),
             plan_cache_capacity: 8,
             prewarm: true,
+            registry: Arc::new(MethodRegistry::new()),
+            default_method: "qufem".to_string(),
         }
     }
 }
@@ -70,6 +99,14 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 struct Inner {
     qufem: QuFem,
+    /// First benchmarking snapshot (`BP_1`) of the served instance — the
+    /// data registry constructors build other methods from.
+    snapshot: Arc<BenchmarkSnapshot>,
+    /// Methods instantiated so far, keyed by id. Seeded with the served
+    /// [`QuFem`] under `"qufem"`; registry methods are built lazily on
+    /// first request and kept for the server's lifetime (a handful of
+    /// per-qubit matrices each — preparations live in `cache` instead).
+    methods: Mutex<HashMap<String, Arc<dyn Mitigator>>>,
     cache: PlanCache,
     config: ServeConfig,
     full_register: QubitSet,
@@ -94,6 +131,28 @@ impl Inner {
 
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The mitigator for `id`: the memoized instance, or a fresh registry
+    /// build from the served snapshot (memoized for subsequent requests).
+    ///
+    /// Built outside the table lock; a racing loser's build is discarded in
+    /// favour of the winner's (registry constructors are deterministic, so
+    /// both are bit-identical).
+    fn mitigator_for(&self, id: &str) -> Result<Arc<dyn Mitigator>> {
+        if let Some(m) = self.methods.lock().expect("method table lock").get(id) {
+            return Ok(Arc::clone(m));
+        }
+        let built = self.config.registry.build(id, &self.snapshot, &MethodOptions::new())?;
+        let mut methods = self.methods.lock().expect("method table lock");
+        Ok(Arc::clone(methods.entry(id.to_string()).or_insert(built)))
+    }
+
+    /// Sorted union of instantiated and registered method ids.
+    fn method_ids(&self) -> Vec<String> {
+        let mut ids: BTreeSet<String> = self.config.registry.ids().into_iter().collect();
+        ids.extend(self.methods.lock().expect("method table lock").keys().cloned());
+        ids.into_iter().collect()
     }
 }
 
@@ -159,7 +218,19 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let n_qubits = qufem.n_qubits();
+        let snapshot = qufem
+            .iterations()
+            .first()
+            .map(|it| it.snapshot_arc())
+            .unwrap_or_else(|| Arc::new(BenchmarkSnapshot::new(n_qubits)));
+        // The served instance answers id "qufem" directly — never a
+        // registry rebuild — so its wire responses match its in-process
+        // prepare + apply bit for bit.
+        let mut methods: HashMap<String, Arc<dyn Mitigator>> = HashMap::new();
+        methods.insert("qufem".to_string(), Arc::new(qufem.clone()));
         let inner = Arc::new(Inner {
+            snapshot,
+            methods: Mutex::new(methods),
             cache: PlanCache::new(config.plan_cache_capacity),
             full_register: QubitSet::full(n_qubits),
             local_addr,
@@ -173,9 +244,10 @@ impl Server {
             config,
         });
 
-        // Build the full-register plan off the startup path: the cache's
-        // build-outside-the-lock discipline means a racing first request
-        // either finds the prewarmed entry or builds an identical plan.
+        // Build the default method's full-register preparation off the
+        // startup path: the cache's build-outside-the-lock discipline means
+        // a racing first request either finds the prewarmed entry or builds
+        // an identical one.
         let prewarm_handle = inner.config.prewarm.then(|| {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -183,7 +255,11 @@ impl Server {
                 .spawn(move || {
                     let _span = qufem_telemetry::span!("serve.prewarm");
                     let full = inner.full_register.clone();
-                    if inner.cache.get_or_build(&full, || inner.qufem.prepare(&full)).is_ok() {
+                    let id = inner.config.default_method.clone();
+                    let warmed = inner
+                        .mitigator_for(&id)
+                        .and_then(|m| inner.cache.get_or_build(&id, &full, || m.prepare(&full)));
+                    if warmed.is_ok() {
                         inner.prewarmed.store(true, Ordering::SeqCst);
                     }
                 })
@@ -411,6 +487,8 @@ fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
                 plan_cache_len: inner.cache.len(),
                 plan_cache_capacity: inner.cache.capacity(),
                 workers: inner.config.workers.max(1),
+                methods: inner.method_ids(),
+                default_method: inner.config.default_method.clone(),
             };
             (Response::with_status(status), false)
         }
@@ -419,7 +497,8 @@ fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
     }
 }
 
-/// Executes a `calibrate` request through the library path.
+/// Executes a `calibrate` request through the library path of the
+/// requested method.
 fn calibrate(inner: &Inner, request: Request) -> Response {
     let Some(dist) = request.dist else {
         return Response::err("calibrate requires a `dist` field");
@@ -431,13 +510,34 @@ fn calibrate(inner: &Inner, request: Request) -> Response {
     if measured.is_empty() {
         return Response::err("calibrate requires a non-empty measured set");
     }
-    let prepared = match inner.cache.get_or_build(&measured, || inner.qufem.prepare(&measured)) {
+    let method_id = request.method.as_deref().unwrap_or(&inner.config.default_method);
+    let prepared = match request.options.filter(|o| !o.is_empty()) {
+        // Per-request option overrides: rebuild the method for this request
+        // alone, bypassing the method table and the plan cache (overridden
+        // builds must not shadow the defaults other clients see).
+        Some(options) => inner
+            .config
+            .registry
+            .build(method_id, &inner.snapshot, &options)
+            .and_then(|m| m.prepare(&measured)),
+        None => inner
+            .mitigator_for(method_id)
+            .and_then(|m| inner.cache.get_or_build(method_id, &measured, || m.prepare(&measured))),
+    };
+    let prepared = match prepared {
         Ok(p) => p,
+        Err(e @ Error::InvalidConfig(_)) => {
+            // Unknown method id or malformed per-method option: fail only
+            // this request — the connection stays open.
+            qufem_telemetry::counter_add("serve.unknown_method", 1);
+            return Response::err(e.to_string());
+        }
         Err(e) => return Response::err(e.to_string()),
     };
     let mut stats = EngineStats::default();
     match prepared.apply_sharded(&dist, engine::configured_threads(), &mut stats) {
-        Ok(out) => Response::calibrated(out, stats),
+        Ok(out) if prepared.reports_engine_stats() => Response::calibrated(out, stats),
+        Ok(out) => Response::calibrated_without_stats(out),
         Err(e) => Response::err(e.to_string()),
     }
 }

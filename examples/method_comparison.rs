@@ -5,7 +5,7 @@
 //! cargo run --release --example method_comparison
 //! ```
 
-use qufem::baselines::{Calibrator, Ctmp, Ibu, QBeep, M3};
+use qufem::baselines::{Ctmp, Ibu, Mitigator, QBeep, M3};
 use qufem::circuits::Algorithm;
 use qufem::device::presets;
 use qufem::metrics::relative_fidelity;
@@ -26,11 +26,11 @@ fn main() -> qufem::Result<()> {
     let ctmp = Ctmp::characterize(&device, shots, &mut rng)?;
     let ibu = Ibu::characterize(&device, shots, &mut rng)?;
     let qbeep = QBeep::characterize(&device, shots, &mut rng)?;
-    let methods: [&dyn Calibrator; 5] = [&qufem, &m3, &ctmp, &ibu, &qbeep];
+    let methods: [&dyn Mitigator; 5] = [&qufem, &m3, &ctmp, &ibu, &qbeep];
 
     println!("characterization circuits:");
     for m in &methods {
-        println!("  {:>7}: {}", m.name(), m.characterization_circuits());
+        println!("  {:>7}: {}", m.name(), m.n_benchmark_circuits());
     }
 
     println!("\nrelative fidelity (calibrated / uncalibrated; > 1 is an improvement):");

@@ -15,6 +15,9 @@ cargo build --release --workspace
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
@@ -34,6 +37,8 @@ echo "==> QUFEM_THREADS matrix: served responses must match in-process calibrati
 for t in 1 4; do
   echo "==> QUFEM_THREADS=$t cargo test -q --test serve"
   QUFEM_THREADS="$t" cargo test -q --test serve
+  echo "==> QUFEM_THREADS=$t multi-method registry differential tests"
+  QUFEM_THREADS="$t" cargo test -q --test serve -- every_registry_method unknown_method
 done
 
 echo "==> all checks passed"

@@ -6,13 +6,14 @@
 //!        [--telemetry run.json]
 //! qufem simulate     --device quafu-18 --algorithm ghz --shots 2000 --out noisy.json [--seed 0]
 //! qufem calibrate    --params params.json --input noisy.json --out calibrated.json
-//!        [--measured 0,1,2] [--project] [--telemetry run.json]
+//!        [--measured 0,1,2] [--method qufem] [--project] [--telemetry run.json]
 //! qufem calibrate    --device quafu-18 --out calibrated.json [--algorithm ghz] [--shots 2000]
 //! qufem inspect      --params params.json
 //! qufem serve        --params params.json [--addr 127.0.0.1:0] [--workers 4]
-//!        [--queue-depth 64] [--max-request-bytes N] [--plan-cache 8] [--telemetry run.json]
+//!        [--queue-depth 64] [--max-request-bytes N] [--plan-cache 8] [--method qufem]
+//!        [--telemetry run.json]
 //! qufem client       --addr HOST:PORT --input noisy.json --out calibrated.json
-//!        [--measured 0,1,2]
+//!        [--measured 0,1,2] [--method m3]
 //! qufem client       --addr HOST:PORT --status | --shutdown
 //! ```
 //!
@@ -21,10 +22,14 @@
 //! calibrate. `--telemetry <path>` enables the collector and writes a run
 //! manifest (JSON; loads directly into `chrome://tracing` / Perfetto).
 //!
-//! `serve` holds one characterized calibrator in memory and answers
-//! newline-delimited JSON calibration requests concurrently (see the
-//! README's "Serving" section); `client` speaks that protocol. A serve run
-//! with `--telemetry` writes its manifest after a graceful shutdown.
+//! `serve` holds one characterized calibrator plus the standard method
+//! registry in memory and answers newline-delimited JSON calibration
+//! requests concurrently (see the README's "Serving" section); `client`
+//! speaks that protocol. `--method` selects among the registered method
+//! ids (`qufem`, `ibu`, `m3`, `ctmp`, `qbeep`): on `calibrate` it picks
+//! the in-process method, on `serve` the default for method-less requests,
+//! on `client` the per-request method. A serve run with `--telemetry`
+//! writes its manifest after a graceful shutdown.
 //!
 //! Devices are the built-in presets (`ibmq-7`, `quafu-18`, `custom-36`,
 //! `rigetti-79`, `quafu-136`, or `grid-N`); distributions are the JSON
@@ -46,17 +51,18 @@ fn usage() -> ! {
          qufem simulate --device <preset> --algorithm <ghz|bv|dj|simon|vqc|qsvm|hs> \
          --shots N --out <dist.json> [--seed S]\n  \
          qufem calibrate --params <params.json> --input <dist.json> --out <out.json> \
-         [--measured 0,1,2] [--project] [--telemetry <run.json>]\n  \
+         [--measured 0,1,2] [--method M] [--project] [--telemetry <run.json>]\n  \
          qufem calibrate --device <preset> --out <out.json> [--algorithm A] [--shots N] \
          [--telemetry <run.json>]   (full pipeline: characterize + calibrate)\n  \
          qufem inspect --params <params.json>\n  \
          qufem serve --params <params.json> | --device <preset> [--addr 127.0.0.1:0] \
          [--workers N] [--queue-depth N] [--max-request-bytes N] [--plan-cache N] \
-         [--telemetry <run.json>]\n  \
+         [--method M] [--telemetry <run.json>]\n  \
          qufem client --addr <host:port> --input <dist.json> --out <out.json> \
-         [--measured 0,1,2]\n  \
+         [--measured 0,1,2] [--method M]\n  \
          qufem client --addr <host:port> --status | --shutdown\n\n\
-         presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>"
+         presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>\n\
+         methods: qufem, ibu, m3, ctmp, qbeep"
     );
     std::process::exit(2);
 }
@@ -271,7 +277,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     .collect(),
                 None => QubitSet::full(qufem.n_qubits()),
             };
-            let calibrated = qufem.calibrate(&dist, &measured)?;
+            let method = get("method").unwrap_or_else(|| "qufem".to_string());
+            let calibrated = if method == "qufem" {
+                qufem.calibrate(&dist, &measured)?
+            } else {
+                // Any other method is built from the QuFEM parameters' first
+                // benchmarking snapshot via the standard registry.
+                let snapshot = qufem
+                    .iterations()
+                    .first()
+                    .map(|it| it.snapshot().clone())
+                    .ok_or("parameters carry no benchmarking snapshot")?;
+                let registry = qufem::baselines::standard_registry(qufem.config().clone());
+                let mitigator =
+                    registry.build(&method, &snapshot, &qufem::baselines::MethodOptions::new())?;
+                eprintln!("calibrating with {} …", mitigator.name());
+                mitigator.calibrate(&dist, &measured)?
+            };
             let result = if switches.contains(&"project".to_string()) {
                 calibrated.project_to_probabilities()
             } else {
@@ -309,6 +331,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(v) = get("read-timeout-secs") {
                 serve_config.read_timeout = Some(std::time::Duration::from_secs_f64(v.parse()?));
             }
+            if let Some(v) = get("method") {
+                serve_config.default_method = v;
+            }
             let qufem = match get("params") {
                 Some(params_path) => {
                     let data: QuFemData =
@@ -324,6 +349,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     QuFem::characterize(&device, config)?
                 }
             };
+            // Serve the full standard registry so clients can select any
+            // method id, whatever the default is.
+            serve_config.registry =
+                std::sync::Arc::new(qufem::baselines::standard_registry(qufem.config().clone()));
             let server = qufem::serve::Server::start(qufem, addr.as_str(), serve_config)?;
             let handle = server.handle();
             // The address line is the startup handshake: scripts and the
@@ -370,7 +399,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     ),
                     None => None,
                 };
-                let request = qufem::serve::Request::calibrate(dist.clone(), measured);
+                let mut request = qufem::serve::Request::calibrate(dist.clone(), measured);
+                if let Some(method) = get("method") {
+                    request = request.with_method(method);
+                }
                 let response = qufem::serve::request_once(addr.as_str(), &request)?;
                 if !response.ok {
                     return Err(response

@@ -10,7 +10,8 @@
 //! * [`device`] — simulated quantum devices with crosstalk readout noise
 //!   and the Table 2 presets.
 //! * [`baselines`] — golden, IBU, M3, CTMP, Q-BEEP comparison methods
-//!   behind the common [`Calibrator`] trait.
+//!   behind the common [`Mitigator`] trait, plus the
+//!   [`baselines::standard_registry`] wiring them into a [`MethodRegistry`].
 //! * [`circuits`] — benchmark-algorithm ideal outputs and synthetic
 //!   distribution generators.
 //! * [`metrics`] — Hellinger fidelity, relative fidelity, TVD,
@@ -52,12 +53,15 @@
 pub use qufem_core::{
     benchgen, build_group_matrices, calibrate_once, configured_threads, engine, partition,
     BenchmarkRecord, BenchmarkSnapshot, EngineStats, GroupMatrix, Grouping, HotInteraction,
-    IdealCondition, InteractionTable, IterationData, IterationParams, IterationPlan,
-    PreparedCalibration, QuFem, QuFemConfig, QuFemConfigBuilder, QuFemData, RecordData,
+    IdealCondition, InteractionTable, IterationData, IterationParams, IterationPlan, MethodOptions,
+    MethodRegistry, Mitigator, PreparedCalibration, PreparedMitigator, QuFem, QuFemConfig,
+    QuFemConfigBuilder, QuFemData, RecordData,
 };
 pub use qufem_types::{BitString, Error, ProbDist, QubitSet, Result, SupportIndex};
 
-pub use qufem_baselines::Calibrator;
+/// Former name of the method trait, kept for one release.
+#[deprecated(since = "0.2.0", note = "use qufem::Mitigator (the trait moved into qufem-core)")]
+pub use qufem_core::Mitigator as Calibrator;
 
 /// Readout-calibration baselines (golden, IBU, M3, CTMP, Q-BEEP).
 pub mod baselines {

@@ -93,7 +93,7 @@ fn grouped_and_golden_inversion_agree_without_crosstalk() {
     let ideal = qufem::circuits::ghz(3);
     let noisy = device.measure_distribution_exact(&ideal, &measured, 0.0);
     let q = qufem.calibrate(&noisy, &measured).unwrap().project_to_probabilities();
-    let g = qufem::baselines::Calibrator::calibrate(&golden, &noisy, &measured)
+    let g = qufem::baselines::Mitigator::calibrate(&golden, &noisy, &measured)
         .unwrap()
         .project_to_probabilities();
     let d = qufem::metrics::total_variation_distance(&q, &g);

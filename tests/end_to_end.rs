@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning the whole workspace: device →
 //! characterization → calibration → metrics, with baselines as references.
 
-use qufem::baselines::{Calibrator, Golden, Ibu};
+use qufem::baselines::{Golden, Ibu, Mitigator};
 use qufem::circuits::Algorithm;
 use qufem::device::presets;
 use qufem::metrics::{hellinger_fidelity, relative_fidelity};
@@ -116,7 +116,7 @@ fn trait_object_methods_are_interchangeable() {
     let qufem = QuFem::characterize(&device, fast_config(5)).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let ibu = Ibu::characterize(&device, 500, &mut rng).unwrap();
-    let methods: Vec<&dyn Calibrator> = vec![&qufem, &ibu];
+    let methods: Vec<&dyn Mitigator> = vec![&qufem, &ibu];
 
     let measured = QubitSet::full(7);
     let ideal = Algorithm::Ghz.ideal_distribution(7, 3);

@@ -143,6 +143,93 @@ fn malformed_frame_fails_the_request_not_the_connection() {
     server.shutdown_and_join();
 }
 
+/// A serve config hosting the full standard registry for `qufem`.
+fn registry_config(qufem: &QuFem) -> ServeConfig {
+    ServeConfig {
+        registry: std::sync::Arc::new(qufem::baselines::standard_registry(qufem.config().clone())),
+        ..test_config()
+    }
+}
+
+#[test]
+fn unknown_method_fails_the_request_not_the_connection() {
+    let (device, qufem) = characterized();
+    let config = registry_config(&qufem);
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    qufem_telemetry::reset();
+    qufem_telemetry::enable();
+
+    // A method id nobody registered fails only this request.
+    let dist = noisy_input(&device, &[0, 1, 2], 21);
+    let request = Request::calibrate(dist.clone(), Some(vec![0, 1, 2])).with_method("frobnicator");
+    let response = client.request(&request).unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("frobnicator"), "{response:?}");
+    assert_eq!(qufem_telemetry::snapshot().counter("serve.unknown_method"), 1);
+
+    // A known method with a config option it does not accept also fails
+    // only this request, through the same counter.
+    let mut options = qufem::MethodOptions::new();
+    options.insert("bogus_knob".to_string(), 1.0);
+    let request = Request::calibrate(dist.clone(), Some(vec![0, 1, 2]))
+        .with_method("ibu")
+        .with_options(options);
+    let response = client.request(&request).unwrap();
+    assert!(!response.ok, "{response:?}");
+    assert_eq!(qufem_telemetry::snapshot().counter("serve.unknown_method"), 2);
+
+    // The same connection still serves the default method afterwards.
+    let response = client.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap();
+    assert!(response.ok, "{response:?}");
+    assert!(response.dist.is_some());
+
+    qufem_telemetry::disable();
+    server.shutdown_and_join();
+}
+
+#[test]
+fn every_registry_method_is_served_bit_identical_to_in_process() {
+    let (device, qufem) = characterized();
+    let registry = qufem::baselines::standard_registry(qufem.config().clone());
+    let snapshot = qufem.iterations().first().expect("characterized").snapshot();
+    let server = Server::start(qufem.clone(), "127.0.0.1:0", registry_config(&qufem)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The daemon must answer for every registered method, each bit-identical
+    // to preparing and applying the same registry method in process. The CI
+    // matrix runs this under QUFEM_THREADS ∈ {1, 4}.
+    let ids = registry.ids();
+    assert!(ids.len() >= 4, "expected at least 4 registered methods, got {ids:?}");
+    for id in &ids {
+        for measured in [vec![0usize, 1, 2, 3, 4, 5, 6], vec![0, 2, 4]] {
+            let dist = noisy_input(&device, &measured, 0x5e);
+            let request = Request::calibrate(dist.clone(), Some(measured.clone())).with_method(id);
+            let response = client.request(&request).unwrap();
+            let context = format!("method {id}, measured {measured:?}");
+            assert!(response.ok, "{context}: {:?}", response.error);
+
+            let set: QubitSet = measured.iter().copied().collect();
+            let mitigator: std::sync::Arc<dyn qufem::Mitigator> = if id == "qufem" {
+                std::sync::Arc::new(qufem.clone())
+            } else {
+                registry.build(id, snapshot, &qufem::MethodOptions::new()).unwrap()
+            };
+            let expected = mitigator.prepare(&set).unwrap().apply(&dist).unwrap();
+            assert_bit_identical(&expected, response.dist.as_ref().unwrap(), &context);
+        }
+    }
+
+    // Old method-less requests are served by the default method (qufem).
+    let status = client.request(&Request::status()).unwrap().status.unwrap();
+    assert_eq!(status.default_method, "qufem");
+    for id in &ids {
+        assert!(status.methods.contains(id), "status should list {id}: {:?}", status.methods);
+    }
+
+    server.shutdown_and_join();
+}
+
 #[test]
 fn oversized_frame_is_rejected_and_closes_the_connection() {
     let (_, qufem) = characterized();
