@@ -103,12 +103,22 @@ fn main() {
                     .push((gauge.trim_start_matches("parallel.").to_string(), Value::Float(value)));
             }
         }
-        // Per-method apply latency from the registry sweeps (table4):
-        // `method_apply.<id>_secs` gauges, one per registered method.
-        for (name, &value) in &snapshot.gauges {
-            if name.starts_with("method_apply.") {
-                fields.push((name.clone(), Value::Float(value)));
-            }
+        // Per-method apply latency from the registry sweeps (table4,
+        // `method_apply.secs.<id>` gauges) and serve-layer latency
+        // quantiles from the throughput sweep (ext_serve,
+        // `serve.w<workers>.*_secs` gauges). Sorted for a stable summary.
+        let mut extra: Vec<(String, f64)> = snapshot
+            .gauges
+            .iter()
+            .filter(|(name, _)| {
+                name.starts_with("method_apply.")
+                    || (name.starts_with("serve.") && name.ends_with("_secs"))
+            })
+            .map(|(name, &value)| (name.clone(), value))
+            .collect();
+        extra.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, value) in extra {
+            fields.push((name, Value::Float(value)));
         }
         summary.push((stem.to_string(), Value::Map(fields)));
         eprintln!("[exp_all] {stem} finished in {wall_secs:.1}s");

@@ -10,7 +10,7 @@
 
 use crate::report::Table;
 use crate::RunOptions;
-use qufem_serve::{Client, Request, ServeConfig, Server};
+use qufem_serve::{request_once, Client, Request, ServeConfig, Server};
 use qufem_types::{ProbDist, QubitSet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,7 +49,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
 
     let mut table = Table::new(
         "Extension: qufem-serve throughput (7-qubit device, loopback TCP)",
-        &["Workers", "Clients", "Requests", "Wall secs", "Req/s"],
+        &["Workers", "Clients", "Requests", "Wall secs", "Req/s", "Apply p50 ms", "Apply p99 ms"],
     );
     for &workers in &worker_counts {
         // Prewarm off: the sweep wants the documented mixed hit/miss stream,
@@ -84,9 +84,29 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         }
         let secs = start.elapsed().as_secs_f64();
 
+        // The server's own live quantile histograms (the `metrics` wire
+        // command) give the per-request apply-latency distribution the
+        // wall-clock total above cannot: Req/s hides tail behavior.
+        let metrics = request_once(addr, &Request::metrics())
+            .expect("metrics round-trips")
+            .metrics
+            .expect("metrics payload");
+        let apply = metrics
+            .methods
+            .iter()
+            .find(|m| m.method == "qufem")
+            .map(|m| m.apply.clone())
+            .expect("per-method apply histogram");
+        qufem_telemetry::gauge_set(&format!("serve.w{workers}.apply_p50_secs"), apply.p50);
+        qufem_telemetry::gauge_set(&format!("serve.w{workers}.apply_p99_secs"), apply.p99);
+        qufem_telemetry::gauge_set(
+            &format!("serve.w{workers}.request_p99_secs"),
+            metrics.request.p99,
+        );
+
         let handle = server.handle();
         let total = clients * requests_per_client;
-        assert_eq!(handle.requests(), total as u64, "every request must be served");
+        assert_eq!(handle.requests(), total as u64 + 1, "the calibrates plus the metrics probe");
         assert_eq!(handle.rejected(), 0, "the queue is sized to never shed load");
         server.shutdown_and_join();
 
@@ -96,6 +116,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             total.to_string(),
             format!("{secs:.3}"),
             format!("{:.1}", total as f64 / secs),
+            format!("{:.3}", apply.p50 * 1e3),
+            format!("{:.3}", apply.p99 * 1e3),
         ]);
     }
     table.note("Mixed measured subsets (full register, evens, odds, half prefix): plan-cache hits and misses both occur.");
@@ -147,6 +169,9 @@ mod tests {
         assert_eq!(tables[0].rows.len(), 2);
         for row in &tables[0].rows {
             assert!(row[4].parse::<f64>().unwrap() > 0.0);
+            let p50 = row[5].parse::<f64>().unwrap();
+            let p99 = row[6].parse::<f64>().unwrap();
+            assert!(p50 > 0.0 && p50 <= p99, "apply quantiles: p50 {p50}, p99 {p99}");
         }
         // Cold and warm first-request latency rows.
         assert_eq!(tables[1].rows.len(), 2);

@@ -126,7 +126,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             let mi = method_ids.iter().position(|id| *id == run.id).expect("registry id");
             let (seconds, max_support, prepared_heap, stats) = calibrate_all(&run, &ws);
             let bytes = account_bytes(&run, n, &ws, max_support, prepared_heap, &stats);
-            qufem_telemetry::gauge_set(&format!("method_apply.{}_secs", run.id), seconds);
+            qufem_telemetry::gauge_set(&format!("method_apply.secs.{}", run.id), seconds);
             measured[mi][si] = Some(Cost { seconds, bytes });
         }
     }

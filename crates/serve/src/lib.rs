@@ -17,9 +17,20 @@
 //! ← {"ok":true,"dist":[3,…]}
 //! → {"cmd":"status"}
 //! ← {"ok":true,"status":{"n_qubits":7,"methods":["qufem",…],…}}
+//! → {"cmd":"metrics"}
+//! ← {"ok":true,"metrics":{"requests":25,"methods":[{"method":"qufem","apply":{"p50":…},…}],…}}
+//! → {"cmd":"trace"}
+//! ← {"ok":true,"trace":[{"id":24,"cmd":"calibrate","apply_us":512,…},…]}
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true}
 //! ```
+//!
+//! Every server also keeps **always-on** observability independent of the
+//! opt-in telemetry collector (see [`ServeMetrics`]): per-method latency
+//! quantile histograms served by `metrics` (as JSON or a Prometheus-like
+//! text format), a bounded flight recorder served by `trace`, and
+//! slow-request accounting with an optional stderr access log — at zero
+//! heap allocations per request in steady state.
 //!
 //! Responses are **bit-identical** to calling the selected method's
 //! [`qufem_core::Mitigator::prepare`] + apply in-process on the same input
@@ -47,9 +58,16 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod observability;
 mod protocol;
 mod server;
 
 pub use cache::PlanCache;
-pub use protocol::{Request, Response, StatusInfo, CMD_CALIBRATE, CMD_SHUTDOWN, CMD_STATUS};
+pub use observability::{
+    CacheOutcome, FlightRecorder, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics,
+};
+pub use protocol::{
+    HistogramSummary, MethodMetrics, MetricsInfo, Request, RequestTrace, Response, StatusInfo,
+    CMD_CALIBRATE, CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
+};
 pub use server::{request_once, Client, ServeConfig, ServeHandle, Server};

@@ -7,6 +7,7 @@
 //! with a protocol version bump.
 
 use qufem_core::{EngineStats, MethodOptions};
+use qufem_telemetry::QuantileHistogram;
 use qufem_types::ProbDist;
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +17,10 @@ pub const CMD_CALIBRATE: &str = "calibrate";
 pub const CMD_STATUS: &str = "status";
 /// Command verb: begin graceful shutdown.
 pub const CMD_SHUTDOWN: &str = "shutdown";
+/// Command verb: report live serving metrics (counters + quantiles).
+pub const CMD_METRICS: &str = "metrics";
+/// Command verb: dump the request flight recorder.
+pub const CMD_TRACE: &str = "trace";
 
 /// One request frame.
 ///
@@ -43,6 +48,11 @@ pub struct Request {
     /// this request with the overrides applied, bypassing the plan cache.
     #[serde(default)]
     pub options: Option<MethodOptions>,
+    /// Output format for `metrics`: `"json"` (the default) answers with a
+    /// structured [`MetricsInfo`]; `"text"` answers with the Prometheus-like
+    /// rendering in [`Response::metrics_text`].
+    #[serde(default)]
+    pub format: Option<String>,
 }
 
 impl Request {
@@ -55,6 +65,7 @@ impl Request {
             dist: Some(dist),
             method: None,
             options: None,
+            format: None,
         }
     }
 
@@ -74,23 +85,39 @@ impl Request {
 
     /// A `status` request.
     pub fn status() -> Self {
-        Request {
-            cmd: CMD_STATUS.to_string(),
-            measured: None,
-            dist: None,
-            method: None,
-            options: None,
-        }
+        Request::bare(CMD_STATUS)
     }
 
     /// A `shutdown` request.
     pub fn shutdown() -> Self {
+        Request::bare(CMD_SHUTDOWN)
+    }
+
+    /// A `metrics` request answering with structured JSON.
+    pub fn metrics() -> Self {
+        Request::bare(CMD_METRICS)
+    }
+
+    /// A `metrics` request answering in the Prometheus-like text format.
+    pub fn metrics_text() -> Self {
+        let mut req = Request::bare(CMD_METRICS);
+        req.format = Some("text".to_string());
+        req
+    }
+
+    /// A `trace` request (flight-recorder dump).
+    pub fn trace() -> Self {
+        Request::bare(CMD_TRACE)
+    }
+
+    fn bare(cmd: &str) -> Self {
         Request {
-            cmd: CMD_SHUTDOWN.to_string(),
+            cmd: cmd.to_string(),
             measured: None,
             dist: None,
             method: None,
             options: None,
+            format: None,
         }
     }
 }
@@ -120,6 +147,142 @@ pub struct StatusInfo {
     pub default_method: String,
 }
 
+/// Compact quantile summary of one [`QuantileHistogram`], as it travels in
+/// [`MetricsInfo`]. Empty histograms report all-zero fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values (seconds for latency histograms).
+    pub sum: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Estimated 99.9th percentile.
+    pub p999: f64,
+}
+
+impl From<&QuantileHistogram> for HistogramSummary {
+    fn from(h: &QuantileHistogram) -> Self {
+        if h.count == 0 {
+            return HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                p999: 0.0,
+            };
+        }
+        HistogramSummary {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+/// Per-method serving metrics inside [`MetricsInfo`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodMetrics {
+    /// Method id (e.g. `"qufem"`, `"m3"`).
+    pub method: String,
+    /// Calibrate requests served by this method.
+    pub requests: u64,
+    /// Apply latency distribution, seconds.
+    pub apply: HistogramSummary,
+    /// Prepare latency distribution, seconds (cache misses/bypasses only).
+    pub prepare: HistogramSummary,
+}
+
+/// Live metrics snapshot returned by the `metrics` command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsInfo {
+    /// Microseconds since the server started.
+    pub uptime_us: u64,
+    /// Requests answered (any command, successful or failed).
+    pub requests: u64,
+    /// Connections accepted into the queue.
+    pub accepted: u64,
+    /// Connections rejected by backpressure.
+    pub rejected: u64,
+    /// Frames that failed to parse as requests.
+    pub malformed: u64,
+    /// Frames over the byte limit.
+    pub oversized: u64,
+    /// Calibrate requests naming an unknown method (or bad options).
+    pub unknown_method: u64,
+    /// Requests at or over the slow threshold (0 when no threshold is set).
+    pub slow: u64,
+    /// Connections currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Prepared plans currently cached.
+    pub plan_cache_len: usize,
+    /// Plan-cache capacity.
+    pub plan_cache_capacity: usize,
+    /// Plan-cache hits since startup.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses since startup.
+    pub plan_cache_misses: u64,
+    /// Records currently in the flight recorder.
+    pub flight_recorder_len: usize,
+    /// Flight-recorder capacity (0 = disabled).
+    pub flight_recorder_capacity: usize,
+    /// End-to-end request latency across all commands, seconds.
+    pub request: HistogramSummary,
+    /// Per-method latency summaries, sorted by method id.
+    pub methods: Vec<MethodMetrics>,
+}
+
+/// One flight-recorder entry as it travels in `trace` responses — and,
+/// line-for-line, the schema of slow-request access-log lines on stderr.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Monotonic request id (unique per server instance).
+    pub id: u64,
+    /// Command verb (`"calibrate"`, `"status"`, …, `"unknown"`).
+    pub cmd: String,
+    /// Resolved method id, or `null` when not a calibrate / not resolved.
+    pub method: Option<String>,
+    /// Measured qubits in the request (0 when not a calibrate).
+    pub measured: u32,
+    /// Plan-cache interaction: `"hit"`, `"miss"`, `"bypass"`, or `"-"`.
+    pub cache: String,
+    /// Terminal state: `"ok"`, `"error"`, `"malformed"`, `"oversized"`, or
+    /// `"unknown_method"`.
+    pub outcome: String,
+    /// Accept-queue wait attributed to the connection's first request, µs.
+    pub queue_us: u64,
+    /// Preparation time (cache build or bypass rebuild), µs.
+    pub prepare_us: u64,
+    /// Apply time, µs.
+    pub apply_us: u64,
+    /// Response serialization time, µs.
+    pub serialize_us: u64,
+    /// End-to-end time from frame read to response written, µs.
+    pub total_us: u64,
+    /// Bytes in the request line.
+    pub request_bytes: u64,
+    /// Bytes in the response line.
+    pub response_bytes: u64,
+    /// Completion time, µs since the server started.
+    pub ts_us: u64,
+}
+
 /// One response frame.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Response {
@@ -137,33 +300,85 @@ pub struct Response {
     /// Status snapshot (`status` only).
     #[serde(default)]
     pub status: Option<StatusInfo>,
+    /// Live metrics snapshot (`metrics` only, JSON format).
+    #[serde(default)]
+    pub metrics: Option<MetricsInfo>,
+    /// Prometheus-like text rendering (`metrics` with `format: "text"`).
+    #[serde(default)]
+    pub metrics_text: Option<String>,
+    /// Flight-recorder dump, oldest first (`trace` only).
+    #[serde(default)]
+    pub trace: Option<Vec<RequestTrace>>,
 }
 
 impl Response {
+    fn base(ok: bool) -> Self {
+        Response {
+            ok,
+            error: None,
+            dist: None,
+            stats: None,
+            status: None,
+            metrics: None,
+            metrics_text: None,
+            trace: None,
+        }
+    }
+
     /// A failure response.
     pub fn err(message: impl Into<String>) -> Self {
-        Response { ok: false, error: Some(message.into()), dist: None, stats: None, status: None }
+        let mut resp = Response::base(false);
+        resp.error = Some(message.into());
+        resp
     }
 
     /// A bare success response (shutdown acknowledgement).
     pub fn ack() -> Self {
-        Response { ok: true, error: None, dist: None, stats: None, status: None }
+        Response::base(true)
     }
 
     /// A calibration result response.
     pub fn calibrated(dist: ProbDist, stats: EngineStats) -> Self {
-        Response { ok: true, error: None, dist: Some(dist), stats: Some(stats), status: None }
+        let mut resp = Response::base(true);
+        resp.dist = Some(dist);
+        resp.stats = Some(stats);
+        resp
     }
 
     /// A calibration result from a method that reports no engine counters
     /// (the stateless baselines).
     pub fn calibrated_without_stats(dist: ProbDist) -> Self {
-        Response { ok: true, error: None, dist: Some(dist), stats: None, status: None }
+        let mut resp = Response::base(true);
+        resp.dist = Some(dist);
+        resp
     }
 
     /// A status response.
     pub fn with_status(status: StatusInfo) -> Self {
-        Response { ok: true, error: None, dist: None, stats: None, status: Some(status) }
+        let mut resp = Response::base(true);
+        resp.status = Some(status);
+        resp
+    }
+
+    /// A structured metrics response.
+    pub fn with_metrics(metrics: MetricsInfo) -> Self {
+        let mut resp = Response::base(true);
+        resp.metrics = Some(metrics);
+        resp
+    }
+
+    /// A text-format metrics response.
+    pub fn with_metrics_text(text: String) -> Self {
+        let mut resp = Response::base(true);
+        resp.metrics_text = Some(text);
+        resp
+    }
+
+    /// A flight-recorder dump response.
+    pub fn with_trace(trace: Vec<RequestTrace>) -> Self {
+        let mut resp = Response::base(true);
+        resp.trace = Some(trace);
+        resp
     }
 }
 
@@ -251,6 +466,115 @@ mod tests {
         .unwrap();
         assert!(status.methods.is_empty());
         assert!(status.default_method.is_empty());
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_round_trip() {
+        let req = Request::metrics();
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"cmd\":\"metrics\""), "json: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cmd, CMD_METRICS);
+        assert!(back.format.is_none());
+
+        let req = Request::metrics_text();
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.format.as_deref(), Some("text"));
+
+        let req = Request::trace();
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.cmd, CMD_TRACE);
+    }
+
+    #[test]
+    fn metrics_response_round_trips_with_quantiles() {
+        let mut h = QuantileHistogram::default();
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            h.record(v);
+        }
+        let summary = HistogramSummary::from(&h);
+        assert_eq!(summary.count, 4);
+        assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+        let info = MetricsInfo {
+            uptime_us: 1_000_000,
+            requests: 10,
+            accepted: 9,
+            rejected: 1,
+            malformed: 0,
+            oversized: 0,
+            unknown_method: 2,
+            slow: 1,
+            queue_depth: 0,
+            plan_cache_len: 1,
+            plan_cache_capacity: 8,
+            plan_cache_hits: 7,
+            plan_cache_misses: 1,
+            flight_recorder_len: 10,
+            flight_recorder_capacity: 256,
+            request: summary.clone(),
+            methods: vec![MethodMetrics {
+                method: "qufem".to_string(),
+                requests: 8,
+                apply: summary.clone(),
+                prepare: HistogramSummary::from(&QuantileHistogram::default()),
+            }],
+        };
+        let resp = Response::with_metrics(info.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.metrics, Some(info));
+        assert!(back.trace.is_none());
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zeros_not_null() {
+        let summary = HistogramSummary::from(&QuantileHistogram::default());
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(!json.contains("null"), "empty summary must not leak infinities: {json}");
+        let back: HistogramSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+        assert_eq!(back.min, 0.0);
+        assert_eq!(back.max, 0.0);
+    }
+
+    #[test]
+    fn trace_response_round_trips() {
+        let entry = RequestTrace {
+            id: 42,
+            cmd: "calibrate".to_string(),
+            method: Some("qufem".to_string()),
+            measured: 7,
+            cache: "hit".to_string(),
+            outcome: "ok".to_string(),
+            queue_us: 12,
+            prepare_us: 0,
+            apply_us: 340,
+            serialize_us: 25,
+            total_us: 400,
+            request_bytes: 512,
+            response_bytes: 1024,
+            ts_us: 9_000_000,
+        };
+        let resp = Response::with_trace(vec![entry.clone()]);
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.trace, Some(vec![entry]));
+    }
+
+    #[test]
+    fn pre_observability_response_frames_still_parse() {
+        // The exact response shape shipped before metrics/trace existed —
+        // new clients must keep working against old servers.
+        let old = r#"{"ok":true,"error":null,"dist":null,"stats":null,"status":null}"#;
+        let resp: Response = serde_json::from_str(old).unwrap();
+        assert!(resp.ok);
+        assert!(resp.metrics.is_none());
+        assert!(resp.metrics_text.is_none());
+        assert!(resp.trace.is_none());
+
+        // And old requests without the format field.
+        let req: Request = serde_json::from_str(r#"{"cmd":"status"}"#).unwrap();
+        assert!(req.format.is_none());
     }
 
     #[test]

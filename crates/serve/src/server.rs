@@ -39,7 +39,11 @@
 //! whether the preparation was cached.
 
 use crate::cache::PlanCache;
-use crate::protocol::{Request, Response, StatusInfo, CMD_CALIBRATE, CMD_SHUTDOWN, CMD_STATUS};
+use crate::observability::{CacheOutcome, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics};
+use crate::protocol::{
+    HistogramSummary, MethodMetrics, MetricsInfo, Request, Response, StatusInfo, CMD_CALIBRATE,
+    CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
+};
 use qufem_core::{
     engine, BenchmarkSnapshot, EngineStats, MethodOptions, MethodRegistry, Mitigator, QuFem,
 };
@@ -51,7 +55,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -78,6 +82,16 @@ pub struct ServeConfig {
     pub registry: Arc<MethodRegistry>,
     /// Method used when a request omits the `method` field.
     pub default_method: String,
+    /// Flight-recorder capacity: the last N [`RequestRecord`]s kept in
+    /// memory for the `trace` command (0 disables recording).
+    pub flight_recorder: usize,
+    /// Requests whose end-to-end time reaches this threshold are counted as
+    /// slow (and logged when [`ServeConfig::access_log`] is on). `None`
+    /// disables slow-request detection.
+    pub slow_threshold: Option<Duration>,
+    /// Emit each slow request as one JSON line on stderr (schema:
+    /// [`crate::RequestTrace`]). Off by default.
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +105,9 @@ impl Default for ServeConfig {
             prewarm: true,
             registry: Arc::new(MethodRegistry::new()),
             default_method: "qufem".to_string(),
+            flight_recorder: 256,
+            slow_threshold: None,
+            access_log: false,
         }
     }
 }
@@ -108,6 +125,7 @@ struct Inner {
     /// per-qubit matrices each — preparations live in `cache` instead).
     methods: Mutex<HashMap<String, Arc<dyn Mitigator>>>,
     cache: PlanCache,
+    metrics: ServeMetrics,
     config: ServeConfig,
     full_register: QubitSet,
     local_addr: SocketAddr,
@@ -232,6 +250,11 @@ impl Server {
             snapshot,
             methods: Mutex::new(methods),
             cache: PlanCache::new(config.plan_cache_capacity),
+            metrics: ServeMetrics::new(
+                config.flight_recorder,
+                config.slow_threshold.map(|d| d.as_micros() as u64),
+                config.access_log,
+            ),
             full_register: QubitSet::full(n_qubits),
             local_addr,
             requests: AtomicU64::new(0),
@@ -266,7 +289,8 @@ impl Server {
                 .expect("spawn prewarm thread")
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(inner.config.queue_depth.max(1));
+        let (tx, rx) =
+            std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(inner.config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -327,8 +351,10 @@ impl Server {
     }
 }
 
-/// Accept loop: enqueue connections, shed load when the queue is full.
-fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+/// Accept loop: enqueue connections (stamped with their enqueue time so the
+/// dequeueing worker can attribute queue wait), shed load when the queue is
+/// full.
+fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<(TcpStream, Instant)>) {
     for stream in listener.incoming() {
         if inner.shutting_down() {
             break;
@@ -338,13 +364,13 @@ fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>
         // decrement) the instant the send succeeds, so incrementing after
         // the fact would race the counter below zero.
         let depth = inner.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
-        match tx.try_send(stream) {
+        match tx.try_send((stream, Instant::now())) {
             Ok(()) => {
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
                 qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
                 qufem_telemetry::gauge_max("serve.queue_depth.peak", depth as f64);
             }
-            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+            Err(TrySendError::Full((stream, _))) | Err(TrySendError::Disconnected((stream, _))) => {
                 inner.queue_len.fetch_sub(1, Ordering::Relaxed);
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
                 qufem_telemetry::counter_add("serve.rejected", 1);
@@ -363,7 +389,7 @@ fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<TcpStream>
 }
 
 /// Worker loop: serve queued connections until the queue closes empty.
-fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<(TcpStream, Instant)>>>) {
     loop {
         // Holding the lock across the blocking `recv` is intentional: only
         // one idle worker waits on the channel at a time, the rest wait on
@@ -373,10 +399,11 @@ fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
             let guard = rx.lock().expect("worker queue lock");
             guard.recv()
         };
-        let Ok(stream) = next else { break };
+        let Ok((stream, enqueued)) = next else { break };
+        let queue_us = enqueued.elapsed().as_micros() as u64;
         let depth = inner.queue_len.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
         qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
-        serve_connection(inner, stream);
+        serve_connection(inner, stream, queue_us);
     }
 }
 
@@ -410,16 +437,31 @@ fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
 }
 
 /// Serializes a response as one JSON line onto the stream.
-fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
+fn write_response(stream: &TcpStream, response: &Response) -> io::Result<()> {
+    let mut rec = RequestRecord::new(0);
+    write_response_recorded(stream, response, &mut rec)
+}
+
+/// Serializes a response as one JSON line onto the stream, recording the
+/// serialization time and response size into `rec`.
+fn write_response_recorded(
+    mut stream: &TcpStream,
+    response: &Response,
+    rec: &mut RequestRecord,
+) -> io::Result<()> {
+    let serialize_start = Instant::now();
     let mut line = serde_json::to_string(response)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     line.push('\n');
+    rec.serialize_us = serialize_start.elapsed().as_micros() as u64;
+    rec.response_bytes = line.len() as u64;
     stream.write_all(line.as_bytes())?;
     stream.flush()
 }
 
-/// Serves every request on one connection, in order.
-fn serve_connection(inner: &Inner, stream: TcpStream) {
+/// Serves every request on one connection, in order. `queue_us` is the
+/// connection's accept-queue wait, attributed to its first request.
+fn serve_connection(inner: &Inner, stream: TcpStream, mut queue_us: u64) {
     let _ = stream.set_read_timeout(inner.config.read_timeout);
     let _ = stream.set_write_timeout(inner.config.read_timeout);
     let _ = stream.set_nodelay(true);
@@ -432,24 +474,38 @@ fn serve_connection(inner: &Inner, stream: TcpStream) {
                 // A frame past the limit cannot be skipped reliably (its
                 // tail would parse as garbage requests), so answer once and
                 // drop the connection.
+                let started = Instant::now();
+                let mut rec = RequestRecord::new(inner.metrics.begin());
+                rec.queue_us = std::mem::take(&mut queue_us);
+                rec.outcome = RequestOutcome::Oversized;
                 inner.requests.fetch_add(1, Ordering::Relaxed);
                 qufem_telemetry::counter_add("serve.requests", 1);
                 qufem_telemetry::counter_add("serve.oversized", 1);
-                let _ = write_response(
+                let _ = write_response_recorded(
                     &stream,
                     &Response::err(format!(
                         "request exceeds the {} byte frame limit",
                         inner.config.max_request_bytes
                     )),
+                    &mut rec,
                 );
+                rec.total_us = started.elapsed().as_micros() as u64;
+                inner.metrics.finish(rec);
                 break;
             }
             Frame::Line(line) => {
                 if line.is_empty() {
                     continue; // tolerate blank keepalive lines
                 }
-                let (response, shutdown) = handle_request(inner, &line);
-                if write_response(&stream, &response).is_err() {
+                let started = Instant::now();
+                let mut rec = RequestRecord::new(inner.metrics.begin());
+                rec.queue_us = std::mem::take(&mut queue_us);
+                rec.request_bytes = line.len() as u64;
+                let (response, shutdown) = handle_request(inner, &line, &mut rec);
+                let write_ok = write_response_recorded(&stream, &response, &mut rec).is_ok();
+                rec.total_us = started.elapsed().as_micros() as u64;
+                inner.metrics.finish(rec);
+                if !write_ok {
                     break;
                 }
                 if shutdown {
@@ -463,9 +519,10 @@ fn serve_connection(inner: &Inner, stream: TcpStream) {
     }
 }
 
-/// Parses and executes one request line. Returns the response and whether
-/// the request asked for a server shutdown.
-fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
+/// Parses and executes one request line, filling `rec` as it learns what
+/// the request is. Returns the response and whether the request asked for a
+/// server shutdown.
+fn handle_request(inner: &Inner, line: &str, rec: &mut RequestRecord) -> (Response, bool) {
     let _span = qufem_telemetry::span!("serve.request");
     inner.requests.fetch_add(1, Ordering::Relaxed);
     qufem_telemetry::counter_add("serve.requests", 1);
@@ -473,12 +530,18 @@ fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
         Ok(r) => r,
         Err(e) => {
             qufem_telemetry::counter_add("serve.malformed", 1);
+            rec.outcome = RequestOutcome::Malformed;
             return (Response::err(format!("malformed request: {e}")), false);
         }
     };
     match request.cmd.as_str() {
-        CMD_CALIBRATE => (calibrate(inner, request), false),
+        CMD_CALIBRATE => {
+            rec.cmd = RequestCmd::Calibrate;
+            (calibrate(inner, request, rec), false)
+        }
         CMD_STATUS => {
+            rec.cmd = RequestCmd::Status;
+            rec.outcome = RequestOutcome::Ok;
             let status = StatusInfo {
                 n_qubits: inner.qufem.n_qubits(),
                 iterations: inner.qufem.iterations().len(),
@@ -492,14 +555,35 @@ fn handle_request(inner: &Inner, line: &str) -> (Response, bool) {
             };
             (Response::with_status(status), false)
         }
-        CMD_SHUTDOWN => (Response::ack(), true),
+        CMD_METRICS => {
+            rec.cmd = RequestCmd::Metrics;
+            rec.outcome = RequestOutcome::Ok;
+            let response = if request.format.as_deref() == Some("text") {
+                Response::with_metrics_text(metrics_text(inner))
+            } else {
+                Response::with_metrics(metrics_info(inner))
+            };
+            (response, false)
+        }
+        CMD_TRACE => {
+            rec.cmd = RequestCmd::Trace;
+            rec.outcome = RequestOutcome::Ok;
+            let trace = inner.metrics.flight_dump().iter().map(RequestRecord::to_trace).collect();
+            (Response::with_trace(trace), false)
+        }
+        CMD_SHUTDOWN => {
+            rec.cmd = RequestCmd::Shutdown;
+            rec.outcome = RequestOutcome::Ok;
+            (Response::ack(), true)
+        }
         other => (Response::err(format!("unknown command {other:?}")), false),
     }
 }
 
 /// Executes a `calibrate` request through the library path of the
-/// requested method.
-fn calibrate(inner: &Inner, request: Request) -> Response {
+/// requested method, recording method, cache interaction, and
+/// prepare/apply timings into `rec`.
+fn calibrate(inner: &Inner, request: Request, rec: &mut RequestRecord) -> Response {
     let Some(dist) = request.dist else {
         return Response::err("calibrate requires a `dist` field");
     };
@@ -510,36 +594,130 @@ fn calibrate(inner: &Inner, request: Request) -> Response {
     if measured.is_empty() {
         return Response::err("calibrate requires a non-empty measured set");
     }
+    rec.measured = measured.len() as u32;
     let method_id = request.method.as_deref().unwrap_or(&inner.config.default_method);
+    let prepare_start = Instant::now();
     let prepared = match request.options.filter(|o| !o.is_empty()) {
         // Per-request option overrides: rebuild the method for this request
         // alone, bypassing the method table and the plan cache (overridden
         // builds must not shadow the defaults other clients see).
-        Some(options) => inner
-            .config
-            .registry
-            .build(method_id, &inner.snapshot, &options)
-            .and_then(|m| m.prepare(&measured)),
-        None => inner
-            .mitigator_for(method_id)
-            .and_then(|m| inner.cache.get_or_build(method_id, &measured, || m.prepare(&measured))),
+        Some(options) => {
+            rec.cache = CacheOutcome::Bypass;
+            inner
+                .config
+                .registry
+                .build(method_id, &inner.snapshot, &options)
+                .and_then(|m| m.prepare(&measured))
+        }
+        None => {
+            let mut built = false;
+            let result = inner.mitigator_for(method_id).and_then(|m| {
+                inner.cache.get_or_build(method_id, &measured, || {
+                    built = true;
+                    m.prepare(&measured)
+                })
+            });
+            rec.cache = if built { CacheOutcome::Miss } else { CacheOutcome::Hit };
+            result
+        }
     };
+    rec.prepare_us = prepare_start.elapsed().as_micros() as u64;
     let prepared = match prepared {
         Ok(p) => p,
         Err(e @ Error::InvalidConfig(_)) => {
             // Unknown method id or malformed per-method option: fail only
-            // this request — the connection stays open.
+            // this request — the connection stays open. The unresolved id is
+            // deliberately not interned into the metrics table.
             qufem_telemetry::counter_add("serve.unknown_method", 1);
+            rec.cache = CacheOutcome::NotApplicable;
+            rec.outcome = RequestOutcome::UnknownMethod;
             return Response::err(e.to_string());
         }
-        Err(e) => return Response::err(e.to_string()),
+        Err(e) => {
+            rec.cache = CacheOutcome::NotApplicable;
+            return Response::err(e.to_string());
+        }
     };
+    rec.method = Some(inner.metrics.method_key(method_id));
     let mut stats = EngineStats::default();
-    match prepared.apply_sharded(&dist, engine::configured_threads(), &mut stats) {
-        Ok(out) if prepared.reports_engine_stats() => Response::calibrated(out, stats),
-        Ok(out) => Response::calibrated_without_stats(out),
+    let apply_start = Instant::now();
+    let applied = prepared.apply_sharded(&dist, engine::configured_threads(), &mut stats);
+    rec.apply_us = apply_start.elapsed().as_micros() as u64;
+    match applied {
+        Ok(out) => {
+            rec.outcome = RequestOutcome::Ok;
+            if prepared.reports_engine_stats() {
+                Response::calibrated(out, stats)
+            } else {
+                Response::calibrated_without_stats(out)
+            }
+        }
         Err(e) => Response::err(e.to_string()),
     }
+}
+
+/// Composes the live metrics snapshot for the `metrics` command.
+fn metrics_info(inner: &Inner) -> MetricsInfo {
+    let (malformed, oversized, unknown_method, slow) = inner.metrics.counters();
+    let (cache_hits, cache_misses) = inner.cache.stats();
+    let (flight_len, flight_capacity) = inner.metrics.flight_stats();
+    let methods = inner
+        .metrics
+        .method_stats()
+        .into_iter()
+        .map(|(method, requests, apply, prepare)| MethodMetrics {
+            method,
+            requests,
+            apply: HistogramSummary::from(&apply),
+            prepare: HistogramSummary::from(&prepare),
+        })
+        .collect();
+    MetricsInfo {
+        uptime_us: inner.metrics.uptime_us(),
+        requests: inner.requests.load(Ordering::Relaxed),
+        accepted: inner.accepted.load(Ordering::Relaxed),
+        rejected: inner.rejected.load(Ordering::Relaxed),
+        malformed,
+        oversized,
+        unknown_method,
+        slow,
+        queue_depth: inner.queue_len.load(Ordering::Relaxed) as u64,
+        plan_cache_len: inner.cache.len(),
+        plan_cache_capacity: inner.cache.capacity(),
+        plan_cache_hits: cache_hits,
+        plan_cache_misses: cache_misses,
+        flight_recorder_len: flight_len,
+        flight_recorder_capacity: flight_capacity,
+        request: HistogramSummary::from(&inner.metrics.request_histogram()),
+        methods,
+    }
+}
+
+/// Renders the live metrics in the stable Prometheus-like text format:
+/// counters and gauges as single `name value` lines, histograms as quantile
+/// summaries (see `qufem_telemetry::QuantileHistogram::render_text`).
+fn metrics_text(inner: &Inner) -> String {
+    use std::fmt::Write as _;
+    let info = metrics_info(inner);
+    let mut out = String::new();
+    let _ = writeln!(out, "qufem_serve_uptime_us {}", info.uptime_us);
+    let _ = writeln!(out, "qufem_serve_requests {}", info.requests);
+    let _ = writeln!(out, "qufem_serve_accepted {}", info.accepted);
+    let _ = writeln!(out, "qufem_serve_rejected {}", info.rejected);
+    let _ = writeln!(out, "qufem_serve_malformed {}", info.malformed);
+    let _ = writeln!(out, "qufem_serve_oversized {}", info.oversized);
+    let _ = writeln!(out, "qufem_serve_unknown_method {}", info.unknown_method);
+    let _ = writeln!(out, "qufem_serve_slow_requests {}", info.slow);
+    let _ = writeln!(out, "qufem_serve_queue_depth {}", info.queue_depth);
+    let _ = writeln!(out, "qufem_serve_plan_cache_len {}", info.plan_cache_len);
+    let _ = writeln!(out, "qufem_serve_plan_cache_hits {}", info.plan_cache_hits);
+    let _ = writeln!(out, "qufem_serve_plan_cache_misses {}", info.plan_cache_misses);
+    out.push_str(&inner.metrics.request_histogram().render_text("serve.request_secs"));
+    for (method, _, apply, prepare) in inner.metrics.method_stats() {
+        out.push_str(&apply.render_text(&format!("serve.apply_secs.{method}")));
+        out.push_str(&prepare.render_text(&format!("serve.prepare_secs.{method}")));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------

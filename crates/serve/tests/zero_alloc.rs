@@ -1,0 +1,105 @@
+//! Pins the "observability adds no per-request heap allocations" contract:
+//! with global telemetry disabled and the method key already interned, a
+//! steady-state `begin` → fill record → `finish` cycle must not allocate —
+//! the histograms fold in place and the flight-recorder ring reuses its
+//! preallocated slots.
+//!
+//! This lives in an integration test because the library forbids unsafe code
+//! and a counting `#[global_allocator]` needs it.
+
+use qufem_serve::{CacheOutcome, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// System allocator wrapper counting every allocation-path entry **on the
+/// current thread** — the request path runs entirely on the calling thread,
+/// and a per-thread count keeps concurrent test-harness allocations from
+/// polluting the measured window.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocations() -> u64 {
+    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn count_one() {
+    // `try_with` so late allocations during thread teardown stay safe.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn steady_state_request(metrics: &ServeMetrics, key: &Arc<str>, i: u64) {
+    let mut rec = RequestRecord::new(metrics.begin());
+    rec.cmd = RequestCmd::Calibrate;
+    rec.method = Some(Arc::clone(key));
+    rec.measured = 7;
+    rec.cache = CacheOutcome::Hit;
+    rec.queue_us = 3;
+    rec.prepare_us = 12;
+    rec.apply_us = 200 + (i % 97);
+    rec.serialize_us = 40;
+    rec.total_us = 300 + (i % 113);
+    rec.request_bytes = 512;
+    rec.response_bytes = 2048;
+    rec.outcome = RequestOutcome::Ok;
+    metrics.finish(rec);
+}
+
+#[test]
+fn steady_state_request_accounting_does_not_allocate() {
+    qufem_telemetry::disable();
+    let metrics = ServeMetrics::new(64, Some(1_000_000_000), false);
+    // First sight of a method interns its key (one-time allocations); the
+    // per-request path below reuses the interned `Arc<str>`.
+    let key = metrics.method_key("qufem");
+    // Warm the ring so the measured iterations only overwrite full slots.
+    for i in 0..128u64 {
+        steady_state_request(&metrics, &key, i);
+    }
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        steady_state_request(&metrics, &key, i);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "request accounting must not touch the heap");
+
+    // The loop really went through the full path.
+    assert_eq!(metrics.request_histogram().count, 10_128);
+    let methods = metrics.method_stats();
+    assert_eq!(methods.len(), 1);
+    assert_eq!(methods[0].1, 10_128);
+    assert_eq!(metrics.flight_stats(), (64, 64));
+
+    // Sanity check that the counting allocator is live at all.
+    let probe = Box::new(41u64);
+    assert!(allocations() > after, "counting allocator is live");
+    assert_eq!(*probe + 1, 42);
+}

@@ -89,9 +89,25 @@ pub struct SpanRecord {
     pub tid: u64,
 }
 
-/// Streaming summary of a value distribution (count/sum/min/max).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Histogram {
+/// Number of power-of-two buckets in a [`QuantileHistogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket `i` covers magnitudes in `(2^(i-32), 2^(i-31)]`; its upper edge.
+const BUCKET_EXP_OFFSET: i32 = 31;
+
+/// Fixed-footprint streaming distribution: count/sum/min/max plus 64
+/// power-of-two magnitude buckets, giving deterministic quantile estimates
+/// without per-record allocation.
+///
+/// Bucket `i` holds values whose magnitude falls in `(2^(i-32), 2^(i-31)]`
+/// (so bucket 31 tops out at `1.0`); the index is the value's IEEE-754
+/// exponent shifted and clamped, which covers ~0.5 ns to ~136 years when
+/// values are seconds. [`QuantileHistogram::quantile`] walks the cumulative
+/// bucket counts and returns the covering bucket's upper edge clamped to the
+/// observed `[min, max]`, so estimates are exact at the extremes, never
+/// leave the observed range, and are monotone in `q` by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileHistogram {
     /// Number of recorded values.
     pub count: u64,
     /// Sum of recorded values.
@@ -100,14 +116,45 @@ pub struct Histogram {
     pub min: f64,
     /// Largest recorded value.
     pub max: f64,
+    /// Per-bucket counts (see the type docs for the edge convention).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
-impl Histogram {
-    fn record(&mut self, value: f64) {
+/// Former name of [`QuantileHistogram`], kept for source compatibility.
+pub type Histogram = QuantileHistogram;
+
+/// Bucket index for a finite value: IEEE-754 exponent, shifted and clamped.
+/// Zero, negative, and subnormal values land in bucket 0.
+#[inline]
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    // Exact powers of two are their bucket's upper edge; everything else in
+    // (2^e, 2^(e+1)) rounds up to the next edge.
+    let edge_exp = if mantissa == 0 { exp } else { exp + 1 };
+    (edge_exp + i64::from(BUCKET_EXP_OFFSET)).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Upper edge of bucket `i`: `2^(i - 31)`.
+#[inline]
+fn bucket_edge(i: usize) -> f64 {
+    f64::powi(2.0, i as i32 - BUCKET_EXP_OFFSET)
+}
+
+impl QuantileHistogram {
+    /// Folds one value into the distribution. Non-finite values are the
+    /// caller's responsibility ([`histogram_record`] filters them).
+    #[inline]
+    pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
     }
 
     /// Arithmetic mean of the recorded values (0 when empty).
@@ -118,11 +165,91 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Deterministic estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`).
+    ///
+    /// Returns 0.0 for an empty histogram, `min` for `q ≤ 0`, `max` for
+    /// `q ≥ 1`, and otherwise the upper edge of the bucket containing the
+    /// rank-`⌈q·count⌉` value, clamped to `[min, max]`. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_edge(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram's contents into this one.
+    pub fn merge(&mut self, other: &QuantileHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (slot, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += c;
+        }
+    }
+
+    /// Renders this histogram as Prometheus-style summary lines. The metric
+    /// name is sanitized (non-alphanumeric → `_`); output is stable:
+    /// quantile lines for 0.5/0.9/0.99/0.999, then `_sum` and `_count`.
+    pub fn render_text(&self, name: &str) -> String {
+        let metric = sanitize_metric_name(name);
+        let mut out = String::new();
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+            let _ = writeln!(
+                out,
+                "{metric}{{quantile=\"{label}\"}} {}",
+                fmt_text_value(self.quantile(q))
+            );
+        }
+        let _ = writeln!(out, "{metric}_sum {}", fmt_text_value(self.sum));
+        let _ = writeln!(out, "{metric}_count {}", self.count);
+        out
+    }
 }
 
-impl Default for Histogram {
+impl Default for QuantileHistogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        QuantileHistogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset: ASCII alphanumerics
+/// pass through, everything else becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Prometheus text-format float: integers print bare, other values in
+/// shortest-roundtrip form.
+fn fmt_text_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -521,7 +648,7 @@ pub fn snapshot() -> Snapshot {
         spans: s.spans.clone(),
         counters: s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
         gauges: s.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-        histograms: s.histograms.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: s.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
     }
 }
 
@@ -601,11 +728,17 @@ pub fn summary() -> String {
     if !snap.histograms.is_empty() {
         out.push_str("histograms:\n");
         for (name, h) in &snap.histograms {
+            if h.count == 0 {
+                let _ = writeln!(out, "  {name}: n=0");
+                continue;
+            }
             let _ = writeln!(
                 out,
-                "  {name}: n={} mean={:.4e} min={:.4e} max={:.4e}",
+                "  {name}: n={} mean={:.4e} p50={:.4e} p99={:.4e} min={:.4e} max={:.4e}",
                 h.count,
                 h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
                 h.min,
                 h.max
             );
@@ -619,6 +752,55 @@ pub fn summary() -> String {
 
 fn map(pairs: Vec<(&str, serde::Value)>) -> serde::Value {
     serde::Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Manifest JSON for one histogram. Empty histograms are `{"count": 0}` —
+/// the sentinel `min`/`max` infinities would otherwise serialize as `null`.
+/// Non-empty ones carry the summary stats, quantiles, and the non-zero
+/// buckets as sparse `[index, count]` pairs.
+fn histogram_value(h: &QuantileHistogram) -> serde::Value {
+    use serde::Value;
+    if h.count == 0 {
+        return map(vec![("count", Value::UInt(0))]);
+    }
+    let buckets: Vec<Value> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Value::Seq(vec![Value::UInt(i as u64), Value::UInt(c)]))
+        .collect();
+    map(vec![
+        ("count", Value::UInt(h.count)),
+        ("sum", Value::Float(h.sum)),
+        ("min", Value::Float(h.min)),
+        ("max", Value::Float(h.max)),
+        ("mean", Value::Float(h.mean())),
+        ("p50", Value::Float(h.quantile(0.5))),
+        ("p90", Value::Float(h.quantile(0.9))),
+        ("p99", Value::Float(h.quantile(0.99))),
+        ("p999", Value::Float(h.quantile(0.999))),
+        ("buckets", Value::Seq(buckets)),
+    ])
+}
+
+/// Renders every histogram in the global collector as Prometheus-style
+/// summary text (see [`QuantileHistogram::render_text`]), plus one line per
+/// counter and gauge. Stable ordering: counters, gauges, histograms, each
+/// sorted by name.
+pub fn render_text() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "{} {value}", sanitize_metric_name(name));
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "{} {}", sanitize_metric_name(name), fmt_text_value(*value));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&h.render_text(name));
+    }
+    out
 }
 
 /// Builds the manifest JSON value: run metadata + metrics + spans + a
@@ -692,27 +874,31 @@ pub fn manifest(extra_meta: &[(String, serde::Value)]) -> serde::Value {
             ("args", map(vec![("value", Value::UInt(value))])),
         ]));
     }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        events.push(map(vec![
+            ("name", Value::Str(name.clone())),
+            ("ph", Value::Str("C".into())),
+            ("ts", Value::UInt(end_us)),
+            ("pid", Value::UInt(1)),
+            (
+                "args",
+                map(vec![
+                    ("p50", Value::Float(h.quantile(0.5))),
+                    ("p99", Value::Float(h.quantile(0.99))),
+                ]),
+            ),
+        ]));
+    }
 
     let counters: Vec<(String, Value)> =
         snap.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect();
     let gauges: Vec<(String, Value)> =
         snap.gauges.iter().map(|(k, &v)| (k.clone(), Value::Float(v))).collect();
-    let histograms: Vec<(String, Value)> = snap
-        .histograms
-        .iter()
-        .map(|(k, h)| {
-            (
-                k.clone(),
-                map(vec![
-                    ("count", Value::UInt(h.count)),
-                    ("sum", Value::Float(h.sum)),
-                    ("min", Value::Float(h.min)),
-                    ("max", Value::Float(h.max)),
-                    ("mean", Value::Float(h.mean())),
-                ]),
-            )
-        })
-        .collect();
+    let histograms: Vec<(String, Value)> =
+        snap.histograms.iter().map(|(k, h)| (k.clone(), histogram_value(h))).collect();
 
     map(vec![
         ("qufem_telemetry_version", Value::UInt(1)),
@@ -960,6 +1146,123 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counter("s.c"), 2);
         assert_eq!(snap.gauge("s.g"), Some(8.0));
+    }
+
+    #[test]
+    fn bucket_index_follows_powers_of_two() {
+        // Bucket i covers (2^(i-32), 2^(i-31)]: exact powers sit at their
+        // bucket's upper edge.
+        assert_eq!(bucket_index(1.0), 31);
+        assert_eq!(bucket_index(1.0 + 1e-12), 32);
+        assert_eq!(bucket_index(0.5), 30);
+        assert_eq!(bucket_index(2.0), 32);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0); // subnormal
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_edge(31), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = QuantileHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram quantile is 0");
+        for i in 1..=1000u64 {
+            h.record(i as f64 / 1000.0); // 1 ms .. 1 s
+        }
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
+        let qs = [0.1, 0.5, 0.9, 0.99, 0.999];
+        let vals: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+        }
+        for v in &vals {
+            assert!(*v >= h.min && *v <= h.max, "quantile left [min, max]: {v}");
+        }
+        // The median of a uniform 1ms..1s sample sits within a 2x bucket.
+        let p50 = h.quantile(0.5);
+        assert!((0.25..=1.0).contains(&p50), "p50 off by more than a bucket: {p50}");
+    }
+
+    #[test]
+    fn single_value_histogram_pins_all_quantiles() {
+        let mut h = QuantileHistogram::default();
+        h.record(0.125);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.125);
+        }
+        assert_eq!(h.mean(), 0.125);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = QuantileHistogram::default();
+        let mut b = QuantileHistogram::default();
+        a.record(0.001);
+        b.record(1.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 0.001);
+        assert_eq!(a.max, 2.0);
+        a.merge(&QuantileHistogram::default()); // empty merge is a no-op
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_as_count_zero() {
+        // Regression: min=+inf/max=-inf serialized as JSON null before.
+        let empty = histogram_value(&QuantileHistogram::default());
+        let text = serde_json::to_string(&empty).unwrap();
+        assert_eq!(text, r#"{"count":0}"#);
+        assert!(!text.contains("null"));
+    }
+
+    #[test]
+    fn manifest_histograms_carry_quantiles_and_sparse_buckets() {
+        let _guard = fresh();
+        histogram_record("h.lat", 0.5);
+        histogram_record("h.lat", 0.5);
+        histogram_record("h.lat", 0.001);
+        let value = manifest(&[]);
+        let h = value.get("histograms").unwrap().get("h.lat").unwrap();
+        assert_eq!(h.get("count").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(h.get("p50").and_then(|v| v.as_f64()), Some(0.5));
+        let buckets = h.get("buckets").and_then(|v| v.as_seq()).unwrap();
+        assert_eq!(buckets.len(), 2, "only non-zero buckets are exported");
+        // Histograms also surface as Chrome-trace counter events.
+        let events = value.get("traceEvents").and_then(|v| v.as_seq()).unwrap();
+        assert!(events.iter().any(|ev| {
+            ev.get("name").and_then(|v| v.as_str()) == Some("h.lat")
+                && ev.get("args").and_then(|a| a.get("p50")).is_some()
+        }));
+    }
+
+    #[test]
+    fn render_text_is_stable_prometheus_summary_format() {
+        let mut h = QuantileHistogram::default();
+        for _ in 0..10 {
+            h.record(0.25);
+        }
+        let text = h.render_text("serve.request_secs");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "serve_request_secs{quantile=\"0.5\"} 0.25");
+        assert_eq!(lines[4], "serve_request_secs_sum 2.5");
+        assert_eq!(lines[5], "serve_request_secs_count 10");
+    }
+
+    #[test]
+    fn global_render_text_lists_counters_gauges_histograms() {
+        let _guard = fresh();
+        counter_add("serve.requests", 3);
+        gauge_set("serve.queue_depth", 2.0);
+        histogram_record("serve.request_secs", 0.5);
+        let text = render_text();
+        assert!(text.contains("serve_requests 3"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("serve_request_secs_count 1"));
     }
 
     #[test]

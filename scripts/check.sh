@@ -41,4 +41,10 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q --test serve -- every_registry_method unknown_method
 done
 
+echo "==> QUFEM_THREADS matrix: serve observability (metrics/trace/access log)"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t cargo test -q --test serve_observability"
+  QUFEM_THREADS="$t" cargo test -q --test serve_observability
+done
+
 echo "==> all checks passed"

@@ -50,9 +50,15 @@ def summarize_manifest(path, data):
         shown = fmt_bytes(value) if name.endswith("_bytes") else f"{value:g}"
         print(f"    gauge {name:<30} {shown}")
     for name, h in sorted(data.get("histograms", {}).items()):
-        mean = h["sum"] / h["count"] if h["count"] else 0.0
+        # Empty histograms serialize as just {"count": 0} — no extremes or
+        # quantiles to show.
+        count = h.get("count", 0)
+        if not count:
+            print(f"    hist {name:<31} n=0")
+            continue
         print(
-            f"    hist {name:<31} n={h['count']} mean={mean:.3e} "
+            f"    hist {name:<31} n={count} mean={h['mean']:.3e} "
+            f"p50={h['p50']:.3e} p99={h['p99']:.3e} "
             f"min={h['min']:.3e} max={h['max']:.3e}"
         )
     print()
@@ -65,6 +71,15 @@ def summarize_bench_summary(path, data):
             f"    {stem:<36} {entry['wall_secs']:>8.1f} s   "
             f"peak {fmt_bytes(entry.get('peak_bytes', 0.0))}"
         )
+        # Latency gauges carried from the sweeps: per-method apply seconds
+        # (table4) and serve-layer quantiles (ext_serve).
+        latencies = {
+            name: value
+            for name, value in entry.items()
+            if name.startswith("method_apply.") or name.startswith("serve.")
+        }
+        for name in sorted(latencies):
+            print(f"        {name:<38} {latencies[name]:.3e} s")
     if "total_secs" in data:
         print(f"    total {data['total_secs']:.1f} s")
     print()

@@ -11,10 +11,11 @@
 //! qufem inspect      --params params.json
 //! qufem serve        --params params.json [--addr 127.0.0.1:0] [--workers 4]
 //!        [--queue-depth 64] [--max-request-bytes N] [--plan-cache 8] [--method qufem]
-//!        [--telemetry run.json]
+//!        [--flight-recorder 256] [--slow-ms 50] [--access-log] [--telemetry run.json]
 //! qufem client       --addr HOST:PORT --input noisy.json --out calibrated.json
 //!        [--measured 0,1,2] [--method m3]
 //! qufem client       --addr HOST:PORT --status | --shutdown
+//! qufem client       --addr HOST:PORT --metrics [--text] | --trace
 //! ```
 //!
 //! `calibrate --device` without `--params` runs the full pipeline —
@@ -57,10 +58,12 @@ fn usage() -> ! {
          qufem inspect --params <params.json>\n  \
          qufem serve --params <params.json> | --device <preset> [--addr 127.0.0.1:0] \
          [--workers N] [--queue-depth N] [--max-request-bytes N] [--plan-cache N] \
-         [--method M] [--telemetry <run.json>]\n  \
+         [--method M] [--flight-recorder N] [--slow-ms MS] [--access-log] \
+         [--telemetry <run.json>]\n  \
          qufem client --addr <host:port> --input <dist.json> --out <out.json> \
          [--measured 0,1,2] [--method M]\n  \
-         qufem client --addr <host:port> --status | --shutdown\n\n\
+         qufem client --addr <host:port> --status | --shutdown\n  \
+         qufem client --addr <host:port> --metrics [--text] | --trace\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>\n\
          methods: qufem, ibu, m3, ctmp, qbeep"
     );
@@ -334,6 +337,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(v) = get("method") {
                 serve_config.default_method = v;
             }
+            if let Some(v) = get("flight-recorder") {
+                serve_config.flight_recorder = v.parse()?;
+            }
+            if let Some(v) = get("slow-ms") {
+                serve_config.slow_threshold =
+                    Some(std::time::Duration::from_secs_f64(v.parse::<f64>()? / 1e3));
+            }
+            if switches.contains(&"access-log".to_string()) {
+                serve_config.access_log = true;
+            }
             let qufem = match get("params") {
                 Some(params_path) => {
                     let data: QuFemData =
@@ -387,6 +400,39 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 };
                 println!("{}", serde_json::to_string_pretty(&status)?);
+            } else if switches.contains(&"metrics".to_string()) {
+                let text = switches.contains(&"text".to_string());
+                let request = if text {
+                    qufem::serve::Request::metrics_text()
+                } else {
+                    qufem::serve::Request::metrics()
+                };
+                let response = qufem::serve::request_once(addr.as_str(), &request)?;
+                if !response.ok {
+                    return Err(response.error.unwrap_or_else(|| "metrics failed".into()).into());
+                }
+                if text {
+                    let rendered =
+                        response.metrics_text.ok_or("server response carried no metrics text")?;
+                    print!("{rendered}");
+                } else {
+                    let metrics = response.metrics.ok_or("server response carried no metrics")?;
+                    println!("{}", serde_json::to_string_pretty(&metrics)?);
+                }
+            } else if switches.contains(&"trace".to_string()) {
+                let response =
+                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::trace())?;
+                let trace = match (response.ok, response.trace) {
+                    (true, Some(trace)) => trace,
+                    _ => {
+                        return Err(response.error.unwrap_or_else(|| "trace failed".into()).into())
+                    }
+                };
+                // One JSON line per record — the same schema as access-log
+                // lines, so the two can be processed by the same tooling.
+                for entry in &trace {
+                    println!("{}", serde_json::to_string(entry)?);
+                }
             } else {
                 let input = require("input");
                 let out = require("out");

@@ -293,6 +293,154 @@ fn serve_and_client_roundtrip_with_telemetry() {
 }
 
 #[test]
+fn serve_access_log_metrics_and_trace_cli() {
+    use std::io::{BufRead, Read};
+
+    let params = tmpfile("obs_params.json");
+    let noisy = tmpfile("obs_noisy.json");
+    let calibrated = tmpfile("obs_calibrated.json");
+
+    for (what, args) in [
+        (
+            "characterize",
+            vec![
+                "characterize",
+                "--device",
+                "ibmq-7",
+                "--out",
+                params.to_str().unwrap(),
+                "--shots",
+                "300",
+                "--alpha",
+                "5e-4",
+                "--seed",
+                "3",
+            ],
+        ),
+        (
+            "simulate",
+            vec![
+                "simulate",
+                "--device",
+                "ibmq-7",
+                "--algorithm",
+                "ghz",
+                "--shots",
+                "800",
+                "--out",
+                noisy.to_str().unwrap(),
+                "--seed",
+                "3",
+            ],
+        ),
+    ] {
+        assert!(qufem().args(&args).status().expect("spawn qufem").success(), "{what} failed");
+    }
+
+    // `--slow-ms 0` marks every request slow, so with `--access-log` each
+    // one must emit a structured JSON line on the server's stderr.
+    let mut server = qufem()
+        .args([
+            "serve",
+            "--params",
+            params.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--flight-recorder",
+            "8",
+            "--slow-ms",
+            "0",
+            "--access-log",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn qufem serve");
+    let mut server_stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            server_stderr.read_line(&mut line).expect("read server stderr") > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("qufem-serve listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let status = qufem()
+        .args([
+            "client",
+            "--addr",
+            &addr,
+            "--input",
+            noisy.to_str().unwrap(),
+            "--out",
+            calibrated.to_str().unwrap(),
+        ])
+        .status()
+        .expect("spawn qufem client");
+    assert!(status.success(), "client calibrate failed");
+
+    // `client --metrics` prints machine-readable JSON on stdout.
+    let output =
+        qufem().args(["client", "--addr", &addr, "--metrics"]).output().expect("spawn qufem");
+    assert!(output.status.success(), "client --metrics failed");
+    let metrics: qufem::serve::MetricsInfo =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert!(metrics.requests >= 1);
+    assert_eq!(metrics.flight_recorder_capacity, 8);
+    assert!(metrics.slow >= 1, "--slow-ms 0 must mark the calibrate slow");
+
+    // `client --metrics --text` prints the text exposition instead.
+    let output = qufem()
+        .args(["client", "--addr", &addr, "--metrics", "--text"])
+        .output()
+        .expect("spawn qufem");
+    assert!(output.status.success(), "client --metrics --text failed");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("qufem_serve_requests "), "text exposition: {text}");
+    assert!(text.contains("serve_request_secs{quantile="), "text exposition: {text}");
+
+    // `client --trace` prints one JSON line per flight-recorder entry, each
+    // in the documented RequestTrace schema.
+    let output =
+        qufem().args(["client", "--addr", &addr, "--trace"]).output().expect("spawn qufem");
+    assert!(output.status.success(), "client --trace failed");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let entries: Vec<qufem::serve::RequestTrace> = stdout
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("trace line is RequestTrace JSON"))
+        .collect();
+    assert!(!entries.is_empty(), "flight recorder should hold the requests so far");
+    assert!(entries.iter().any(|t| t.cmd == "calibrate"), "{entries:?}");
+
+    let status = qufem()
+        .args(["client", "--addr", &addr, "--shutdown"])
+        .status()
+        .expect("spawn qufem client");
+    assert!(status.success(), "client shutdown failed");
+    let exit = server.wait().expect("wait for qufem serve");
+    assert!(exit.success(), "serve process should exit cleanly after shutdown");
+
+    // Every access-log line on stderr parses in the same RequestTrace
+    // schema as the `trace` command.
+    let mut rest = String::new();
+    server_stderr.read_to_string(&mut rest).expect("drain server stderr");
+    let log_entries: Vec<qufem::serve::RequestTrace> = rest
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .map(|l| serde_json::from_str(l).expect("access-log line is RequestTrace JSON"))
+        .collect();
+    assert!(!log_entries.is_empty(), "slow requests must be access-logged: {rest}");
+    assert!(log_entries.iter().any(|t| t.cmd == "calibrate"), "{log_entries:?}");
+    for t in &log_entries {
+        assert_eq!(t.outcome, "ok", "{t:?}");
+    }
+}
+
+#[test]
 fn serve_without_source_or_client_without_addr_fail_cleanly() {
     // serve needs --params or --device.
     let output = qufem().args(["serve"]).output().expect("spawn qufem");

@@ -1,0 +1,281 @@
+//! Integration tests for the live serving observability layer: the
+//! `metrics` wire command under concurrent load, the `trace` flight
+//! recorder, the Prometheus-like text format, and the slow-request
+//! accounting — mostly with the global telemetry collector left
+//! **disabled**, because `ServeMetrics` must be live in every server
+//! regardless. One test flips the collector on to prove the serving
+//! histograms also mirror into it.
+
+use qufem::device::presets;
+use qufem::serve::{Client, Request, ServeConfig, Server};
+use qufem::{ProbDist, QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+fn characterized() -> (qufem::device::Device, QuFem) {
+    let device = presets::ibmq_7(1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    (device, qufem)
+}
+
+/// Prewarm is disabled so the plan-cache hit/miss counts these tests assert
+/// on are not raced by the startup warm-up build.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Some(Duration::from_secs(10)),
+        prewarm: false,
+        ..ServeConfig::default()
+    }
+}
+
+/// A deterministic noisy input over `measured`, distinct per `seed`.
+fn noisy_input(device: &qufem::device::Device, measured: &[usize], seed: u64) -> ProbDist {
+    let set: QubitSet = measured.iter().copied().collect();
+    let ideal = qufem::circuits::ghz(measured.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    device.measure_distribution(&ideal, &set, 600, &mut rng)
+}
+
+#[test]
+fn metrics_under_concurrent_clients_report_monotone_quantiles() {
+    let (device, qufem) = characterized();
+    let device = std::sync::Arc::new(device);
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Warm the plan for the shared measured set first: concurrent cold
+    // requests may race duplicate builds (both counting as misses), which
+    // would make the cache assertions below nondeterministic.
+    {
+        let mut warm = Client::connect(addr).unwrap();
+        let dist = noisy_input(&device, &[0, 1, 2], 999);
+        assert!(warm.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap().ok);
+    }
+
+    const CLIENTS: usize = 8;
+    const REQUESTS_PER_CLIENT: u64 = 3;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let device = std::sync::Arc::clone(&device);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let measured = vec![0, 1, 2];
+                    let dist = noisy_input(&device, &measured, (c as u64) << 8 | r);
+                    let response =
+                        client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+                    assert!(response.ok, "calibrate failed: {:?}", response.error);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let calibrates = 1 + (CLIENTS as u64) * REQUESTS_PER_CLIENT;
+
+    // A request folds into the histograms just *after* its response is
+    // written, so poll until every calibrate has landed. The per-method
+    // table is untouched by the metrics polls themselves, which makes its
+    // counts exact targets to wait on.
+    let mut client = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut polls = 0u64;
+    let metrics = loop {
+        polls += 1;
+        let response = client.request(&Request::metrics()).unwrap();
+        assert!(response.ok);
+        let m = response.metrics.expect("metrics payload");
+        let landed = m.methods.iter().find(|m| m.method == "qufem").map_or(0, |m| m.apply.count);
+        if landed >= calibrates || Instant::now() >= deadline {
+            break m;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    assert_eq!(metrics.requests, calibrates + polls, "calibrates plus the metrics polls");
+    assert!(metrics.request.count >= calibrates, "request histogram covers the calibrates");
+    assert!(metrics.uptime_us > 0);
+
+    // Live per-method apply quantiles, monotone by construction.
+    let qufem_metrics = metrics
+        .methods
+        .iter()
+        .find(|m| m.method == "qufem")
+        .expect("per-method entry for the served instance");
+    assert_eq!(qufem_metrics.requests, calibrates);
+    assert_eq!(qufem_metrics.apply.count, calibrates);
+    let a = &qufem_metrics.apply;
+    assert!(a.p50 <= a.p90 && a.p90 <= a.p99 && a.p99 <= a.p999, "quantiles not monotone: {a:?}");
+    assert!(a.p50 >= a.min && a.p999 <= a.max, "quantiles left [min, max]: {a:?}");
+    assert!(a.max > 0.0, "apply latency must have been measured");
+
+    // Every client reused the warmed plan: one miss total, rest hits.
+    assert_eq!(qufem_metrics.prepare.count, 1, "prepare recorded on the single miss");
+    assert_eq!(metrics.plan_cache_misses, 1);
+    assert_eq!(metrics.plan_cache_hits, calibrates - 1);
+    assert_eq!(metrics.slow, 0, "no slow threshold configured");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn flight_recorder_evicts_oldest_and_dumps_in_order() {
+    let (device, qufem) = characterized();
+    let config = ServeConfig { flight_recorder: 4, ..test_config() };
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    for seed in 0..6u64 {
+        let measured = vec![0, 1];
+        let dist = noisy_input(&device, &measured, seed);
+        let response = client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+        assert!(response.ok);
+    }
+    let response = client.request(&Request::trace()).unwrap();
+    assert!(response.ok);
+    let trace = response.trace.expect("trace payload");
+    // Capacity 4: the 6 calibrates overflowed the ring, keeping the last 4.
+    assert_eq!(trace.len(), 4);
+    let ids: Vec<u64> = trace.iter().map(|t| t.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "dump must be oldest-first");
+    assert_eq!(trace.last().unwrap().cmd, "calibrate");
+    for t in &trace {
+        assert_eq!(t.outcome, "ok");
+        assert_eq!(t.measured, 2);
+        assert_eq!(t.method.as_deref(), Some("qufem"));
+        assert!(t.total_us >= t.apply_us, "total must cover apply: {t:?}");
+        assert!(t.request_bytes > 0 && t.response_bytes > 0);
+    }
+    // The first calibrate was the cache miss; it has been evicted, so every
+    // surviving record is a hit.
+    assert!(trace.iter().all(|t| t.cache == "hit"), "{trace:?}");
+
+    // The trace request itself lands in the recorder afterwards.
+    let response = client.request(&Request::trace()).unwrap();
+    let trace = response.trace.unwrap();
+    assert_eq!(trace.last().unwrap().cmd, "trace");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn metrics_text_format_renders_counters_and_quantiles() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+
+    // One connection throughout: the worker serves it sequentially, so the
+    // calibrate has fully landed before the metrics request is handled.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let measured = vec![0, 1];
+    let dist = noisy_input(&device, &measured, 7);
+    let response = client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+    assert!(response.ok);
+
+    let response = client.request(&Request::metrics_text()).unwrap();
+    assert!(response.ok);
+    assert!(response.metrics.is_none(), "text format must not carry the JSON payload");
+    let text = response.metrics_text.expect("text payload");
+    assert!(text.contains("qufem_serve_requests 2"), "text:\n{text}");
+    assert!(text.contains("qufem_serve_plan_cache_misses 1"), "text:\n{text}");
+    assert!(text.contains("serve_request_secs{quantile=\"0.5\"}"), "text:\n{text}");
+    assert!(text.contains("serve_apply_secs_qufem_count 1"), "text:\n{text}");
+    // Every line is `name value` or `name{quantile="q"} value`.
+    for line in text.lines() {
+        let parts: Vec<&str> = line.rsplitn(2, ' ').collect();
+        assert_eq!(parts.len(), 2, "malformed line: {line:?}");
+        assert!(parts[0].parse::<f64>().is_ok(), "non-numeric value in line: {line:?}");
+    }
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn slow_threshold_zero_marks_every_request_slow() {
+    let (device, qufem) = characterized();
+    let config = ServeConfig { slow_threshold: Some(Duration::ZERO), ..test_config() };
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let measured = vec![0, 1];
+    let dist = noisy_input(&device, &measured, 9);
+    let response = client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+    assert!(response.ok);
+    let response = client.request(&Request::metrics()).unwrap();
+    let metrics = response.metrics.unwrap();
+    // The calibrate has landed (same connection); the metrics request
+    // itself only lands after its response is composed.
+    assert_eq!(metrics.slow, 1, "threshold 0 must count every finished request as slow");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn enabled_global_telemetry_mirrors_serving_histograms() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    qufem_telemetry::reset();
+    qufem_telemetry::enable();
+
+    for seed in 0..3u64 {
+        let measured = vec![0, 1];
+        let dist = noisy_input(&device, &measured, seed);
+        assert!(client.request(&Request::calibrate(dist, Some(measured))).unwrap().ok);
+    }
+    // A same-connection round-trip guarantees the calibrates above have
+    // been folded in before the snapshot is taken.
+    assert!(client.request(&Request::status()).unwrap().ok);
+
+    qufem_telemetry::disable();
+    let snapshot = qufem_telemetry::snapshot();
+    // The always-on serving histograms mirror into the opt-in global
+    // collector while it is enabled (>=: concurrent tests in this binary
+    // may contribute while the collector is on).
+    let request = snapshot.histograms.get("serve.request_secs").expect("request histogram");
+    assert!(request.count >= 3, "{request:?}");
+    assert!(request.quantile(0.5) <= request.quantile(0.99));
+    let apply = snapshot.histograms.get("serve.apply_secs.qufem").expect("apply histogram");
+    assert!(apply.count >= 3, "{apply:?}");
+    assert!(snapshot.counter("serve.requests") >= 4);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn unknown_method_and_malformed_requests_are_counted_and_traced() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let measured = vec![0, 1];
+    let dist = noisy_input(&device, &measured, 3);
+    let response = client
+        .request(&Request::calibrate(dist, Some(measured)).with_method("no-such-method"))
+        .unwrap();
+    assert!(!response.ok);
+    client.send_raw(b"this is not json\n").unwrap();
+    let response = client.read_response().unwrap();
+    assert!(!response.ok);
+
+    let response = client.request(&Request::metrics()).unwrap();
+    let metrics = response.metrics.unwrap();
+    assert_eq!(metrics.unknown_method, 1);
+    assert_eq!(metrics.malformed, 1);
+    // The unresolved method id must not appear in the per-method table.
+    assert!(metrics.methods.iter().all(|m| m.method != "no-such-method"));
+
+    let response = client.request(&Request::trace()).unwrap();
+    let trace = response.trace.unwrap();
+    let outcomes: Vec<&str> = trace.iter().map(|t| t.outcome.as_str()).collect();
+    assert!(outcomes.contains(&"unknown_method"), "{outcomes:?}");
+    assert!(outcomes.contains(&"malformed"), "{outcomes:?}");
+
+    server.shutdown_and_join();
+}
