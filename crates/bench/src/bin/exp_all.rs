@@ -104,14 +104,16 @@ fn main() {
             }
         }
         // Per-method apply latency from the registry sweeps (table4,
-        // `method_apply.secs.<id>` gauges) and serve-layer latency
+        // `method_apply.secs.<id>` gauges), serve-layer latency
         // quantiles from the throughput sweep (ext_serve,
-        // `serve.w<workers>.*_secs` gauges). Sorted for a stable summary.
+        // `serve.w<workers>.*_secs` gauges), and catalog/hot-swap
+        // counters (`serve.catalog.*`). Sorted for a stable summary.
         let mut extra: Vec<(String, f64)> = snapshot
             .gauges
             .iter()
             .filter(|(name, _)| {
                 name.starts_with("method_apply.")
+                    || name.starts_with("serve.catalog.")
                     || (name.starts_with("serve.") && name.ends_with("_secs"))
             })
             .map(|(name, &value)| (name.clone(), value))

@@ -154,7 +154,116 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         ]);
     }
     latency.note("Warm rows wait for the background prewarm before the first request; the wait overlaps server startup in real deployments.");
-    vec![table, latency]
+
+    // Live recalibration hot-swap: readout noise drifts, the operator
+    // re-characterizes the drifted device, and `admit` publishes the new
+    // snapshot as the device's next version under live traffic — version
+    // echoes flip atomically, and version-pinned requests keep serving the
+    // old snapshot bit for bit.
+    let mut swap_table = Table::new(
+        "Extension: live snapshot hot-swap under readout drift",
+        &["Phase", "Served identity", "Requests", "Wall secs", "Check"],
+    );
+    {
+        let requests = if opts.quick { 6 } else { 24 };
+        let config = ServeConfig {
+            workers: 2,
+            prewarm: false,
+            device_id: "drift-7".to_string(),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(qufem.clone(), "127.0.0.1:0", config).expect("server starts");
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).expect("client connects");
+        let (full, input) = &mix[0]; // the full register
+
+        let phase = |client: &mut Client, label: &str, expect_version: u64, count: usize| {
+            let start = Instant::now();
+            for r in 0..count {
+                let (measured, dist) = &mix[r % mix.len()];
+                let response = client
+                    .request(&Request::calibrate(dist.clone(), Some(measured.clone())))
+                    .expect("request round-trips");
+                assert!(response.ok, "{label} serve error: {:?}", response.error);
+                assert_eq!(response.device.as_deref(), Some("drift-7"));
+                assert_eq!(response.version, Some(expect_version), "{label} version echo");
+            }
+            (format!("drift-7@v{expect_version}"), start.elapsed().as_secs_f64())
+        };
+
+        let (identity, secs) = phase(&mut client, "baseline", 0, requests);
+        swap_table.push_row(vec![
+            "baseline".to_string(),
+            identity,
+            requests.to_string(),
+            format!("{secs:.3}"),
+            "-".to_string(),
+        ]);
+        // Version-pinned baseline: the bits the old snapshot must keep
+        // serving after the swap.
+        let pinned_request = Request::calibrate(input.clone(), Some(full.clone())).with_version(0);
+        let pinned_before = client.request(&pinned_request).expect("pinned request");
+        assert!(pinned_before.ok);
+
+        // The operator's recalibration loop: re-characterize the drifted
+        // device and admit the export over the wire.
+        let drifted = device.drifted(1);
+        let recal = crate::experiments::characterize_qufem(&drifted, opts.quick, opts.seed);
+        let swap_start = Instant::now();
+        let response = client
+            .request(&Request::admit(recal.export()).with_device("drift-7"))
+            .expect("admit round-trips");
+        let swap_secs = swap_start.elapsed().as_secs_f64();
+        assert!(response.ok, "admit failed: {:?}", response.error);
+        assert_eq!(response.version, Some(1));
+        swap_table.push_row(vec![
+            "admit".to_string(),
+            "drift-7@v1".to_string(),
+            "1".to_string(),
+            format!("{swap_secs:.3}"),
+            "head v0 -> v1".to_string(),
+        ]);
+
+        let (identity, secs) = phase(&mut client, "drifted", 1, requests);
+        let pinned_after = client.request(&pinned_request).expect("pinned request");
+        assert!(pinned_after.ok);
+        assert_eq!(pinned_after.version, Some(0));
+        let before = pinned_before.dist.expect("pinned dist").sorted_pairs();
+        let after = pinned_after.dist.expect("pinned dist").sorted_pairs();
+        assert_eq!(before.len(), after.len(), "pinned support changed across hot-swap");
+        for ((ka, va), (kb, vb)) in before.iter().zip(&after) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "pinned value at {ka} changed across swap");
+        }
+        swap_table.push_row(vec![
+            "drifted".to_string(),
+            identity,
+            requests.to_string(),
+            format!("{secs:.3}"),
+            "pinned v0 bit-identical".to_string(),
+        ]);
+
+        // Catalog counters from the live metrics snapshot, exported as
+        // gauges for bench_summary.json.
+        let metrics = request_once(addr, &Request::metrics())
+            .expect("metrics round-trips")
+            .metrics
+            .expect("metrics payload");
+        assert_eq!(metrics.swaps, 1);
+        assert_eq!(metrics.unknown_device, 0);
+        let retained: usize = metrics.devices.iter().map(|d| d.versions.len()).sum();
+        qufem_telemetry::gauge_set("serve.catalog.swaps", metrics.swaps as f64);
+        qufem_telemetry::gauge_set("serve.catalog.devices", metrics.devices.len() as f64);
+        qufem_telemetry::gauge_set("serve.catalog.versions", retained as f64);
+        qufem_telemetry::gauge_set("serve.catalog.unknown_device", metrics.unknown_device as f64);
+        qufem_telemetry::gauge_set("serve.catalog.plan_cache_len", metrics.plan_cache_len as f64);
+        qufem_telemetry::gauge_set("serve.catalog.swap_secs", swap_secs);
+        server.shutdown_and_join();
+    }
+    swap_table.note("The drifted phase serves a re-characterization of device.drifted(1) admitted over the wire mid-traffic.");
+    swap_table.note("Pinned check: a version-0 request after the swap returns bit-identical output to before the swap.");
+
+    vec![table, latency, swap_table]
 }
 
 #[cfg(test)]
@@ -178,5 +287,11 @@ mod tests {
         for row in &tables[1].rows {
             assert!(row[2].parse::<f64>().unwrap() > 0.0);
         }
+        // Hot-swap scenario: baseline, admit, drifted.
+        assert_eq!(tables[2].rows.len(), 3);
+        assert_eq!(tables[2].rows[0][1], "drift-7@v0");
+        assert_eq!(tables[2].rows[1][4], "head v0 -> v1");
+        assert_eq!(tables[2].rows[2][1], "drift-7@v1");
+        assert_eq!(tables[2].rows[2][4], "pinned v0 bit-identical");
     }
 }

@@ -28,11 +28,12 @@ use std::time::Instant;
 /// *calibration* flow.
 const MIN_CHARACTERIZATION_BETA: f64 = 1e-3;
 
-/// Cap on the number of measured sets whose prepared calibrations a
+/// Default cap on the number of measured sets whose prepared calibrations a
 /// [`QuFem`] memoizes (see [`QuFem::prepared`]). When a workload cycles
 /// through more distinct sets than this, the memo is cleared rather than
-/// grown without bound.
-const PREPARED_MEMO_CAP: usize = 32;
+/// grown without bound. Tunable per instance via
+/// [`QuFem::set_prepared_memo_cap`].
+pub const DEFAULT_PREPARED_MEMO_CAP: usize = 32;
 
 /// The static calibration parameters of one iteration: the grouping scheme
 /// `G_i` and the benchmarking distributions `BP_i` (paper Algorithm 1's
@@ -100,6 +101,9 @@ pub struct QuFem {
     /// shared across clones (plan construction is deterministic, so
     /// serving a memoized plan cannot change any output bit).
     prepared_memo: Arc<Mutex<HashMap<QubitSet, Arc<PreparedCalibration>>>>,
+    /// Memo size cap, shared across clones like the memo itself so a tune
+    /// on one handle governs every holder of the same memo.
+    prepared_memo_cap: Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl QuFem {
@@ -118,6 +122,9 @@ impl QuFem {
             benchgen_report,
             characterization_engine_stats: EngineStats::default(),
             prepared_memo: Arc::new(Mutex::new(HashMap::new())),
+            prepared_memo_cap: Arc::new(std::sync::atomic::AtomicUsize::new(
+                DEFAULT_PREPARED_MEMO_CAP,
+            )),
         }
     }
 
@@ -312,6 +319,9 @@ impl QuFem {
             benchgen_report: None,
             characterization_engine_stats: stats,
             prepared_memo: Arc::new(Mutex::new(HashMap::new())),
+            prepared_memo_cap: Arc::new(std::sync::atomic::AtomicUsize::new(
+                DEFAULT_PREPARED_MEMO_CAP,
+            )),
         })
     }
 
@@ -391,12 +401,26 @@ impl QuFem {
         Ok(PreparedCalibration { width: positions.len(), plans })
     }
 
+    /// The memo cap currently in force for [`QuFem::prepared`].
+    pub fn prepared_memo_cap(&self) -> usize {
+        self.prepared_memo_cap.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Tunes the [`QuFem::prepared`] memo cap (clamped to at least 1). The
+    /// cap is shared across clones, so tuning a served instance takes effect
+    /// on every handle. Sizing: each entry holds one full prepared plan set,
+    /// so budget roughly `distinct measured sets per tenant × tenants
+    /// sharing this instance`.
+    pub fn set_prepared_memo_cap(&self, cap: usize) {
+        self.prepared_memo_cap.store(cap.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// A shared prepared calibration for `measured`, built on first use and
-    /// memoized (capped at `PREPARED_MEMO_CAP` distinct sets, shared
-    /// across clones). Repeat callers of [`QuFem::calibrate`] over the same
-    /// measured set skip the redundant matrix generation and plan builds;
-    /// because plan construction is deterministic, the memoized plans
-    /// calibrate to the exact bits a fresh [`QuFem::prepare`] would.
+    /// memoized (capped at [`QuFem::prepared_memo_cap`] distinct sets,
+    /// shared across clones). Repeat callers of [`QuFem::calibrate`] over
+    /// the same measured set skip the redundant matrix generation and plan
+    /// builds; because plan construction is deterministic, the memoized
+    /// plans calibrate to the exact bits a fresh [`QuFem::prepare`] would.
     ///
     /// # Errors
     ///
@@ -411,7 +435,7 @@ impl QuFem {
         // copy is simply dropped.
         let built = Arc::new(self.prepare(measured)?);
         let mut memo = self.prepared_memo.lock().expect("prepared memo lock");
-        if memo.len() >= PREPARED_MEMO_CAP && !memo.contains_key(measured) {
+        if memo.len() >= self.prepared_memo_cap() && !memo.contains_key(measured) {
             memo.clear();
         }
         Ok(Arc::clone(memo.entry(measured.clone()).or_insert(built)))
@@ -889,6 +913,27 @@ mod tests {
             let b = qufem.calibrate(&noisy, &measured).unwrap();
             assert_eq!(a.sorted_pairs(), b.sorted_pairs());
         }
+    }
+
+    #[test]
+    fn prepared_memo_cap_is_tunable_and_shared_across_clones() {
+        let device = presets::ibmq_7(1);
+        let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+        assert_eq!(qufem.prepared_memo_cap(), DEFAULT_PREPARED_MEMO_CAP);
+        let clone = qufem.clone();
+        qufem.set_prepared_memo_cap(2);
+        assert_eq!(clone.prepared_memo_cap(), 2);
+        // Clamped: a zero cap would make the memo useless.
+        qufem.set_prepared_memo_cap(0);
+        assert_eq!(qufem.prepared_memo_cap(), 1);
+        // Cap 1: a second distinct set clears the memo, so re-preparing the
+        // first set yields a fresh (different) Arc.
+        let a: QubitSet = [0usize, 1].into_iter().collect();
+        let b: QubitSet = [2usize, 3].into_iter().collect();
+        let first = qufem.prepared(&a).unwrap();
+        assert!(Arc::ptr_eq(&first, &qufem.prepared(&a).unwrap()));
+        let _ = qufem.prepared(&b).unwrap();
+        assert!(!Arc::ptr_eq(&first, &qufem.prepared(&a).unwrap()));
     }
 
     #[test]

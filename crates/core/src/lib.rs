@@ -58,16 +58,18 @@ pub mod parallel;
 pub mod partition;
 mod persist;
 mod snapshot;
+mod version;
 
 pub use config::{QuFemConfig, QuFemConfigBuilder};
 pub use engine::{configured_threads, execute, execute_sharded, EngineStats, IterationPlan};
 pub use flows::{
     build_group_matrices, build_group_matrices_threaded, build_group_matrices_with, calibrate_once,
-    IterationParams, PreparedCalibration, QuFem,
+    IterationParams, PreparedCalibration, QuFem, DEFAULT_PREPARED_MEMO_CAP,
 };
 pub use interaction::{HotInteraction, InteractionTable};
-pub use mitigate::{MethodOptions, MethodRegistry, Mitigator, PreparedMitigator};
+pub use mitigate::{MethodOptions, MethodRegistry, Mitigator, MitigatorCache, PreparedMitigator};
 pub use noisematrix::{group_noise_matrix, group_noise_matrix_with, GroupMatrix};
 pub use partition::Grouping;
 pub use persist::{IterationData, QuFemData, RecordData};
 pub use snapshot::{BenchmarkRecord, BenchmarkSnapshot, IdealCondition};
+pub use version::{SnapshotLineage, VersionedSnapshot, DEFAULT_DEVICE_ID};

@@ -28,9 +28,11 @@ use crate::benchgen::BenchGenReport;
 use crate::config::QuFemConfig;
 use crate::flows::{IterationParams, QuFem};
 use crate::snapshot::{BenchmarkRecord, BenchmarkSnapshot};
+use crate::version::{SnapshotLineage, VersionedSnapshot};
 use qufem_device::BenchmarkCircuit;
 use qufem_types::{Error, ProbDist, QubitSet, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One benchmarking record in portable form.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,6 +65,12 @@ pub struct QuFemData {
     /// Optional on disk: exports written by replay/ablation flows omit it.
     #[serde(default)]
     pub benchgen_report: Option<BenchGenReport>,
+    /// Device/version identity of this calibration. Optional on disk:
+    /// parameter files written before the versioned-snapshot layer omit it
+    /// and load as version 0 of the default device (see
+    /// [`QuFem::import_versioned`]).
+    #[serde(default)]
+    pub lineage: Option<SnapshotLineage>,
 }
 
 impl QuFem {
@@ -88,7 +96,17 @@ impl QuFem {
                 })
                 .collect(),
             benchgen_report: self.benchgen_report().cloned(),
+            lineage: None,
         }
+    }
+
+    /// [`QuFem::export`] stamped with device/version identity, so the
+    /// lineage survives the persist round-trip (and the serve catalog's
+    /// `admit` wire command).
+    pub fn export_versioned(&self, lineage: &SnapshotLineage) -> QuFemData {
+        let mut data = self.export();
+        data.lineage = Some(lineage.clone());
+        data
     }
 
     /// Reconstructs a calibrator from exported parameters, without device
@@ -134,6 +152,28 @@ impl QuFem {
             iterations.push(IterationParams::from_parts(iter_data.grouping, snapshot));
         }
         Ok(QuFem::from_parts(data.config, data.n_qubits, iterations, data.benchgen_report))
+    }
+
+    /// [`QuFem::import`] plus the calibration's device/version identity:
+    /// returns the restored calibrator and its first benchmarking snapshot
+    /// (`BP_1`) wrapped as a [`VersionedSnapshot`].
+    ///
+    /// Exports carrying a lineage stamp restore it verbatim; exports written
+    /// by the pre-version format (no `lineage` field) load as **version 0 of
+    /// the default device**, so old parameter files keep working.
+    ///
+    /// # Errors
+    ///
+    /// As for [`QuFem::import`].
+    pub fn import_versioned(data: QuFemData) -> Result<(Self, VersionedSnapshot)> {
+        let lineage = data.lineage.clone().unwrap_or_default();
+        let qufem = QuFem::import(data)?;
+        let snapshot = qufem
+            .iterations()
+            .first()
+            .map(|it| it.snapshot_arc())
+            .unwrap_or_else(|| Arc::new(BenchmarkSnapshot::new(qufem.n_qubits())));
+        Ok((qufem, VersionedSnapshot::with_lineage(&lineage, snapshot)))
     }
 }
 
@@ -193,6 +233,39 @@ mod tests {
         let mut data = qufem.export();
         data.iterations.clear();
         assert!(matches!(QuFem::import(data), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn versioned_export_round_trips_lineage() {
+        let (_, qufem) = characterized();
+        let lineage = SnapshotLineage {
+            device_id: "ibmq-7".to_string(),
+            version: 3,
+            parent_version: Some(2),
+            created_seq: 11,
+        };
+        let json = serde_json::to_string(&qufem.export_versioned(&lineage)).unwrap();
+        let (restored, versioned) =
+            QuFem::import_versioned(serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(versioned.device_id(), "ibmq-7");
+        assert_eq!(versioned.version(), 3);
+        assert_eq!(versioned.parent_version(), Some(2));
+        assert_eq!(versioned.created_seq(), 11);
+        assert_eq!(versioned.n_qubits(), restored.n_qubits());
+        // The versioned snapshot is the restored instance's own BP_1.
+        assert!(Arc::ptr_eq(&versioned.snapshot_arc(), &restored.iterations()[0].snapshot_arc()));
+    }
+
+    #[test]
+    fn pre_version_export_loads_as_default_device_version_zero() {
+        let (_, qufem) = characterized();
+        // `export()` writes no lineage — exactly the pre-version format.
+        let json = serde_json::to_string(&qufem.export()).unwrap();
+        assert!(!json.contains("lineage") || json.contains("\"lineage\":null"), "json: {json}");
+        let (_, versioned) = QuFem::import_versioned(serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(versioned.device_id(), crate::version::DEFAULT_DEVICE_ID);
+        assert_eq!(versioned.version(), 0);
+        assert_eq!(versioned.parent_version(), None);
     }
 
     #[test]

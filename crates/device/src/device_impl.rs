@@ -1,10 +1,40 @@
 //! The simulated quantum device.
 
-use crate::{BenchmarkCircuit, ReadoutNoiseModel, Topology};
+use crate::{BenchmarkCircuit, CrosstalkShifts, QubitNoise, ReadoutNoiseModel, Topology};
 use qufem_linalg::Matrix;
 use qufem_types::{BitString, Error, ProbDist, QubitSet, Result};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fraction by which [`Device::drifted`] perturbs each noise parameter at
+/// most (the wave is in `[-1, 1)`, so parameters move by up to ±25%).
+const DRIFT_AMPLITUDE: f64 = 0.25;
+
+/// splitmix64 finalizer: avalanches a 64-bit value. Pure integer mixing —
+/// no floating-point transcendentals — so drift is bit-identical across
+/// platforms and libm versions.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string (seeds the drift wave from the device name).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps a mixed 64-bit value onto a wave in `[-1, 1)`.
+fn drift_wave(seed: u64) -> f64 {
+    // Top 53 bits → uniform in [0, 2), shifted to [-1, 1).
+    ((mix64(seed) >> 11) as f64) / ((1u64 << 52) as f64) - 1.0
+}
 
 /// Counters for quantum-hardware usage, mirroring the cost accounting in the
 /// paper's Table 3 (number of benchmarking circuits executed).
@@ -381,6 +411,60 @@ impl Device {
     pub fn heap_bytes(&self) -> usize {
         self.model.heap_bytes()
     }
+
+    /// The same device after `step` units of simulated calibration drift:
+    /// every flip rate, crosstalk shift, and correlated-flip probability is
+    /// scaled by `1 + 0.25·wave` where the wave is a pure integer-hash
+    /// function of `(device name, parameter, step)` in `[-1, 1)`.
+    ///
+    /// Deterministic by construction — the same `(device, step)` pair
+    /// yields a bit-identical noise model on every platform and in every
+    /// process, so recalibration pressure is simulable in tests, benches,
+    /// and the serve drift scenario without threading RNG state around.
+    /// `step == 0` returns the rates unchanged. Drifted rates are clamped
+    /// into valid ranges (`[1e-4, 0.45]` for base flips), and the returned
+    /// device starts with fresh hardware-usage counters.
+    pub fn drifted(&self, step: u64) -> Device {
+        let base = fnv1a(self.name.as_bytes()) ^ mix64(step);
+        // One wave per (parameter kind, parameter index); `tag` separates
+        // kinds so e.g. eps0 and eps1 of the same qubit drift independently.
+        let scale = |tag: u64, idx: u64| -> f64 {
+            1.0 + DRIFT_AMPLITUDE * drift_wave(mix64(base ^ mix64((tag << 56) | idx)))
+        };
+        let drift = |value: f64, tag: u64, idx: u64, lo: f64, hi: f64| -> f64 {
+            if step == 0 {
+                value
+            } else {
+                (value * scale(tag, idx)).clamp(lo, hi)
+            }
+        };
+        let n = self.n_qubits();
+        let mut qubits = Vec::with_capacity(n);
+        for q in 0..n {
+            let noise = self.model.qubit_noise(q);
+            let eps0 = drift(noise.eps0, 0, q as u64, 1e-4, 0.45);
+            let eps1 = drift(noise.eps1, 1, q as u64, 1e-4, 0.45);
+            qubits.push(QubitNoise::new(eps0, eps1).expect("drifted rates clamped into range"));
+        }
+        let mut model = ReadoutNoiseModel::new(qubits);
+        for ((source, target), shifts) in self.model.crosstalk_terms() {
+            let idx = ((source as u64) << 28) | target as u64;
+            let drifted = CrosstalkShifts {
+                on_zero: drift(shifts.on_zero, 2, idx, -0.45, 0.45),
+                on_one: drift(shifts.on_one, 3, idx, -0.45, 0.45),
+                on_unmeasured: drift(shifts.on_unmeasured, 4, idx, -0.45, 0.45),
+            };
+            model.add_crosstalk(source, target, drifted).expect("indices from a valid model");
+        }
+        for term in self.model.correlated_flips() {
+            let (a, b) = term.qubits;
+            let idx = ((a as u64) << 28) | b as u64;
+            let prob = drift(term.prob, 5, idx, 1e-6, 0.45);
+            model.add_correlated_flip(a, b, prob).expect("indices from a valid model");
+        }
+        Device::new(self.name.clone(), self.topology.clone(), model)
+            .expect("topology and model widths match by construction")
+    }
 }
 
 #[cfg(test)]
@@ -600,6 +684,59 @@ mod tests {
         assert!(model.add_correlated_flip(0, 5, 0.1).is_err());
         assert!(model.add_correlated_flip(0, 1, 0.6).is_err());
         assert!(model.add_correlated_flip(0, 1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn drifted_step_zero_is_identity() {
+        let d = test_device();
+        let same = d.drifted(0);
+        assert_eq!(same.ground_truth(), d.ground_truth());
+        assert_eq!(same.name(), d.name());
+        assert_eq!(same.topology(), d.topology());
+        assert_eq!(same.stats().circuits(), 0);
+    }
+
+    #[test]
+    fn drifted_is_deterministic_and_step_dependent() {
+        let d = test_device();
+        assert_eq!(d.drifted(3).ground_truth(), d.drifted(3).ground_truth());
+        assert_ne!(d.drifted(3).ground_truth(), d.ground_truth());
+        assert_ne!(d.drifted(3).ground_truth(), d.drifted(5).ground_truth());
+        // Drift composes from the original rates, not cumulatively: a step
+        // is an absolute point in time.
+        assert_eq!(d.drifted(3).ground_truth(), d.drifted(0).drifted(3).ground_truth());
+    }
+
+    #[test]
+    fn drifted_depends_on_device_name() {
+        let d = test_device();
+        let renamed =
+            Device::new("other-3q", d.topology().clone(), d.ground_truth().clone()).unwrap();
+        assert_ne!(d.drifted(1).ground_truth(), renamed.drifted(1).ground_truth());
+    }
+
+    #[test]
+    fn drifted_rates_stay_valid_and_bounded() {
+        let mut model = ReadoutNoiseModel::new(vec![
+            QubitNoise::new(0.0, 0.499).unwrap(),
+            QubitNoise::new(0.02, 0.05).unwrap(),
+        ]);
+        model.add_crosstalk(1, 0, CrosstalkShifts { on_one: 0.05, ..Default::default() }).unwrap();
+        model.add_correlated_flip(0, 1, 0.1).unwrap();
+        let d = Device::new("bounds", Topology::linear(2), model).unwrap();
+        for step in 1..20u64 {
+            // Device::new re-validates; the construction not panicking is
+            // the real assertion. Check drift stays within ±25% + clamps.
+            let drifted = d.drifted(step);
+            for q in 0..2 {
+                let orig = d.ground_truth().qubit_noise(q);
+                let got = drifted.ground_truth().qubit_noise(q);
+                for (o, g) in [(orig.eps0, got.eps0), (orig.eps1, got.eps1)] {
+                    assert!((1e-4..=0.45).contains(&g), "step {step}: {g}");
+                    assert!(g >= (o * 0.75).min(1e-4) && g <= (o * 1.25).max(1e-4));
+                }
+            }
+        }
     }
 
     #[test]

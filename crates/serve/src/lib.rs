@@ -4,19 +4,26 @@
 //! artifact**: characterization is expensive and device-specific, but once
 //! computed it calibrates arbitrarily many programs' outputs (Eq. 7, §3.2).
 //! This crate serves that artifact over TCP so clients do not have to link
-//! the library or re-run characterization: a [`Server`] holds a
-//! characterized [`qufem_core::QuFem`] plus a [`qufem_core::MethodRegistry`]
-//! of alternative methods in memory, keeps one LRU cache of prepared
-//! mitigations keyed by `(method, measured qubit set)`, and answers
-//! newline-delimited JSON requests from a bounded worker pool.
+//! the library or re-run characterization: a [`Server`] holds a [`Catalog`]
+//! of devices — each a lineage of versioned snapshots with a per-version
+//! LRU cache of prepared mitigations keyed by `(method, measured qubit
+//! set)` and a [`qufem_core::MethodRegistry`] of alternative methods —
+//! and answers newline-delimited JSON requests from a bounded worker pool.
+//! Requests may pin a `device`/`version`; `admit` publishes a
+//! re-characterization as a device's next version atomically under live
+//! traffic (DESIGN §4.15), and every response echoes the serving identity.
 //!
 //! ```text
 //! → {"cmd":"calibrate","measured":[0,1,2],"dist":[3,["000",0.9],["111",0.1]]}
 //! ← {"ok":true,"dist":[3,…],"stats":{…}}
 //! → {"cmd":"calibrate","method":"m3","dist":[3,["000",0.9],["111",0.1]]}
 //! ← {"ok":true,"dist":[3,…]}
+//! → {"cmd":"admit","params":{…},"device":"ibmq-a"}
+//! ← {"ok":true,"device":"ibmq-a","version":1}
+//! → {"cmd":"calibrate","device":"ibmq-a","version":0,"dist":[3,…]}
+//! ← {"ok":true,"dist":[3,…],"device":"ibmq-a","version":0,"stats":{…}}
 //! → {"cmd":"status"}
-//! ← {"ok":true,"status":{"n_qubits":7,"methods":["qufem",…],…}}
+//! ← {"ok":true,"status":{"n_qubits":7,"methods":["qufem",…],"devices":[…],…}}
 //! → {"cmd":"metrics"}
 //! ← {"ok":true,"metrics":{"requests":25,"methods":[{"method":"qufem","apply":{"p50":…},…}],…}}
 //! → {"cmd":"trace"}
@@ -58,16 +65,19 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod catalog;
 mod observability;
 mod protocol;
 mod server;
 
 pub use cache::PlanCache;
+pub use catalog::{Catalog, DeviceSummary, ResolveError, VersionEntry};
 pub use observability::{
     CacheOutcome, FlightRecorder, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics,
 };
 pub use protocol::{
-    HistogramSummary, MethodMetrics, MetricsInfo, Request, RequestTrace, Response, StatusInfo,
-    CMD_CALIBRATE, CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
+    DeviceStatusInfo, HistogramSummary, MethodMetrics, MetricsInfo, Request, RequestTrace,
+    Response, StatusInfo, CMD_ADMIT, CMD_CALIBRATE, CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS,
+    CMD_TRACE,
 };
 pub use server::{request_once, Client, ServeConfig, ServeHandle, Server};

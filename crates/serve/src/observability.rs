@@ -35,6 +35,8 @@ pub enum RequestCmd {
     Metrics,
     /// `trace`
     Trace,
+    /// `admit`
+    Admit,
     /// Anything else (including frames that never parsed).
     Unknown,
 }
@@ -48,6 +50,7 @@ impl RequestCmd {
             RequestCmd::Shutdown => "shutdown",
             RequestCmd::Metrics => "metrics",
             RequestCmd::Trace => "trace",
+            RequestCmd::Admit => "admit",
             RequestCmd::Unknown => "unknown",
         }
     }
@@ -91,6 +94,8 @@ pub enum RequestOutcome {
     Oversized,
     /// The requested method id (or its options) was rejected.
     UnknownMethod,
+    /// The requested device id (or pinned version) is not in the catalog.
+    UnknownDevice,
 }
 
 impl RequestOutcome {
@@ -102,6 +107,7 @@ impl RequestOutcome {
             RequestOutcome::Malformed => "malformed",
             RequestOutcome::Oversized => "oversized",
             RequestOutcome::UnknownMethod => "unknown_method",
+            RequestOutcome::UnknownDevice => "unknown_device",
         }
     }
 }
@@ -139,6 +145,11 @@ pub struct RequestRecord {
     pub outcome: RequestOutcome,
     /// Completion time, microseconds since the server started.
     pub ts_us: u64,
+    /// Resolved device id (calibrate/admit only; `None` when resolution
+    /// failed). Interned via [`ServeMetrics::device_key`].
+    pub device: Option<Arc<str>>,
+    /// Resolved snapshot version (0 when not device-routed).
+    pub version: u64,
 }
 
 impl RequestRecord {
@@ -159,6 +170,8 @@ impl RequestRecord {
             response_bytes: 0,
             outcome: RequestOutcome::Error,
             ts_us: 0,
+            device: None,
+            version: 0,
         }
     }
 
@@ -180,6 +193,8 @@ impl RequestRecord {
             request_bytes: self.request_bytes,
             response_bytes: self.response_bytes,
             ts_us: self.ts_us,
+            device: self.device.as_deref().map(str::to_string),
+            version: self.version,
         }
     }
 }
@@ -261,6 +276,8 @@ struct MetricsState {
     request: QuantileHistogram,
     /// Keyed by interned method id; the keys double as the interner.
     per_method: HashMap<Arc<str>, MethodStats>,
+    /// Calibrate requests per device, keyed by interned device id.
+    per_device: HashMap<Arc<str>, u64>,
     flight: FlightRecorder,
 }
 
@@ -273,6 +290,8 @@ pub struct ServeMetrics {
     malformed: AtomicU64,
     oversized: AtomicU64,
     unknown_method: AtomicU64,
+    unknown_device: AtomicU64,
+    swaps: AtomicU64,
     slow: AtomicU64,
     /// Slow-request threshold in microseconds (`u64::MAX` = off).
     slow_threshold_us: u64,
@@ -293,12 +312,15 @@ impl ServeMetrics {
             malformed: AtomicU64::new(0),
             oversized: AtomicU64::new(0),
             unknown_method: AtomicU64::new(0),
+            unknown_device: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             slow: AtomicU64::new(0),
             slow_threshold_us: slow_threshold_us.unwrap_or(u64::MAX),
             access_log,
             state: Mutex::new(MetricsState {
                 request: QuantileHistogram::default(),
                 per_method: HashMap::new(),
+                per_device: HashMap::new(),
                 flight: FlightRecorder::new(flight_capacity),
             }),
         }
@@ -327,6 +349,35 @@ impl ServeMetrics {
         key
     }
 
+    /// Interns a *resolved* device id, returning the shared key used in
+    /// [`RequestRecord::device`]. Allocates only the first time a device is
+    /// seen; callers must not intern unvalidated client input.
+    pub fn device_key(&self, id: &str) -> Arc<str> {
+        let mut state = self.state.lock().expect("serve metrics lock");
+        if let Some((key, _)) = state.per_device.get_key_value(id) {
+            return Arc::clone(key);
+        }
+        let key: Arc<str> = Arc::from(id);
+        state.per_device.insert(Arc::clone(&key), 0);
+        key
+    }
+
+    /// Counts one admitted snapshot (hot-swap).
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots admitted since startup.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Calibrate requests that named an unknown device or unretained
+    /// version.
+    pub fn unknown_device_count(&self) -> u64 {
+        self.unknown_device.load(Ordering::Relaxed)
+    }
+
     /// Folds one finished request into the histograms, counters, and flight
     /// recorder, and emits the access-log line if the request was slow.
     /// Stamps [`RequestRecord::ts_us`]. Allocation-free in steady state.
@@ -341,6 +392,9 @@ impl ServeMetrics {
             }
             RequestOutcome::UnknownMethod => {
                 self.unknown_method.fetch_add(1, Ordering::Relaxed);
+            }
+            RequestOutcome::UnknownDevice => {
+                self.unknown_device.fetch_add(1, Ordering::Relaxed);
             }
             RequestOutcome::Ok | RequestOutcome::Error => {}
         }
@@ -359,6 +413,11 @@ impl ServeMetrics {
                         if record.cache != CacheOutcome::Hit {
                             stats.prepare.record(record.prepare_us as f64 / 1e6);
                         }
+                    }
+                }
+                if let Some(device) = &record.device {
+                    if let Some(count) = state.per_device.get_mut(device.as_ref()) {
+                        *count += 1;
                     }
                 }
             }
@@ -411,6 +470,14 @@ impl ServeMetrics {
             .iter()
             .map(|(k, v)| (k.to_string(), v.requests, v.apply.clone(), v.prepare.clone()))
             .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Calibrate request counts per device, sorted by device id.
+    pub fn device_stats(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("serve metrics lock");
+        let mut out: Vec<_> = state.per_device.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -495,6 +562,34 @@ mod tests {
         metrics.finish(r);
         assert_eq!(metrics.method_stats().len(), 1);
         assert_eq!(metrics.counters().2, 1, "unknown_method counted");
+    }
+
+    #[test]
+    fn device_attribution_and_catalog_counters() {
+        let metrics = ServeMetrics::new(4, None, false);
+        let dev = metrics.device_key("ibmq-7");
+        assert!(Arc::ptr_eq(&dev, &metrics.device_key("ibmq-7")));
+        for i in 0..3u64 {
+            let mut r = record(metrics.begin(), 100 + i);
+            r.device = Some(Arc::clone(&dev));
+            r.version = 1;
+            metrics.finish(r);
+        }
+        assert_eq!(metrics.device_stats(), vec![("ibmq-7".to_string(), 3)]);
+        // Trace carries the attribution.
+        let trace = metrics.flight_dump()[0].to_trace();
+        assert_eq!(trace.device.as_deref(), Some("ibmq-7"));
+        assert_eq!(trace.version, 1);
+        // Unknown-device outcomes count without touching per-device stats.
+        let mut r = record(metrics.begin(), 10);
+        r.outcome = RequestOutcome::UnknownDevice;
+        metrics.finish(r);
+        assert_eq!(metrics.unknown_device_count(), 1);
+        assert_eq!(metrics.device_stats(), vec![("ibmq-7".to_string(), 3)]);
+        // Swap accounting.
+        metrics.record_swap();
+        metrics.record_swap();
+        assert_eq!(metrics.swaps(), 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! round-trip tests below — it is a compatibility surface, change it only
 //! with a protocol version bump.
 
-use qufem_core::{EngineStats, MethodOptions};
+use qufem_core::{EngineStats, MethodOptions, QuFemData};
 use qufem_telemetry::QuantileHistogram;
 use qufem_types::ProbDist;
 use serde::{Deserialize, Serialize};
@@ -21,6 +21,8 @@ pub const CMD_SHUTDOWN: &str = "shutdown";
 pub const CMD_METRICS: &str = "metrics";
 /// Command verb: dump the request flight recorder.
 pub const CMD_TRACE: &str = "trace";
+/// Command verb: admit a recalibrated snapshot into the catalog (hot-swap).
+pub const CMD_ADMIT: &str = "admit";
 
 /// One request frame.
 ///
@@ -53,11 +55,26 @@ pub struct Request {
     /// rendering in [`Response::metrics_text`].
     #[serde(default)]
     pub format: Option<String>,
+    /// Device id for `calibrate`/`admit` (defaults to the server's default
+    /// device; requests from older clients omit this field). An unknown id
+    /// fails *that request* with an error frame — the connection stays open.
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Pins `calibrate` to an explicit snapshot version of the device
+    /// (defaults to the device's head version). Pinned requests keep
+    /// answering bit-identically across hot-swaps as long as the version is
+    /// retained in the catalog.
+    #[serde(default)]
+    pub version: Option<u64>,
+    /// Exported calibration parameters for `admit` (the hot-swap payload;
+    /// see `QuFem::export_versioned`).
+    #[serde(default)]
+    pub params: Option<QuFemData>,
 }
 
 impl Request {
     /// A `calibrate` request over an explicit measured set, using the
-    /// server's default method.
+    /// server's default method and device.
     pub fn calibrate(dist: ProbDist, measured: Option<Vec<usize>>) -> Self {
         Request {
             cmd: CMD_CALIBRATE.to_string(),
@@ -66,7 +83,19 @@ impl Request {
             method: None,
             options: None,
             format: None,
+            device: None,
+            version: None,
+            params: None,
         }
+    }
+
+    /// An `admit` request carrying exported calibration parameters. The
+    /// target device comes from the params' lineage stamp unless overridden
+    /// with [`Request::with_device`].
+    pub fn admit(params: QuFemData) -> Self {
+        let mut req = Request::bare(CMD_ADMIT);
+        req.params = Some(params);
+        req
     }
 
     /// Selects an explicit calibration method for this request.
@@ -80,6 +109,20 @@ impl Request {
     #[must_use]
     pub fn with_options(mut self, options: MethodOptions) -> Self {
         self.options = Some(options);
+        self
+    }
+
+    /// Routes this request to an explicit device.
+    #[must_use]
+    pub fn with_device(mut self, device: impl Into<String>) -> Self {
+        self.device = Some(device.into());
+        self
+    }
+
+    /// Pins this request to an explicit snapshot version.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = Some(version);
         self
     }
 
@@ -118,6 +161,9 @@ impl Request {
             method: None,
             options: None,
             format: None,
+            device: None,
+            version: None,
+            params: None,
         }
     }
 }
@@ -145,6 +191,32 @@ pub struct StatusInfo {
     /// Method used when a request omits `method`.
     #[serde(default)]
     pub default_method: String,
+    /// Per-device catalog contents, sorted by device id (absent in frames
+    /// from pre-catalog servers).
+    #[serde(default)]
+    pub devices: Vec<DeviceStatusInfo>,
+    /// Device served when a request omits `device`.
+    #[serde(default)]
+    pub default_device: String,
+}
+
+/// One device's catalog state, as reported in [`StatusInfo`] and
+/// [`MetricsInfo`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStatusInfo {
+    /// Device id.
+    pub device: String,
+    /// Version new unpinned requests resolve to.
+    pub head_version: u64,
+    /// Versions currently retained (pinnable), ascending.
+    pub versions: Vec<u64>,
+    /// Prepared plans cached across this device's retained versions.
+    pub plan_cache_len: usize,
+    /// Instantiated `(version, method)` mitigators for this device.
+    pub method_cache_len: usize,
+    /// Calibrate requests routed to this device since startup.
+    #[serde(default)]
+    pub requests: u64,
 }
 
 /// Compact quantile summary of one [`QuantileHistogram`], as it travels in
@@ -246,6 +318,15 @@ pub struct MetricsInfo {
     pub request: HistogramSummary,
     /// Per-method latency summaries, sorted by method id.
     pub methods: Vec<MethodMetrics>,
+    /// Snapshots admitted into the catalog since startup (hot-swaps).
+    #[serde(default)]
+    pub swaps: u64,
+    /// Calibrate requests naming an unknown device or unretained version.
+    #[serde(default)]
+    pub unknown_device: u64,
+    /// Per-device catalog state, sorted by device id.
+    #[serde(default)]
+    pub devices: Vec<DeviceStatusInfo>,
 }
 
 /// One flight-recorder entry as it travels in `trace` responses — and,
@@ -281,6 +362,13 @@ pub struct RequestTrace {
     pub response_bytes: u64,
     /// Completion time, µs since the server started.
     pub ts_us: u64,
+    /// Resolved device id, or `null` when not device-routed (non-calibrate,
+    /// unknown device). Attributes slow requests to a tenant.
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Resolved snapshot version (0 when not device-routed).
+    #[serde(default)]
+    pub version: u64,
 }
 
 /// One response frame.
@@ -309,6 +397,13 @@ pub struct Response {
     /// Flight-recorder dump, oldest first (`trace` only).
     #[serde(default)]
     pub trace: Option<Vec<RequestTrace>>,
+    /// Device the request resolved to (`calibrate`/`admit`; audit echo).
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Snapshot version the request resolved to (`calibrate`: the version
+    /// served; `admit`: the version assigned to the admitted snapshot).
+    #[serde(default)]
+    pub version: Option<u64>,
 }
 
 impl Response {
@@ -322,6 +417,8 @@ impl Response {
             metrics: None,
             metrics_text: None,
             trace: None,
+            device: None,
+            version: None,
         }
     }
 
@@ -379,6 +476,19 @@ impl Response {
         let mut resp = Response::base(true);
         resp.trace = Some(trace);
         resp
+    }
+
+    /// Stamps the `(device, version)` identity echo onto this response.
+    #[must_use]
+    pub fn with_identity(mut self, device: impl Into<String>, version: u64) -> Self {
+        self.device = Some(device.into());
+        self.version = Some(version);
+        self
+    }
+
+    /// An `admit` acknowledgement echoing the assigned identity.
+    pub fn admitted(device: impl Into<String>, version: u64) -> Self {
+        Response::base(true).with_identity(device, version)
     }
 }
 
@@ -457,6 +567,9 @@ mod tests {
         assert_eq!(req.measured, Some(vec![0, 1]));
         assert!(req.method.is_none(), "missing method must default to None");
         assert!(req.options.is_none());
+        assert!(req.device.is_none(), "missing device must default to None");
+        assert!(req.version.is_none());
+        assert!(req.params.is_none());
 
         // Likewise old StatusInfo frames without methods/default_method.
         let status: StatusInfo = serde_json::from_str(
@@ -466,6 +579,46 @@ mod tests {
         .unwrap();
         assert!(status.methods.is_empty());
         assert!(status.default_method.is_empty());
+        assert!(status.devices.is_empty());
+        assert!(status.default_device.is_empty());
+    }
+
+    #[test]
+    fn device_and_version_fields_round_trip() {
+        let dist =
+            ProbDist::from_pairs(1, [(BitString::from_binary_str("1").unwrap(), 1.0)]).unwrap();
+        let req = Request::calibrate(dist, None).with_device("ibmq-7").with_version(2);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"device\":\"ibmq-7\""), "json: {json}");
+        assert!(json.contains("\"version\":2"), "json: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device.as_deref(), Some("ibmq-7"));
+        assert_eq!(back.version, Some(2));
+
+        let resp = Response::ack().with_identity("ibmq-7", 3);
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.device.as_deref(), Some("ibmq-7"));
+        assert_eq!(back.version, Some(3));
+    }
+
+    #[test]
+    fn pre_catalog_response_frames_still_parse() {
+        // The exact response shape shipped before the catalog existed — new
+        // clients must keep working against pre-catalog servers.
+        let old = r#"{"ok":true,"error":null,"dist":null,"stats":null,"status":null,
+                      "metrics":null,"metrics_text":null,"trace":null}"#;
+        let resp: Response = serde_json::from_str(old).unwrap();
+        assert!(resp.ok);
+        assert!(resp.device.is_none());
+        assert!(resp.version.is_none());
+
+        // Old traces without device attribution.
+        let old_trace = r#"{"id":1,"cmd":"calibrate","method":"qufem","measured":7,
+            "cache":"hit","outcome":"ok","queue_us":0,"prepare_us":0,"apply_us":1,
+            "serialize_us":1,"total_us":2,"request_bytes":10,"response_bytes":20,"ts_us":5}"#;
+        let trace: RequestTrace = serde_json::from_str(old_trace).unwrap();
+        assert!(trace.device.is_none());
+        assert_eq!(trace.version, 0);
     }
 
     #[test]
@@ -518,6 +671,16 @@ mod tests {
                 apply: summary.clone(),
                 prepare: HistogramSummary::from(&QuantileHistogram::default()),
             }],
+            swaps: 2,
+            unknown_device: 1,
+            devices: vec![DeviceStatusInfo {
+                device: "ibmq-7".to_string(),
+                head_version: 2,
+                versions: vec![0, 1, 2],
+                plan_cache_len: 3,
+                method_cache_len: 2,
+                requests: 8,
+            }],
         };
         let resp = Response::with_metrics(info.clone());
         let json = serde_json::to_string(&resp).unwrap();
@@ -555,6 +718,8 @@ mod tests {
             request_bytes: 512,
             response_bytes: 1024,
             ts_us: 9_000_000,
+            device: Some("ibmq-7".to_string()),
+            version: 1,
         };
         let resp = Response::with_trace(vec![entry.clone()]);
         let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();

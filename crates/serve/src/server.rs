@@ -38,17 +38,15 @@
 //! matter which worker serves it, how many clients are connected, or
 //! whether the preparation was cached.
 
-use crate::cache::PlanCache;
+use crate::catalog::{Catalog, VersionEntry};
 use crate::observability::{CacheOutcome, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics};
 use crate::protocol::{
-    HistogramSummary, MethodMetrics, MetricsInfo, Request, Response, StatusInfo, CMD_CALIBRATE,
-    CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
+    DeviceStatusInfo, HistogramSummary, MethodMetrics, MetricsInfo, Request, Response, StatusInfo,
+    CMD_ADMIT, CMD_CALIBRATE, CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
 };
-use qufem_core::{
-    engine, BenchmarkSnapshot, EngineStats, MethodOptions, MethodRegistry, Mitigator, QuFem,
-};
-use qufem_types::{Error, QubitSet, Result};
-use std::collections::{BTreeSet, HashMap};
+use qufem_core::{engine, EngineStats, MethodRegistry, QuFem, DEFAULT_DEVICE_ID};
+use qufem_types::{Error, QubitSet};
+use std::collections::BTreeSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -92,6 +90,19 @@ pub struct ServeConfig {
     /// Emit each slow request as one JSON line on stderr (schema:
     /// [`crate::RequestTrace`]). Off by default.
     pub access_log: bool,
+    /// Device id the served [`QuFem`] instance is published under (version
+    /// 0 of this device; empty ⇒ `"default"`). Requests that name no
+    /// device resolve here.
+    pub device_id: String,
+    /// Override for the served instances' prepared-memo capacity
+    /// ([`QuFem::set_prepared_memo_cap`]); applied to the startup instance
+    /// and to every admitted one. `None` keeps
+    /// [`qufem_core::DEFAULT_PREPARED_MEMO_CAP`]. Size it roughly as
+    /// distinct measured sets per tenant × tenants sharing one instance —
+    /// the serve-side [`crate::PlanCache`] (see
+    /// [`ServeConfig::plan_cache_capacity`]) sits in front of it, so this
+    /// only matters for bypass builds and in-process sharing.
+    pub prepared_memo_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +119,8 @@ impl Default for ServeConfig {
             flight_recorder: 256,
             slow_threshold: None,
             access_log: false,
+            device_id: DEFAULT_DEVICE_ID.to_string(),
+            prepared_memo_cap: None,
         }
     }
 }
@@ -115,19 +128,13 @@ impl Default for ServeConfig {
 /// Shared server state.
 #[derive(Debug)]
 struct Inner {
-    qufem: QuFem,
-    /// First benchmarking snapshot (`BP_1`) of the served instance — the
-    /// data registry constructors build other methods from.
-    snapshot: Arc<BenchmarkSnapshot>,
-    /// Methods instantiated so far, keyed by id. Seeded with the served
-    /// [`QuFem`] under `"qufem"`; registry methods are built lazily on
-    /// first request and kept for the server's lifetime (a handful of
-    /// per-qubit matrices each — preparations live in `cache` instead).
-    methods: Mutex<HashMap<String, Arc<dyn Mitigator>>>,
-    cache: PlanCache,
+    /// Device catalog: every served device's version lineage, the
+    /// `(device, version, method)` mitigator cache, and per-version
+    /// prepared-plan caches. The startup [`QuFem`] is version 0 of
+    /// [`ServeConfig::device_id`]; `admit` publishes new versions.
+    catalog: Catalog,
     metrics: ServeMetrics,
     config: ServeConfig,
-    full_register: QubitSet,
     local_addr: SocketAddr,
     requests: AtomicU64,
     accepted: AtomicU64,
@@ -151,26 +158,34 @@ impl Inner {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// The mitigator for `id`: the memoized instance, or a fresh registry
-    /// build from the served snapshot (memoized for subsequent requests).
-    ///
-    /// Built outside the table lock; a racing loser's build is discarded in
-    /// favour of the winner's (registry constructors are deterministic, so
-    /// both are bit-identical).
-    fn mitigator_for(&self, id: &str) -> Result<Arc<dyn Mitigator>> {
-        if let Some(m) = self.methods.lock().expect("method table lock").get(id) {
-            return Ok(Arc::clone(m));
-        }
-        let built = self.config.registry.build(id, &self.snapshot, &MethodOptions::new())?;
-        let mut methods = self.methods.lock().expect("method table lock");
-        Ok(Arc::clone(methods.entry(id.to_string()).or_insert(built)))
-    }
-
-    /// Sorted union of instantiated and registered method ids.
+    /// Sorted union of registered method ids and the always-seeded
+    /// `"qufem"`.
     fn method_ids(&self) -> Vec<String> {
         let mut ids: BTreeSet<String> = self.config.registry.ids().into_iter().collect();
-        ids.extend(self.methods.lock().expect("method table lock").keys().cloned());
+        ids.insert("qufem".to_string());
         ids.into_iter().collect()
+    }
+
+    /// Per-device catalog summaries decorated with per-device request
+    /// counts, for `status` and `metrics`.
+    fn device_infos(&self) -> Vec<DeviceStatusInfo> {
+        let requests: std::collections::HashMap<String, u64> =
+            self.metrics.device_stats().into_iter().collect();
+        self.catalog
+            .summaries()
+            .into_iter()
+            .map(|s| {
+                let served = requests.get(&s.device).copied().unwrap_or(0);
+                DeviceStatusInfo {
+                    device: s.device,
+                    head_version: s.head_version,
+                    versions: s.versions,
+                    plan_cache_len: s.plan_cache_len,
+                    method_cache_len: s.method_cache_len,
+                    requests: served,
+                }
+            })
+            .collect()
     }
 }
 
@@ -235,27 +250,25 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let n_qubits = qufem.n_qubits();
-        let snapshot = qufem
-            .iterations()
-            .first()
-            .map(|it| it.snapshot_arc())
-            .unwrap_or_else(|| Arc::new(BenchmarkSnapshot::new(n_qubits)));
-        // The served instance answers id "qufem" directly — never a
-        // registry rebuild — so its wire responses match its in-process
-        // prepare + apply bit for bit.
-        let mut methods: HashMap<String, Arc<dyn Mitigator>> = HashMap::new();
-        methods.insert("qufem".to_string(), Arc::new(qufem.clone()));
+        if let Some(cap) = config.prepared_memo_cap {
+            qufem.set_prepared_memo_cap(cap);
+        }
+        // The startup instance becomes version 0 of the configured device,
+        // pinned as method "qufem" — never a registry rebuild — so its wire
+        // responses match its in-process prepare + apply bit for bit.
+        let catalog = Catalog::new(
+            qufem,
+            &config.device_id,
+            Arc::clone(&config.registry),
+            config.plan_cache_capacity,
+        );
         let inner = Arc::new(Inner {
-            snapshot,
-            methods: Mutex::new(methods),
-            cache: PlanCache::new(config.plan_cache_capacity),
+            catalog,
             metrics: ServeMetrics::new(
                 config.flight_recorder,
                 config.slow_threshold.map(|d| d.as_micros() as u64),
                 config.access_log,
             ),
-            full_register: QubitSet::full(n_qubits),
             local_addr,
             requests: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -263,25 +276,26 @@ impl Server {
             queue_len: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             prewarmed: AtomicBool::new(false),
-            qufem,
             config,
         });
 
-        // Build the default method's full-register preparation off the
-        // startup path: the cache's build-outside-the-lock discipline means
-        // a racing first request either finds the prewarmed entry or builds
-        // an identical one.
+        // Build the default method's full-register preparation for the
+        // default device's head off the startup path: the cache's
+        // build-outside-the-lock discipline means a racing first request
+        // either finds the prewarmed entry or builds an identical one.
         let prewarm_handle = inner.config.prewarm.then(|| {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("qufem-serve-prewarm".to_string())
                 .spawn(move || {
                     let _span = qufem_telemetry::span!("serve.prewarm");
-                    let full = inner.full_register.clone();
                     let id = inner.config.default_method.clone();
-                    let warmed = inner
-                        .mitigator_for(&id)
-                        .and_then(|m| inner.cache.get_or_build(&id, &full, || m.prepare(&full)));
+                    let Ok(entry) = inner.catalog.resolve(None, None) else { return };
+                    let full = entry.full_register().clone();
+                    let warmed =
+                        inner.catalog.mitigators().get_or_build(entry.snapshot(), &id).and_then(
+                            |m| entry.plan_cache().get_or_build(&id, &full, || m.prepare(&full)),
+                        );
                     if warmed.is_ok() {
                         inner.prewarmed.store(true, Ordering::SeqCst);
                     }
@@ -539,19 +553,29 @@ fn handle_request(inner: &Inner, line: &str, rec: &mut RequestRecord) -> (Respon
             rec.cmd = RequestCmd::Calibrate;
             (calibrate(inner, request, rec), false)
         }
+        CMD_ADMIT => {
+            rec.cmd = RequestCmd::Admit;
+            (admit(inner, request, rec), false)
+        }
         CMD_STATUS => {
             rec.cmd = RequestCmd::Status;
             rec.outcome = RequestOutcome::Ok;
+            // Head entry of the default device (always present: the catalog
+            // is created with it and devices are never removed).
+            let head = inner.catalog.resolve(None, None).expect("default device present");
+            let (plan_cache_len, _, _) = inner.catalog.plan_cache_totals();
             let status = StatusInfo {
-                n_qubits: inner.qufem.n_qubits(),
-                iterations: inner.qufem.iterations().len(),
+                n_qubits: head.snapshot().n_qubits(),
+                iterations: head.iterations(),
                 requests: inner.requests.load(Ordering::Relaxed),
                 rejected: inner.rejected.load(Ordering::Relaxed),
-                plan_cache_len: inner.cache.len(),
-                plan_cache_capacity: inner.cache.capacity(),
+                plan_cache_len,
+                plan_cache_capacity: inner.catalog.plan_cache_capacity(),
                 workers: inner.config.workers.max(1),
                 methods: inner.method_ids(),
                 default_method: inner.config.default_method.clone(),
+                devices: inner.device_infos(),
+                default_device: inner.catalog.default_device().to_string(),
             };
             (Response::with_status(status), false)
         }
@@ -580,16 +604,42 @@ fn handle_request(inner: &Inner, line: &str, rec: &mut RequestRecord) -> (Respon
     }
 }
 
+/// Resolves a request's `(device, version)` coordinate against the
+/// catalog, doing the shared bookkeeping for a failure: the
+/// `serve.unknown_device` counter and [`RequestOutcome::UnknownDevice`].
+/// The unresolved id is deliberately not interned into the metrics table
+/// (clients could flood it with garbage names).
+fn resolve_entry(
+    inner: &Inner,
+    request: &Request,
+    rec: &mut RequestRecord,
+) -> std::result::Result<Arc<VersionEntry>, Box<Response>> {
+    inner.catalog.resolve(request.device.as_deref(), request.version).map_err(|e| {
+        qufem_telemetry::counter_add("serve.unknown_device", 1);
+        rec.cache = CacheOutcome::NotApplicable;
+        rec.outcome = RequestOutcome::UnknownDevice;
+        Box::new(Response::err(e.message()))
+    })
+}
+
 /// Executes a `calibrate` request through the library path of the
-/// requested method, recording method, cache interaction, and
-/// prepare/apply timings into `rec`.
+/// requested method on the resolved `(device, version)` entry, recording
+/// method, device, cache interaction, and prepare/apply timings into
+/// `rec`. Every successful response echoes the identity it was served
+/// from, so clients observe hot-swaps as a version change.
 fn calibrate(inner: &Inner, request: Request, rec: &mut RequestRecord) -> Response {
+    let entry = match resolve_entry(inner, &request, rec) {
+        Ok(entry) => entry,
+        Err(response) => return *response,
+    };
+    rec.device = Some(inner.metrics.device_key(entry.device_id()));
+    rec.version = entry.version();
     let Some(dist) = request.dist else {
         return Response::err("calibrate requires a `dist` field");
     };
     let measured: QubitSet = match request.measured {
         Some(qubits) => qubits.into_iter().collect(),
-        None => inner.full_register.clone(),
+        None => entry.full_register().clone(),
     };
     if measured.is_empty() {
         return Response::err("calibrate requires a non-empty measured set");
@@ -599,24 +649,28 @@ fn calibrate(inner: &Inner, request: Request, rec: &mut RequestRecord) -> Respon
     let prepare_start = Instant::now();
     let prepared = match request.options.filter(|o| !o.is_empty()) {
         // Per-request option overrides: rebuild the method for this request
-        // alone, bypassing the method table and the plan cache (overridden
-        // builds must not shadow the defaults other clients see).
+        // alone, bypassing the mitigator cache and the plan cache
+        // (overridden builds must not shadow the defaults other clients
+        // see).
         Some(options) => {
             rec.cache = CacheOutcome::Bypass;
             inner
                 .config
                 .registry
-                .build(method_id, &inner.snapshot, &options)
+                .build(method_id, entry.snapshot().snapshot(), &options)
                 .and_then(|m| m.prepare(&measured))
         }
         None => {
             let mut built = false;
-            let result = inner.mitigator_for(method_id).and_then(|m| {
-                inner.cache.get_or_build(method_id, &measured, || {
-                    built = true;
-                    m.prepare(&measured)
-                })
-            });
+            let result =
+                inner.catalog.mitigators().get_or_build(entry.snapshot(), method_id).and_then(
+                    |m| {
+                        entry.plan_cache().get_or_build(method_id, &measured, || {
+                            built = true;
+                            m.prepare(&measured)
+                        })
+                    },
+                );
             rec.cache = if built { CacheOutcome::Miss } else { CacheOutcome::Hit };
             result
         }
@@ -646,20 +700,52 @@ fn calibrate(inner: &Inner, request: Request, rec: &mut RequestRecord) -> Respon
     match applied {
         Ok(out) => {
             rec.outcome = RequestOutcome::Ok;
-            if prepared.reports_engine_stats() {
+            let response = if prepared.reports_engine_stats() {
                 Response::calibrated(out, stats)
             } else {
                 Response::calibrated_without_stats(out)
-            }
+            };
+            response.with_identity(entry.device_id().to_string(), entry.version())
         }
         Err(e) => Response::err(e.to_string()),
+    }
+}
+
+/// Executes an `admit` request: imports the calibration parameters carried
+/// in `params`, publishes them as the next version of their device (the
+/// request's `device` field overrides the lineage stamp), and acknowledges
+/// with the assigned `(device, version)`. In-flight and version-pinned
+/// requests keep the entries they already resolved — the swap is atomic at
+/// the catalog head.
+fn admit(inner: &Inner, request: Request, rec: &mut RequestRecord) -> Response {
+    let Some(params) = request.params else {
+        return Response::err("admit requires a `params` field with exported calibration data");
+    };
+    let imported = match QuFem::import_versioned(params) {
+        Ok(pair) => pair,
+        Err(e) => return Response::err(format!("admit rejected: {e}")),
+    };
+    let (qufem, versioned) = imported;
+    if let Some(cap) = inner.config.prepared_memo_cap {
+        qufem.set_prepared_memo_cap(cap);
+    }
+    match inner.catalog.admit(qufem, &versioned, request.device.as_deref()) {
+        Ok(entry) => {
+            inner.metrics.record_swap();
+            qufem_telemetry::counter_add("serve.swaps", 1);
+            rec.device = Some(inner.metrics.device_key(entry.device_id()));
+            rec.version = entry.version();
+            rec.outcome = RequestOutcome::Ok;
+            Response::admitted(entry.device_id().to_string(), entry.version())
+        }
+        Err(e) => Response::err(format!("admit rejected: {e}")),
     }
 }
 
 /// Composes the live metrics snapshot for the `metrics` command.
 fn metrics_info(inner: &Inner) -> MetricsInfo {
     let (malformed, oversized, unknown_method, slow) = inner.metrics.counters();
-    let (cache_hits, cache_misses) = inner.cache.stats();
+    let (plan_cache_len, cache_hits, cache_misses) = inner.catalog.plan_cache_totals();
     let (flight_len, flight_capacity) = inner.metrics.flight_stats();
     let methods = inner
         .metrics
@@ -682,14 +768,17 @@ fn metrics_info(inner: &Inner) -> MetricsInfo {
         unknown_method,
         slow,
         queue_depth: inner.queue_len.load(Ordering::Relaxed) as u64,
-        plan_cache_len: inner.cache.len(),
-        plan_cache_capacity: inner.cache.capacity(),
+        plan_cache_len,
+        plan_cache_capacity: inner.catalog.plan_cache_capacity(),
         plan_cache_hits: cache_hits,
         plan_cache_misses: cache_misses,
         flight_recorder_len: flight_len,
         flight_recorder_capacity: flight_capacity,
         request: HistogramSummary::from(&inner.metrics.request_histogram()),
         methods,
+        swaps: inner.metrics.swaps(),
+        unknown_device: inner.metrics.unknown_device_count(),
+        devices: inner.device_infos(),
     }
 }
 
@@ -712,6 +801,16 @@ fn metrics_text(inner: &Inner) -> String {
     let _ = writeln!(out, "qufem_serve_plan_cache_len {}", info.plan_cache_len);
     let _ = writeln!(out, "qufem_serve_plan_cache_hits {}", info.plan_cache_hits);
     let _ = writeln!(out, "qufem_serve_plan_cache_misses {}", info.plan_cache_misses);
+    let _ = writeln!(out, "qufem_serve_swaps {}", info.swaps);
+    let _ = writeln!(out, "qufem_serve_unknown_device {}", info.unknown_device);
+    let _ = writeln!(out, "qufem_serve_devices {}", info.devices.len());
+    for d in &info.devices {
+        let _ = writeln!(out, "qufem_serve_device_head_version.{} {}", d.device, d.head_version);
+        let _ = writeln!(out, "qufem_serve_device_versions.{} {}", d.device, d.versions.len());
+        let _ =
+            writeln!(out, "qufem_serve_device_plan_cache_len.{} {}", d.device, d.plan_cache_len);
+        let _ = writeln!(out, "qufem_serve_device_requests.{} {}", d.device, d.requests);
+    }
     out.push_str(&inner.metrics.request_histogram().render_text("serve.request_secs"));
     for (method, _, apply, prepare) in inner.metrics.method_stats() {
         out.push_str(&apply.render_text(&format!("serve.apply_secs.{method}")));

@@ -55,10 +55,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-fn steady_state_request(metrics: &ServeMetrics, key: &Arc<str>, i: u64) {
+fn steady_state_request(metrics: &ServeMetrics, key: &Arc<str>, device: &Arc<str>, i: u64) {
     let mut rec = RequestRecord::new(metrics.begin());
     rec.cmd = RequestCmd::Calibrate;
     rec.method = Some(Arc::clone(key));
+    rec.device = Some(Arc::clone(device));
+    rec.version = 1 + (i % 3);
     rec.measured = 7;
     rec.cache = CacheOutcome::Hit;
     rec.queue_us = 3;
@@ -76,17 +78,19 @@ fn steady_state_request(metrics: &ServeMetrics, key: &Arc<str>, i: u64) {
 fn steady_state_request_accounting_does_not_allocate() {
     qufem_telemetry::disable();
     let metrics = ServeMetrics::new(64, Some(1_000_000_000), false);
-    // First sight of a method interns its key (one-time allocations); the
-    // per-request path below reuses the interned `Arc<str>`.
+    // First sight of a method or device interns its key (one-time
+    // allocations); the per-request path below reuses the interned
+    // `Arc<str>`s — device attribution included.
     let key = metrics.method_key("qufem");
+    let device = metrics.device_key("ibmq-7");
     // Warm the ring so the measured iterations only overwrite full slots.
     for i in 0..128u64 {
-        steady_state_request(&metrics, &key, i);
+        steady_state_request(&metrics, &key, &device, i);
     }
 
     let before = allocations();
     for i in 0..10_000u64 {
-        steady_state_request(&metrics, &key, i);
+        steady_state_request(&metrics, &key, &device, i);
     }
     let after = allocations();
     assert_eq!(after - before, 0, "request accounting must not touch the heap");
@@ -96,6 +100,7 @@ fn steady_state_request_accounting_does_not_allocate() {
     let methods = metrics.method_stats();
     assert_eq!(methods.len(), 1);
     assert_eq!(methods[0].1, 10_128);
+    assert_eq!(metrics.device_stats(), vec![("ibmq-7".to_string(), 10_128)]);
     assert_eq!(metrics.flight_stats(), (64, 64));
 
     // Sanity check that the counting allocator is live at all.

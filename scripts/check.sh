@@ -47,4 +47,16 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q --test serve_observability
 done
 
+echo "==> QUFEM_THREADS matrix: catalog hot-swap must stay bit-identical"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t catalog unit tests"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-serve catalog
+  echo "==> QUFEM_THREADS=$t hot-swap differential and concurrency tests"
+  QUFEM_THREADS="$t" cargo test -q --test serve_observability -- hot_swap version_pinned unknown_devices
+  echo "==> QUFEM_THREADS=$t versioned persistence robustness"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-core --test persist_robustness
+  echo "==> QUFEM_THREADS=$t end-to-end admit CLI walkthrough"
+  QUFEM_THREADS="$t" cargo test -q --release --test cli -- admit_hot_swaps
+done
+
 echo "==> all checks passed"

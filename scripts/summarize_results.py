@@ -71,15 +71,21 @@ def summarize_bench_summary(path, data):
             f"    {stem:<36} {entry['wall_secs']:>8.1f} s   "
             f"peak {fmt_bytes(entry.get('peak_bytes', 0.0))}"
         )
-        # Latency gauges carried from the sweeps: per-method apply seconds
-        # (table4) and serve-layer quantiles (ext_serve).
-        latencies = {
+        # Gauges carried from the sweeps: per-method apply seconds
+        # (table4), serve-layer quantiles (ext_serve), and catalog
+        # hot-swap counters (serve.catalog.*). Names ending in `_secs`
+        # (or the method_apply latencies) are durations; the rest are
+        # counts — devices, versions, swaps.
+        gauges = {
             name: value
             for name, value in entry.items()
             if name.startswith("method_apply.") or name.startswith("serve.")
         }
-        for name in sorted(latencies):
-            print(f"        {name:<38} {latencies[name]:.3e} s")
+        for name in sorted(gauges):
+            if name.endswith("_secs") or name.startswith("method_apply."):
+                print(f"        {name:<38} {gauges[name]:.3e} s")
+            else:
+                print(f"        {name:<38} {gauges[name]:g}")
     if "total_secs" in data:
         print(f"    total {data['total_secs']:.1f} s")
     print()

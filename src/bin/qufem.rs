@@ -11,9 +11,11 @@
 //! qufem inspect      --params params.json
 //! qufem serve        --params params.json [--addr 127.0.0.1:0] [--workers 4]
 //!        [--queue-depth 64] [--max-request-bytes N] [--plan-cache 8] [--method qufem]
-//!        [--flight-recorder 256] [--slow-ms 50] [--access-log] [--telemetry run.json]
+//!        [--flight-recorder 256] [--slow-ms 50] [--access-log] [--device-id ibmq-a]
+//!        [--memo-cap 32] [--telemetry run.json]
+//! qufem admit        --addr HOST:PORT --params recal.json [--device ibmq-a]
 //! qufem client       --addr HOST:PORT --input noisy.json --out calibrated.json
-//!        [--measured 0,1,2] [--method m3]
+//!        [--measured 0,1,2] [--method m3] [--device ibmq-a] [--version 2]
 //! qufem client       --addr HOST:PORT --status | --shutdown
 //! qufem client       --addr HOST:PORT --metrics [--text] | --trace
 //! ```
@@ -23,14 +25,19 @@
 //! calibrate. `--telemetry <path>` enables the collector and writes a run
 //! manifest (JSON; loads directly into `chrome://tracing` / Perfetto).
 //!
-//! `serve` holds one characterized calibrator plus the standard method
-//! registry in memory and answers newline-delimited JSON calibration
-//! requests concurrently (see the README's "Serving" section); `client`
+//! `serve` holds a device catalog — the startup calibrator published as
+//! version 0 of `--device-id` plus the standard method registry — and
+//! answers newline-delimited JSON calibration requests concurrently (see
+//! the README's "Serving" and "Multi-device serving" sections); `client`
 //! speaks that protocol. `--method` selects among the registered method
 //! ids (`qufem`, `ibu`, `m3`, `ctmp`, `qbeep`): on `calibrate` it picks
 //! the in-process method, on `serve` the default for method-less requests,
-//! on `client` the per-request method. A serve run with `--telemetry`
-//! writes its manifest after a graceful shutdown.
+//! on `client` the per-request method. `admit` hot-swaps a recalibration
+//! into a running server: the parameter file is published as the next
+//! version of its device (or of `--device`) without interrupting traffic.
+//! `client --device`/`--version` route a calibrate to a specific catalog
+//! entry; unpinned requests follow the device's newest version. A serve
+//! run with `--telemetry` writes its manifest after a graceful shutdown.
 //!
 //! Devices are the built-in presets (`ibmq-7`, `quafu-18`, `custom-36`,
 //! `rigetti-79`, `quafu-136`, or `grid-N`); distributions are the JSON
@@ -59,9 +66,10 @@ fn usage() -> ! {
          qufem serve --params <params.json> | --device <preset> [--addr 127.0.0.1:0] \
          [--workers N] [--queue-depth N] [--max-request-bytes N] [--plan-cache N] \
          [--method M] [--flight-recorder N] [--slow-ms MS] [--access-log] \
-         [--telemetry <run.json>]\n  \
+         [--device-id ID] [--memo-cap N] [--telemetry <run.json>]\n  \
+         qufem admit --addr <host:port> --params <recal.json> [--device ID]\n  \
          qufem client --addr <host:port> --input <dist.json> --out <out.json> \
-         [--measured 0,1,2] [--method M]\n  \
+         [--measured 0,1,2] [--method M] [--device ID] [--version V]\n  \
          qufem client --addr <host:port> --status | --shutdown\n  \
          qufem client --addr <host:port> --metrics [--text] | --trace\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>\n\
@@ -347,6 +355,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if switches.contains(&"access-log".to_string()) {
                 serve_config.access_log = true;
             }
+            if let Some(v) = get("device-id") {
+                serve_config.device_id = v;
+            }
+            if let Some(v) = get("memo-cap") {
+                serve_config.prepared_memo_cap = Some(v.parse()?);
+            }
             let qufem = match get("params") {
                 Some(params_path) => {
                     let data: QuFemData =
@@ -380,6 +394,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if let Some(path) = telemetry {
                 telemetry_finish(&path)?;
             }
+        }
+        "admit" => {
+            let addr = require("addr");
+            let params_path = require("params");
+            let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
+            let mut request = qufem::serve::Request::admit(data);
+            if let Some(device) = get("device") {
+                request = request.with_device(device);
+            }
+            let response = qufem::serve::request_once(addr.as_str(), &request)?;
+            if !response.ok {
+                return Err(response.error.unwrap_or_else(|| "admit failed".into()).into());
+            }
+            eprintln!(
+                "admitted {} as device {:?} version {}",
+                params_path,
+                response.device.as_deref().unwrap_or("?"),
+                response.version.unwrap_or_default()
+            );
         }
         "client" => {
             let addr = require("addr");
@@ -449,6 +482,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 if let Some(method) = get("method") {
                     request = request.with_method(method);
                 }
+                if let Some(device) = get("device") {
+                    request = request.with_device(device);
+                }
+                if let Some(version) = get("version") {
+                    request = request.with_version(version.parse()?);
+                }
                 let response = qufem::serve::request_once(addr.as_str(), &request)?;
                 if !response.ok {
                     return Err(response
@@ -459,8 +498,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 let result = response.dist.ok_or("server response carried no distribution")?;
                 std::fs::write(&out, serde_json::to_string(&result)?)?;
                 let products = response.stats.as_ref().map(|s| s.products).unwrap_or_default();
+                let identity = match (&response.device, response.version) {
+                    (Some(device), Some(version)) => format!(" [{device}@v{version}]"),
+                    _ => String::new(),
+                };
                 eprintln!(
-                    "calibrated {} -> {} outcomes ({} engine products) -> {out}",
+                    "calibrated {} -> {} outcomes ({} engine products){identity} -> {out}",
                     dist.support_len(),
                     result.support_len(),
                     products
@@ -471,6 +514,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let params_path = require("params");
             let data: QuFemData = serde_json::from_str(&std::fs::read_to_string(&params_path)?)?;
             println!("qubits: {}", data.n_qubits);
+            if let Some(lineage) = &data.lineage {
+                println!(
+                    "lineage: device {:?} version {} (parent {:?}, seq {})",
+                    lineage.device_id, lineage.version, lineage.parent_version, lineage.created_seq
+                );
+            }
             println!(
                 "config: L={}, K={}, alpha={:.1e}, beta={:.1e}, shots={}",
                 data.config.iterations,

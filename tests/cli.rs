@@ -494,6 +494,173 @@ fn serve_without_source_or_client_without_addr_fail_cleanly() {
 }
 
 #[test]
+fn admit_hot_swaps_a_recalibration_into_a_running_server() {
+    use std::io::BufRead;
+
+    let params_v0 = tmpfile("admit_params_v0.json");
+    let params_v1 = tmpfile("admit_params_v1.json");
+    let noisy = tmpfile("admit_noisy.json");
+    let out_before = tmpfile("admit_before.json");
+    let out_pinned = tmpfile("admit_pinned.json");
+    let out_head = tmpfile("admit_head.json");
+
+    // Two characterizations of the same preset (different seeds stand in
+    // for a recalibration after drift), plus one noisy input.
+    for (what, args) in [
+        (
+            "characterize v0",
+            vec![
+                "characterize",
+                "--device",
+                "ibmq-7",
+                "--out",
+                params_v0.to_str().unwrap(),
+                "--shots",
+                "300",
+                "--alpha",
+                "5e-4",
+                "--seed",
+                "3",
+            ],
+        ),
+        (
+            "characterize v1",
+            vec![
+                "characterize",
+                "--device",
+                "ibmq-7",
+                "--out",
+                params_v1.to_str().unwrap(),
+                "--shots",
+                "300",
+                "--alpha",
+                "5e-4",
+                "--seed",
+                "4",
+            ],
+        ),
+        (
+            "simulate",
+            vec![
+                "simulate",
+                "--device",
+                "ibmq-7",
+                "--algorithm",
+                "ghz",
+                "--shots",
+                "800",
+                "--out",
+                noisy.to_str().unwrap(),
+                "--seed",
+                "3",
+            ],
+        ),
+    ] {
+        assert!(qufem().args(&args).status().expect("spawn qufem").success(), "{what} failed");
+    }
+
+    let mut server = qufem()
+        .args([
+            "serve",
+            "--params",
+            params_v0.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--device-id",
+            "ibmq-a",
+            "--memo-cap",
+            "16",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn qufem serve");
+    let mut server_stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            server_stderr.read_line(&mut line).expect("read server stderr") > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("qufem-serve listening on ") {
+            break rest.to_string();
+        }
+    };
+    let client_calibrate = |extra: &[&str], out: &std::path::Path| {
+        let mut args = vec![
+            "client",
+            "--addr",
+            &addr,
+            "--input",
+            noisy.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let output = qufem().args(&args).output().expect("spawn qufem client");
+        assert!(output.status.success(), "client calibrate failed: {:?}", output);
+        String::from_utf8_lossy(&output.stderr).to_string()
+    };
+
+    // Baseline through version 0, with the served identity echoed.
+    let stderr = client_calibrate(&["--device", "ibmq-a"], &out_before);
+    assert!(stderr.contains("[ibmq-a@v0]"), "stderr: {stderr}");
+
+    // Hot-swap the recalibration in as ibmq-a version 1.
+    let output = qufem()
+        .args([
+            "admit",
+            "--addr",
+            &addr,
+            "--params",
+            params_v1.to_str().unwrap(),
+            "--device",
+            "ibmq-a",
+        ])
+        .output()
+        .expect("spawn qufem admit");
+    assert!(output.status.success(), "admit failed: {:?}", output);
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("device \"ibmq-a\" version 1"), "stderr: {err}");
+
+    // The catalog now shows both versions; unpinned requests follow the
+    // head, pinned ones keep serving version 0 byte-for-byte.
+    let output =
+        qufem().args(["client", "--addr", &addr, "--status"]).output().expect("spawn qufem client");
+    assert!(output.status.success());
+    let status: serde::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(status.get("default_device").unwrap().as_str(), Some("ibmq-a"));
+    let devices = status.get("devices").and_then(|d| d.as_seq()).expect("devices array");
+    assert_eq!(devices.len(), 1);
+    assert_eq!(devices[0].get("head_version").unwrap().as_u64(), Some(1));
+
+    let stderr = client_calibrate(&["--device", "ibmq-a", "--version", "0"], &out_pinned);
+    assert!(stderr.contains("[ibmq-a@v0]"), "stderr: {stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&out_before).unwrap(),
+        std::fs::read_to_string(&out_pinned).unwrap(),
+        "pinned response changed across the hot-swap"
+    );
+    let stderr = client_calibrate(&[], &out_head);
+    assert!(stderr.contains("[ibmq-a@v1]"), "stderr: {stderr}");
+    assert_ne!(
+        std::fs::read_to_string(&out_before).unwrap(),
+        std::fs::read_to_string(&out_head).unwrap(),
+        "the recalibration must actually change the calibrated output"
+    );
+
+    let status = qufem()
+        .args(["client", "--addr", &addr, "--shutdown"])
+        .status()
+        .expect("spawn qufem client");
+    assert!(status.success(), "client shutdown failed");
+    let exit = server.wait().expect("wait for qufem serve");
+    assert!(exit.success(), "serve process should exit cleanly after shutdown");
+}
+
+#[test]
 fn unknown_device_fails_cleanly() {
     let out = tmpfile("never.json");
     let output = qufem()

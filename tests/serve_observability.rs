@@ -279,3 +279,183 @@ fn unknown_method_and_malformed_requests_are_counted_and_traced() {
 
     server.shutdown_and_join();
 }
+
+/// A recalibration of `device` after `step` drift intervals, exported as
+/// wire-transportable parameters.
+fn recalibrated_params(device: &qufem::device::Device, step: u64) -> qufem::QuFemData {
+    let drifted = device.drifted(step);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    QuFem::characterize(&drifted, config).unwrap().export()
+}
+
+#[test]
+fn hot_swap_under_concurrent_traffic_keeps_every_request_ok() {
+    let (device, qufem) = characterized();
+    let device = std::sync::Arc::new(device);
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Recalibrations are characterized up front so the admit loop below
+    // interleaves tightly with the client traffic.
+    const ADMITS: u64 = 2;
+    let exports: Vec<qufem::QuFemData> =
+        (1..=ADMITS).map(|step| recalibrated_params(&device, step)).collect();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: u64 = 6;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let device = std::sync::Arc::clone(&device);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut versions = Vec::new();
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let measured = vec![0, 1, 2];
+                    let dist = noisy_input(&device, &measured, (c as u64) << 8 | r);
+                    let response =
+                        client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+                    assert!(response.ok, "calibrate failed mid-swap: {:?}", response.error);
+                    versions.push(response.version.expect("response echoes a version"));
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                versions
+            })
+        })
+        .collect();
+
+    // Admit the recalibrations while the clients hammer the server.
+    for export in exports {
+        std::thread::sleep(Duration::from_millis(20));
+        let response = qufem::serve::request_once(addr, &Request::admit(export)).unwrap();
+        assert!(response.ok, "admit failed: {:?}", response.error);
+        assert_eq!(response.device.as_deref(), Some("default"));
+    }
+    let mut observed = Vec::new();
+    for w in workers {
+        observed.push(w.join().expect("client thread"));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    // Per-connection version echoes are monotone: a client can see the head
+    // advance, never retreat (catalog reads are ordered by the swap lock).
+    for versions in &observed {
+        assert!(!versions.is_empty());
+        assert!(versions.windows(2).all(|w| w[0] <= w[1]), "non-monotone echoes: {versions:?}");
+        assert!(versions.iter().all(|&v| v <= ADMITS), "impossible version: {versions:?}");
+    }
+
+    let response = qufem::serve::request_once(addr, &Request::metrics()).unwrap();
+    let metrics = response.metrics.unwrap();
+    assert_eq!(metrics.swaps, ADMITS, "every admit counted as a swap");
+    assert_eq!(metrics.unknown_device, 0);
+    assert_eq!(metrics.devices.len(), 1);
+    let dev = &metrics.devices[0];
+    assert_eq!(dev.device, "default");
+    assert_eq!(dev.head_version, ADMITS);
+    assert_eq!(dev.versions, (0..=ADMITS).collect::<Vec<_>>(), "old versions stay pinnable");
+    assert_eq!(dev.requests, (CLIENTS as u64) * REQUESTS_PER_CLIENT);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn version_pinned_responses_are_bit_identical_across_hot_swap() {
+    let (device, qufem) = characterized();
+    let measured_set: QubitSet = [0usize, 1, 2].into_iter().collect();
+    let input = noisy_input(&device, &[0, 1, 2], 42);
+    // The in-process ground truth for version 0, through the same sharded
+    // path the server uses.
+    let prepared = qufem::Mitigator::prepare(&qufem, &measured_set).unwrap();
+    let mut stats = qufem::EngineStats::default();
+    let expected = prepared.apply_sharded(&input, qufem::configured_threads(), &mut stats).unwrap();
+    let expected_bits: Vec<(qufem::BitString, u64)> =
+        expected.sorted_pairs().into_iter().map(|(bits, p)| (bits, p.to_bits())).collect();
+
+    let bits_of = |response: &qufem::serve::Response| -> Vec<(qufem::BitString, u64)> {
+        response
+            .dist
+            .as_ref()
+            .expect("calibrated dist")
+            .sorted_pairs()
+            .into_iter()
+            .map(|(bits, p)| (bits, p.to_bits()))
+            .collect()
+    };
+
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let pinned = Request::calibrate(input.clone(), Some(vec![0, 1, 2])).with_version(0);
+
+    // Before the swap.
+    let before = client.request(&pinned).unwrap();
+    assert!(before.ok);
+    assert_eq!(before.device.as_deref(), Some("default"));
+    assert_eq!(before.version, Some(0));
+    assert_eq!(bits_of(&before), expected_bits, "wire response differs from in-process");
+
+    // Swap in a recalibration of the drifted device.
+    let response = client.request(&Request::admit(recalibrated_params(&device, 1))).unwrap();
+    assert!(response.ok, "{:?}", response.error);
+    assert_eq!(response.version, Some(1));
+
+    // After the swap: the pinned request still serves version 0, bit for
+    // bit; the unpinned request moves to the new head.
+    let after = client.request(&pinned).unwrap();
+    assert!(after.ok);
+    assert_eq!(after.version, Some(0));
+    assert_eq!(bits_of(&after), expected_bits, "pinned response changed across hot-swap");
+
+    let unpinned = client.request(&Request::calibrate(input.clone(), Some(vec![0, 1, 2]))).unwrap();
+    assert!(unpinned.ok);
+    assert_eq!(unpinned.version, Some(1), "unpinned requests follow the head");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn unknown_devices_and_versions_are_rejected_and_counted() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let input = noisy_input(&device, &[0, 1], 5);
+    let response = client
+        .request(&Request::calibrate(input.clone(), Some(vec![0, 1])).with_device("no-such-device"))
+        .unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap_or("").contains("unknown device"), "{response:?}");
+
+    let response = client
+        .request(&Request::calibrate(input.clone(), Some(vec![0, 1])).with_version(7))
+        .unwrap();
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap_or("").contains("no version 7"), "{response:?}");
+
+    let response = client.request(&Request::metrics()).unwrap();
+    let metrics = response.metrics.unwrap();
+    assert_eq!(metrics.unknown_device, 2);
+    // Garbage device ids must not leak into the per-device table.
+    assert!(metrics.devices.iter().all(|d| d.device == "default"), "{:?}", metrics.devices);
+
+    let response = client.request(&Request::trace()).unwrap();
+    let trace = response.trace.unwrap();
+    let unknown: Vec<_> = trace.iter().filter(|t| t.outcome == "unknown_device").collect();
+    assert_eq!(unknown.len(), 2);
+    assert!(unknown.iter().all(|t| t.device.is_none()), "unresolved ids must not be attributed");
+
+    // A served request is attributed: device and version land in the trace.
+    let response = client.request(&Request::calibrate(input, Some(vec![0, 1]))).unwrap();
+    assert!(response.ok);
+    let trace = client.request(&Request::trace()).unwrap().trace.unwrap();
+    let last_ok = trace.iter().rev().find(|t| t.outcome == "ok" && t.cmd == "calibrate").unwrap();
+    assert_eq!(last_ok.device.as_deref(), Some("default"));
+    assert_eq!(last_ok.version, 0);
+
+    server.shutdown_and_join();
+}
