@@ -45,6 +45,7 @@ fn main() {
         ("ext_adaption_ablation", experiments::ext_adaption::run),
         ("ext_correlated_noise", experiments::ext_correlated::run),
         ("ext_serve_throughput", experiments::ext_serve::run),
+        ("ext_loadgen", experiments::ext_loadgen::run),
         ("ext_parallel_scaling", experiments::ext_parallel::run),
     ];
 
@@ -115,6 +116,7 @@ fn main() {
                 name.starts_with("method_apply.")
                     || name.starts_with("serve.catalog.")
                     || (name.starts_with("serve.") && name.ends_with("_secs"))
+                    || name.starts_with("loadgen.")
             })
             .map(|(name, &value)| (name.clone(), value))
             .collect();

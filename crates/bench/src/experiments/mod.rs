@@ -6,6 +6,7 @@
 
 pub mod ext_adaption;
 pub mod ext_correlated;
+pub mod ext_loadgen;
 pub mod ext_parallel;
 pub mod ext_projection;
 pub mod ext_serve;

@@ -49,6 +49,7 @@
 
 pub mod benchgen;
 mod config;
+pub mod digest;
 pub mod engine;
 mod flows;
 mod interaction;
@@ -61,6 +62,7 @@ mod snapshot;
 mod version;
 
 pub use config::{QuFemConfig, QuFemConfigBuilder};
+pub use digest::{digest_bytes, digest_hex, digest_prob_dist, digest_str, Digest64};
 pub use engine::{configured_threads, execute, execute_sharded, EngineStats, IterationPlan};
 pub use flows::{
     build_group_matrices, build_group_matrices_threaded, build_group_matrices_with, calibrate_once,

@@ -1,0 +1,97 @@
+//! Determinism of the drift → recalibrate → admit pipeline: the loadgen
+//! replay harness (DESIGN §4.16) pre-characterizes `Device::drifted(step)`
+//! recalibrations and admits them mid-run, so byte-identical reports
+//! require that the same drift step always exports the same bytes.
+
+use qufem_core::{QuFem, QuFemConfig, SnapshotLineage, VersionedSnapshot};
+use qufem_device::presets;
+
+fn config(seed: u64) -> QuFemConfig {
+    QuFemConfig::builder().characterization_threshold(5e-4).shots(300).seed(seed).build().unwrap()
+}
+
+fn lineage(version: u64) -> SnapshotLineage {
+    SnapshotLineage {
+        device_id: "drift-dev".to_string(),
+        version,
+        parent_version: version.checked_sub(1),
+        created_seq: version,
+    }
+}
+
+/// Characterizes `device.drifted(step)` and returns the exported bytes.
+fn drifted_export_bytes(step: u64) -> String {
+    let device = presets::scale_grid(3, 11);
+    let qufem = QuFem::characterize(&device.drifted(step), config(4)).unwrap();
+    serde_json::to_string(&qufem.export_versioned(&lineage(0))).unwrap()
+}
+
+#[test]
+fn same_drift_step_exports_identical_bytes() {
+    // The whole chain — drift waves, benchmarking, characterization,
+    // serialization — is a pure function of (device, step, config).
+    assert_eq!(drifted_export_bytes(1), drifted_export_bytes(1));
+    assert_eq!(drifted_export_bytes(3), drifted_export_bytes(3));
+}
+
+#[test]
+fn distinct_drift_steps_export_distinct_matrices() {
+    let base = drifted_export_bytes(0);
+    let one = drifted_export_bytes(1);
+    let two = drifted_export_bytes(2);
+    assert_ne!(one, two, "steps 1 and 2 must drift differently");
+    assert_ne!(base, one, "step 1 must move away from the base device");
+    // Step 0 is the identity: the export equals characterizing the
+    // un-drifted device directly.
+    let device = presets::scale_grid(3, 11);
+    let undrifted = QuFem::characterize(&device, config(4)).unwrap();
+    assert_eq!(
+        base,
+        serde_json::to_string(&undrifted.export_versioned(&lineage(0))).unwrap(),
+        "drifted(0) must characterize identically to the base device"
+    );
+}
+
+#[test]
+fn drifted_lineage_composes_with_versioned_child() {
+    let device = presets::scale_grid(3, 11);
+    let root_qufem = QuFem::characterize(&device, config(4)).unwrap();
+    let (_, root) = QuFem::import_versioned(root_qufem.export_versioned(&lineage(0))).unwrap();
+    assert_eq!(root.device_id(), "drift-dev");
+    assert_eq!(root.version(), 0);
+    assert_eq!(root.parent_version(), None);
+
+    // A drifted recalibration imported as an un-versioned export, then
+    // spliced into the lineage the way a serving catalog does: the child
+    // carries the parent's device id and the next version.
+    let drift_qufem = QuFem::characterize(&device.drifted(2), config(4)).unwrap();
+    let (_, imported) = QuFem::import_versioned(drift_qufem.export_versioned(&lineage(0))).unwrap();
+    let child = root.child(imported.snapshot_arc(), 7);
+    assert_eq!(child.device_id(), "drift-dev");
+    assert_eq!(child.version(), 1);
+    assert_eq!(child.parent_version(), Some(0));
+    assert_eq!(child.created_seq(), 7);
+    // The child serves the drifted calibration, not the root's.
+    assert!(
+        !std::ptr::eq(child.snapshot(), root.snapshot()),
+        "child must wrap the admitted snapshot"
+    );
+    // And a grandchild keeps composing.
+    let grandchild = child.child(root.snapshot_arc(), 9);
+    assert_eq!(grandchild.version(), 2);
+    assert_eq!(grandchild.parent_version(), Some(1));
+    assert_eq!(grandchild.device_id(), "drift-dev");
+
+    // Round-tripping the explicit lineage form preserves identity fields.
+    let reimported = VersionedSnapshot::with_lineage(
+        &SnapshotLineage {
+            device_id: child.device_id().to_string(),
+            version: child.version(),
+            parent_version: child.parent_version(),
+            created_seq: child.created_seq(),
+        },
+        imported.snapshot_arc(),
+    );
+    assert_eq!(reimported.version(), child.version());
+    assert_eq!(reimported.parent_version(), child.parent_version());
+}

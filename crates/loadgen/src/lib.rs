@@ -1,0 +1,74 @@
+//! # qufem-loadgen — deterministic traffic replay for the serving stack
+//!
+//! Serving changes (catalog hot-swaps, cache sizing, backpressure) are easy
+//! to regress in ways unit tests miss: the failure only shows up under a
+//! *mix* of tenants, devices, and mid-run events. This crate turns such a
+//! mix into a first-class, replayable artifact:
+//!
+//! 1. a **scenario** ([`Scenario`], parsed from a small TOML subset)
+//!    declares tenants (device × method × measured-subset × shots), the
+//!    arrival process (closed lockstep vs open pipelined bursts), server
+//!    sizing, and mid-run events (drift recalibration admits, client
+//!    reconnects);
+//! 2. a **trace** ([`trace::generate`]) materializes every request from
+//!    per-client ChaCha8 streams, so the byte stream a run sends is a pure
+//!    function of `(scenario, seed)`;
+//! 3. the **runner** ([`run_scenario`]) replays the trace against a live
+//!    in-process [`qufem_serve::Server`] in barrier-separated rounds and
+//!    assembles a [`Report`] whose JSON is byte-identical across runs —
+//!    and across `QUFEM_THREADS` settings — except for one stamped
+//!    `wall_secs` field. The report's `determinism_digest` covers
+//!    everything but that field, so two runs agree iff their digests do.
+//!
+//! Measured wall-clock behaviour (latency quantiles, throughput) is real
+//! but nondeterministic, so it stays out of the report: it goes to stderr
+//! and to `loadgen.*` telemetry gauges for the bench harness.
+//!
+//! See DESIGN §4.16 for the scenario and report schemas, and `scenarios/`
+//! at the repo root for the checked-in mixes CI replays.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+mod runner;
+pub mod scenario;
+pub mod toml;
+pub mod trace;
+
+pub use report::Report;
+pub use runner::run_scenario;
+pub use scenario::Scenario;
+
+/// Loadgen error: scenario parse/validation failures and run failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Loads a scenario file and replays it, returning the report.
+///
+/// # Errors
+///
+/// File read/parse/validation failures and run failures (see
+/// [`run_scenario`]).
+pub fn run_file(path: &std::path::Path) -> Result<Report> {
+    let scenario = Scenario::load(path)?;
+    run_scenario(&scenario)
+}

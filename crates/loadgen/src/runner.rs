@@ -1,0 +1,585 @@
+//! Scenario execution: round-based replay against a live in-process
+//! [`qufem_serve::Server`].
+//!
+//! ## Determinism model
+//!
+//! The runner makes every run of `(scenario, seed)` produce a byte-identical
+//! [`Report`] (modulo the single `wall_secs` field) by construction:
+//!
+//! - the whole request trace is materialized up front ([`crate::trace`]),
+//! - traffic advances in **rounds** separated by barriers: every client
+//!   finishes round `r` before anything from round `r + 1` starts,
+//! - mid-run events (drift admits, reconnects) fire only *between* rounds,
+//!   so the catalog head every round-`r` request resolves is a pure function
+//!   of the scenario — version echoes are exactly predictable,
+//! - the server runs with [`qufem_serve::ServeConfig::frozen_clock`], so its
+//!   metrics/trace views depend only on the request sequence,
+//! - calibration responses are bit-identical regardless of worker
+//!   interleaving or `QUFEM_THREADS` (the serve crate's core guarantee), so
+//!   digests over response distributions and sizes are stable.
+//!
+//! Wall-clock measurements (latency percentiles, throughput) are real but
+//! nondeterministic; they are printed to stderr and exported as `loadgen.*`
+//! telemetry gauges, never written into the report.
+//!
+//! ## Sizing
+//!
+//! Serve workers hold a connection for its lifetime, so the runner raises
+//! the worker count to `clients + 2` (persistent clients + the control
+//! connection + reconnect slack) — a smaller value would deadlock the round
+//! barrier, not shed load.
+
+use crate::report::{BytePercentiles, CacheModel, DeviceReport, EventReport, Report, TenantReport};
+use crate::scenario::{build_device, EventKind, Scenario};
+use crate::trace::{self, Trace, TraceRequest};
+use crate::{Error, Result};
+use qufem_core::digest::{digest_prob_dist, Digest64};
+use qufem_core::{QuFem, QuFemConfig, QuFemData, SnapshotLineage};
+use qufem_serve::{Client, Request, Response, ServeConfig, Server};
+use qufem_telemetry::QuantileHistogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Everything recorded about one request/response exchange.
+#[derive(Debug, Clone)]
+struct Outcome {
+    tenant: usize,
+    ok: bool,
+    error: Option<String>,
+    device: Option<String>,
+    version: Option<u64>,
+    /// Digest of the response distribution (0 for error frames).
+    dist_digest: u64,
+    /// Exact response line size in bytes (serialization is deterministic,
+    /// so re-serializing the parsed response reproduces the wire size).
+    response_bytes: u64,
+}
+
+/// One client's full run: outcomes in issue order plus the monotonicity
+/// verdict over its version echoes.
+struct ClientResult {
+    outcomes: Vec<Outcome>,
+    /// Per-connection-segment, per-device version echoes never decreased.
+    monotone: bool,
+    /// Measured per-exchange wall latencies, microseconds.
+    latencies_us: Vec<u64>,
+}
+
+/// Runs a scenario end-to-end and assembles its report.
+///
+/// # Errors
+///
+/// Characterization failures, socket failures, and poisoned runs. Error
+/// *frames* (a response with `ok: false`) are not an `Err` — they are
+/// accounted in the report so the regression gate can assert on them.
+pub fn run_scenario(scenario: &Scenario) -> Result<Report> {
+    let setup_started = Instant::now();
+    // Build and characterize every device up front (including the drifted
+    // recalibrations events will admit), so mid-run event cost is one admit
+    // request, not a characterization.
+    let devices: Vec<_> = scenario.devices.iter().map(build_device).collect::<Result<Vec<_>>>()?;
+    let mut calibrators = Vec::with_capacity(devices.len());
+    for (idx, device) in devices.iter().enumerate() {
+        calibrators.push(characterize(spec_config(scenario, idx)?, device)?);
+    }
+    let trace = trace::generate(scenario, &devices);
+    let mut drift_admits: Vec<Option<QuFemData>> = Vec::with_capacity(scenario.events.len());
+    for event in &scenario.events {
+        drift_admits.push(match &event.kind {
+            EventKind::AdmitDrift { device, step } => {
+                let spec = &scenario.devices[*device];
+                let drifted = devices[*device].drifted(*step);
+                let qufem = characterize(spec_config(scenario, *device)?, &drifted)?;
+                let lineage = SnapshotLineage {
+                    device_id: spec.id.clone(),
+                    version: 0,
+                    parent_version: None,
+                    created_seq: 0,
+                };
+                Some(qufem.export_versioned(&lineage))
+            }
+            EventKind::Reconnect { .. } => None,
+        });
+    }
+
+    // The startup calibrator becomes version 0 of the first device.
+    let mut calibrators = calibrators.into_iter();
+    let startup = calibrators.next().expect("scenario has at least one device");
+    let secondary: Vec<QuFemData> = calibrators
+        .zip(scenario.devices.iter().skip(1))
+        .map(|(qufem, spec)| {
+            let lineage = SnapshotLineage {
+                device_id: spec.id.clone(),
+                version: 0,
+                parent_version: None,
+                created_seq: 0,
+            };
+            qufem.export_versioned(&lineage)
+        })
+        .collect();
+
+    let config = ServeConfig {
+        workers: scenario.server.workers.max(scenario.clients + 2),
+        queue_depth: scenario.server.queue_depth.max(scenario.clients + 2),
+        read_timeout: Some(Duration::from_secs(30)),
+        plan_cache_capacity: scenario.server.plan_cache,
+        prewarm: scenario.prewarm,
+        registry: Arc::new(qufem_baselines::standard_registry(startup.config().clone())),
+        device_id: scenario.devices[0].id.clone(),
+        prepared_memo_cap: scenario.server.memo_cap,
+        frozen_clock: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(startup, "127.0.0.1:0", config)
+        .map_err(|e| Error::new(format!("server start: {e}")))?;
+    if scenario.prewarm {
+        server.wait_for_prewarm();
+    }
+    let addr = server.local_addr();
+    let mut control =
+        Client::connect(addr).map_err(|e| Error::new(format!("control connect: {e}")))?;
+
+    // Publish the secondary devices (version 0 each) before traffic starts.
+    for data in secondary {
+        let response = control
+            .request(&Request::admit(data))
+            .map_err(|e| Error::new(format!("setup admit: {e}")))?;
+        if !response.ok {
+            return Err(Error::new(format!(
+                "setup admit rejected: {}",
+                response.error.as_deref().unwrap_or("unknown")
+            )));
+        }
+    }
+
+    let mut events_report: Vec<EventReport> = Vec::with_capacity(scenario.events.len());
+    let barrier = Barrier::new(scenario.clients + 1);
+    let reconnect_flags: Vec<AtomicBool> =
+        (0..scenario.clients).map(|_| AtomicBool::new(false)).collect();
+
+    let traffic_started = Instant::now();
+    let client_results: Vec<Result<ClientResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scenario.clients)
+            .map(|c| {
+                let requests = &trace.per_client[c];
+                let barrier = &barrier;
+                let flag = &reconnect_flags[c];
+                scope.spawn(move || client_loop(addr, scenario, requests, barrier, flag))
+            })
+            .collect();
+
+        // Conductor: fire each round's events, then release the round.
+        for round in 1..=scenario.rounds {
+            for (event, admit) in scenario.events.iter().zip(&drift_admits) {
+                if event.round != round {
+                    continue;
+                }
+                match &event.kind {
+                    EventKind::AdmitDrift { device, .. } => {
+                        let data = admit.clone().expect("admit-drift carries exported params");
+                        let report = match control.request(&Request::admit(data)) {
+                            Ok(response) if response.ok => EventReport {
+                                round,
+                                kind: "admit-drift".to_string(),
+                                device: response.device.clone(),
+                                version: response.version,
+                                clients: Vec::new(),
+                            },
+                            Ok(_) => EventReport {
+                                round,
+                                kind: "admit-drift".to_string(),
+                                device: Some(scenario.devices[*device].id.clone()),
+                                version: None,
+                                clients: Vec::new(),
+                            },
+                            Err(_) => EventReport {
+                                round,
+                                kind: "admit-drift".to_string(),
+                                device: Some(scenario.devices[*device].id.clone()),
+                                version: None,
+                                clients: Vec::new(),
+                            },
+                        };
+                        events_report.push(report);
+                    }
+                    EventKind::Reconnect { clients } => {
+                        for &c in clients {
+                            reconnect_flags[c].store(true, Ordering::SeqCst);
+                        }
+                        events_report.push(EventReport {
+                            round,
+                            kind: "reconnect".to_string(),
+                            device: None,
+                            version: None,
+                            clients: clients.clone(),
+                        });
+                    }
+                }
+            }
+            barrier.wait(); // release round `round`
+            barrier.wait(); // all clients finished round `round`
+        }
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall_secs = traffic_started.elapsed().as_secs_f64();
+
+    let mut clients_results = Vec::with_capacity(client_results.len());
+    for result in client_results {
+        clients_results.push(result?);
+    }
+
+    // Final catalog view + swap counter over the control connection, before
+    // the server goes down.
+    let status = control
+        .request(&Request::status())
+        .map_err(|e| Error::new(format!("final status: {e}")))?
+        .status
+        .ok_or_else(|| Error::new("final status response carried no status"))?;
+    let metrics = control
+        .request(&Request::metrics())
+        .map_err(|e| Error::new(format!("final metrics: {e}")))?
+        .metrics
+        .ok_or_else(|| Error::new("final metrics response carried no metrics"))?;
+    drop(control);
+    server.handle().shutdown();
+    server.join();
+
+    let report = assemble_report(
+        scenario,
+        &trace,
+        &clients_results,
+        events_report,
+        &status.devices,
+        metrics.swaps,
+        wall_secs,
+    );
+    emit_measured(scenario, &report, &clients_results, setup_started.elapsed().as_secs_f64());
+    Ok(report)
+}
+
+/// One client's whole run: reconnects when flagged, sends its rounds'
+/// requests (lockstep or pipelined), records every outcome. Errors are
+/// recorded per request — the thread always keeps the barrier cadence, so a
+/// failed client cannot deadlock the run.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    scenario: &Scenario,
+    requests: &[TraceRequest],
+    barrier: &Barrier,
+    reconnect: &AtomicBool,
+) -> Result<ClientResult> {
+    let per_round = scenario.per_client_per_round();
+    let mut client =
+        Some(Client::connect(addr).map_err(|e| Error::new(format!("client connect: {e}")))?);
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut latencies_us = Vec::new();
+    let mut monotone = true;
+    // Last echoed version per device, reset on reconnect (a fresh
+    // connection makes no ordering promise relative to the old one).
+    let mut last_versions: HashMap<String, u64> = HashMap::new();
+    for round in 1..=scenario.rounds {
+        barrier.wait();
+        if reconnect.swap(false, Ordering::SeqCst) {
+            drop(client.take());
+            match Client::connect(addr) {
+                Ok(fresh) => client = Some(fresh),
+                Err(_) => client = None,
+            }
+            last_versions.clear();
+        }
+        let batch = &requests[(round - 1) * per_round..round * per_round];
+        let responses = exchange(client.as_mut(), scenario, batch, &mut latencies_us);
+        for (req, response) in batch.iter().zip(responses) {
+            let outcome = match response {
+                Ok(response) => {
+                    if let (true, Some(device), Some(version)) =
+                        (response.ok, response.device.as_deref(), response.version)
+                    {
+                        let last = last_versions.entry(device.to_string()).or_insert(version);
+                        if version < *last {
+                            monotone = false;
+                        }
+                        *last = version;
+                    }
+                    outcome_of(req, &response)
+                }
+                Err(message) => Outcome {
+                    tenant: req.tenant,
+                    ok: false,
+                    error: Some(message),
+                    device: None,
+                    version: None,
+                    dist_digest: 0,
+                    response_bytes: 0,
+                },
+            };
+            outcomes.push(outcome);
+        }
+        barrier.wait();
+    }
+    Ok(ClientResult { outcomes, monotone, latencies_us })
+}
+
+/// Sends one round's batch: request/response lockstep in closed mode, all
+/// frames written before any response is read in open mode. Returns one
+/// result per request, in order.
+fn exchange(
+    client: Option<&mut Client>,
+    scenario: &Scenario,
+    batch: &[TraceRequest],
+    latencies_us: &mut Vec<u64>,
+) -> Vec<std::result::Result<Response, String>> {
+    let Some(client) = client else {
+        return batch.iter().map(|_| Err("connection lost".to_string())).collect();
+    };
+    let wire = |req: &TraceRequest| {
+        let spec = &scenario.tenants[req.tenant];
+        Request::calibrate(req.dist.clone(), Some(req.measured.clone()))
+            .with_method(spec.method.clone())
+            .with_device(scenario.devices[spec.device].id.clone())
+    };
+    match scenario.arrival {
+        crate::scenario::Arrival::Closed => batch
+            .iter()
+            .map(|req| {
+                let started = Instant::now();
+                let result = client.request(&wire(req)).map_err(|e| e.to_string());
+                latencies_us.push(started.elapsed().as_micros() as u64);
+                result
+            })
+            .collect(),
+        crate::scenario::Arrival::Open { .. } => {
+            let started = Instant::now();
+            let mut frames = String::new();
+            for req in batch {
+                match serde_json::to_string(&wire(req)) {
+                    Ok(line) => {
+                        frames.push_str(&line);
+                        frames.push('\n');
+                    }
+                    Err(e) => return batch.iter().map(|_| Err(e.to_string())).collect(),
+                }
+            }
+            if let Err(e) = client.send_raw(frames.as_bytes()) {
+                return batch.iter().map(|_| Err(e.to_string())).collect();
+            }
+            let out: Vec<_> =
+                batch.iter().map(|_| client.read_response().map_err(|e| e.to_string())).collect();
+            // Open mode measures the pipelined burst as one exchange.
+            latencies_us.push(started.elapsed().as_micros() as u64);
+            out
+        }
+    }
+}
+
+/// Folds a successful (or error-frame) response into an [`Outcome`].
+fn outcome_of(req: &TraceRequest, response: &Response) -> Outcome {
+    let response_bytes = serde_json::to_string(response).map(|s| s.len() as u64 + 1).unwrap_or(0);
+    Outcome {
+        tenant: req.tenant,
+        ok: response.ok,
+        error: response.error.clone(),
+        device: response.device.clone(),
+        version: response.version,
+        dist_digest: response.dist.as_ref().map(digest_prob_dist).unwrap_or(0),
+        response_bytes,
+    }
+}
+
+/// The characterization config for device `idx` of the scenario.
+fn spec_config(scenario: &Scenario, idx: usize) -> Result<QuFemConfig> {
+    let spec = &scenario.devices[idx];
+    QuFemConfig::builder()
+        .characterization_threshold(spec.threshold)
+        .shots(spec.cal_shots)
+        .seed(spec.seed)
+        .build()
+        .map_err(|e| Error::new(format!("device {:?} config: {e}", spec.id)))
+}
+
+fn characterize(config: QuFemConfig, device: &qufem_device::Device) -> Result<QuFem> {
+    QuFem::characterize(device, config).map_err(|e| Error::new(format!("characterize: {e}")))
+}
+
+/// Builds the final [`Report`] from the collected run state.
+fn assemble_report(
+    scenario: &Scenario,
+    trace: &Trace,
+    clients: &[ClientResult],
+    events: Vec<EventReport>,
+    devices: &[qufem_serve::DeviceStatusInfo],
+    swaps: u64,
+    wall_secs: f64,
+) -> Report {
+    let mut tenant_digests: Vec<Digest64> =
+        scenario.tenants.iter().map(|_| Digest64::new()).collect();
+    let mut tenant_errors = vec![0u64; scenario.tenants.len()];
+    let mut response_fold = Digest64::new();
+    let mut sizes = Vec::new();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for (c, result) in clients.iter().enumerate() {
+        response_fold.write_u64(c as u64);
+        for outcome in &result.outcomes {
+            requests += 1;
+            if !outcome.ok {
+                errors += 1;
+                tenant_errors[outcome.tenant] += 1;
+            }
+            response_fold.write(&[u8::from(outcome.ok)]);
+            if let Some(device) = &outcome.device {
+                response_fold.write_str(device);
+            }
+            response_fold.write_u64(outcome.version.unwrap_or(0));
+            response_fold.write_u64(outcome.dist_digest);
+            let t = &mut tenant_digests[outcome.tenant];
+            t.write_u64(outcome.dist_digest);
+            if outcome.response_bytes > 0 {
+                sizes.push(outcome.response_bytes);
+            }
+        }
+    }
+    let tenants = scenario
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantReport {
+            name: t.name.clone(),
+            requests: trace.per_tenant[i],
+            errors: tenant_errors[i],
+            response_digest: tenant_digests[i].hex(),
+        })
+        .collect();
+    // Per-device request counts come from the trace, not the server's
+    // counter: the server increments it after writing the response, so a
+    // status probe can observe the last exchange as not-yet-counted.
+    let mut routed: HashMap<&str, u64> = HashMap::new();
+    for (tenant, &n) in scenario.tenants.iter().zip(&trace.per_tenant) {
+        *routed.entry(scenario.devices[tenant.device].id.as_str()).or_insert(0) += n;
+    }
+    let devices = devices
+        .iter()
+        .map(|d| DeviceReport {
+            id: d.device.clone(),
+            head_version: d.head_version,
+            versions: d.versions.clone(),
+            requests: routed.get(d.device.as_str()).copied().unwrap_or(0),
+        })
+        .collect();
+    Report {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        rounds: scenario.rounds,
+        clients: scenario.clients,
+        arrival: scenario.arrival.as_str().to_string(),
+        prewarm: scenario.prewarm,
+        scenario_digest: scenario.source_digest.clone(),
+        trace_digest: trace.digest.clone(),
+        response_digest: response_fold.hex(),
+        requests,
+        errors,
+        swaps,
+        version_echoes_monotone: clients.iter().all(|c| c.monotone),
+        tenants,
+        devices,
+        events,
+        cache_model: model_cache(scenario, trace),
+        response_bytes: BytePercentiles::from_samples(sizes),
+        wall_secs,
+    }
+}
+
+/// Deterministic sequential replay of the trace through modeled per-version
+/// LRU plan caches (capacity = the scenario's `plan_cache`). The prewarmed
+/// default plan is pre-seeded without counting, mirroring the server's
+/// startup build happening off the request path.
+fn model_cache(scenario: &Scenario, trace: &Trace) -> CacheModel {
+    type Key = (String, Vec<usize>);
+    let mut caches: HashMap<(usize, u64), Vec<Key>> = HashMap::new();
+    let capacity = scenario.server.plan_cache.max(1);
+    if scenario.prewarm {
+        let full: Vec<usize> = (0..scenario.device_width(0)).collect();
+        caches.insert((0, 0), vec![("qufem".to_string(), full)]);
+    }
+    // Head version per device, advanced by admit events at round boundaries.
+    let mut head = vec![0u64; scenario.devices.len()];
+    let per_round = scenario.per_client_per_round();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for round in 1..=scenario.rounds {
+        for event in &scenario.events {
+            if event.round == round {
+                if let EventKind::AdmitDrift { device, .. } = &event.kind {
+                    head[*device] += 1;
+                }
+            }
+        }
+        for client in &trace.per_client {
+            for req in &client[(round - 1) * per_round..round * per_round] {
+                let spec = &scenario.tenants[req.tenant];
+                let entry = caches.entry((spec.device, head[spec.device])).or_default();
+                let key: Key = (spec.method.clone(), req.measured.clone());
+                if let Some(pos) = entry.iter().position(|k| *k == key) {
+                    hits += 1;
+                    let key = entry.remove(pos);
+                    entry.push(key);
+                } else {
+                    misses += 1;
+                    entry.push(key);
+                    if entry.len() > capacity {
+                        entry.remove(0);
+                    }
+                }
+            }
+        }
+    }
+    CacheModel { capacity, hits, misses }
+}
+
+/// Prints the measured (nondeterministic) side of the run to stderr and
+/// exports it as `loadgen.*` telemetry gauges for the bench harness.
+fn emit_measured(scenario: &Scenario, report: &Report, clients: &[ClientResult], total_secs: f64) {
+    let mut latency = QuantileHistogram::default();
+    for result in clients {
+        for &us in &result.latencies_us {
+            latency.record(us as f64 / 1e6);
+        }
+    }
+    let throughput =
+        if report.wall_secs > 0.0 { report.requests as f64 / report.wall_secs } else { 0.0 };
+    eprintln!(
+        "loadgen: scenario {:?} replayed {} requests in {:.3}s ({:.1} req/s, total {:.3}s \
+         with setup), {} errors, {} swaps, exchange p50 {:.1}us p99 {:.1}us",
+        scenario.name,
+        report.requests,
+        report.wall_secs,
+        throughput,
+        total_secs,
+        report.errors,
+        report.swaps,
+        latency.quantile(0.5) * 1e6,
+        latency.quantile(0.99) * 1e6,
+    );
+    qufem_telemetry::gauge_set("loadgen.requests", report.requests as f64);
+    qufem_telemetry::gauge_set("loadgen.errors", report.errors as f64);
+    qufem_telemetry::gauge_set("loadgen.swaps", report.swaps as f64);
+    qufem_telemetry::gauge_set("loadgen.throughput_rps", throughput);
+    qufem_telemetry::gauge_set("loadgen.wall_secs", report.wall_secs);
+    qufem_telemetry::gauge_set("loadgen.exchange_p50_secs", latency.quantile(0.5));
+    qufem_telemetry::gauge_set("loadgen.exchange_p99_secs", latency.quantile(0.99));
+    // Surface a few distinct error messages for debugging; the report only
+    // carries counts (messages could embed nondeterministic socket detail).
+    let mut seen: Vec<&str> = Vec::new();
+    for result in clients {
+        for outcome in &result.outcomes {
+            if let Some(error) = outcome.error.as_deref() {
+                if !seen.contains(&error) && seen.len() < 5 {
+                    eprintln!("loadgen: error frame: {error}");
+                    seen.push(error);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! A minimal TOML-subset parser for scenario files.
+//!
+//! The offline workspace vendors no TOML crate, and scenario files need only
+//! a small, line-oriented slice of the format:
+//!
+//! - top-level `key = value` pairs,
+//! - `[table]` sections,
+//! - `[[table]]` array-of-table sections,
+//! - values: basic strings (`"..."` with `\"`, `\\`, `\n`, `\t` escapes),
+//!   integers, floats, booleans, and single-line arrays of those,
+//! - `#` comments and blank lines.
+//!
+//! Dotted keys, inline tables, multi-line strings, and datetimes are
+//! rejected with a line-numbered error — scenario files simply never use
+//! them. The parser keeps tables and keys in file order so downstream
+//! digests of the parsed form would be stable, though scenario digests fold
+//! the raw file text anyway.
+
+/// One parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of scalars.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// A short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// An ordered set of `key = value` pairs (one section's body).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlTable {
+    /// Entries in file order.
+    pub entries: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed scenario document: the top-level table, named `[table]`
+/// sections, and `[[name]]` arrays of tables, all in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    /// Keys before the first section header.
+    pub root: TomlTable,
+    /// `[name]` sections.
+    pub tables: Vec<(String, TomlTable)>,
+    /// `[[name]]` sections, grouped by name in first-appearance order.
+    pub arrays: Vec<(String, Vec<TomlTable>)>,
+}
+
+impl TomlDoc {
+    /// Looks up a `[name]` section.
+    pub fn table(&self, name: &str) -> Option<&TomlTable> {
+        self.tables.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a `[[name]]` array of tables (empty slice when absent).
+    pub fn array(&self, name: &str) -> &[TomlTable] {
+        self.arrays.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Where new `key = value` lines currently land.
+enum Cursor {
+    Root,
+    Table(usize),
+    Array(usize),
+}
+
+/// Parses the supported TOML subset.
+///
+/// # Errors
+///
+/// A line-numbered message for anything outside the subset.
+pub fn parse(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::default();
+    let mut cursor = Cursor::Root;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim();
+            validate_key(name, lineno)?;
+            let idx = match doc.arrays.iter().position(|(k, _)| k == name) {
+                Some(idx) => idx,
+                None => {
+                    doc.arrays.push((name.to_string(), Vec::new()));
+                    doc.arrays.len() - 1
+                }
+            };
+            doc.arrays[idx].1.push(TomlTable::default());
+            cursor = Cursor::Array(idx);
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim();
+            validate_key(name, lineno)?;
+            if doc.tables.iter().any(|(k, _)| k == name) {
+                return Err(format!("line {lineno}: duplicate table [{name}]"));
+            }
+            doc.tables.push((name.to_string(), TomlTable::default()));
+            cursor = Cursor::Table(doc.tables.len() - 1);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got {line:?}"));
+        };
+        let key = line[..eq].trim();
+        validate_key(key, lineno)?;
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = match cursor {
+            Cursor::Root => &mut doc.root,
+            Cursor::Table(idx) => &mut doc.tables[idx].1,
+            Cursor::Array(idx) => {
+                let group = &mut doc.arrays[idx].1;
+                group.last_mut().expect("array cursor points at a pushed table")
+            }
+        };
+        if table.get(key).is_some() {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        table.entries.push((key.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// Removes a `#` comment, honouring `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return &line[..idx];
+        }
+    }
+    line
+}
+
+fn validate_key(key: &str, lineno: usize) -> Result<(), String> {
+    if key.is_empty() {
+        return Err(format!("line {lineno}: empty key"));
+    }
+    if key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: unsupported key {key:?} (bare keys only)"))
+    }
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<TomlValue, String> {
+    if text.is_empty() {
+        return Err(format!("line {lineno}: missing value"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest, lineno).map(TomlValue::Str);
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(format!("line {lineno}: arrays must close on the same line"));
+        };
+        let mut items = Vec::new();
+        for item in split_array_items(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            items.push(parse_value(item, lineno)?);
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let plain = text.replace('_', "");
+    if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+        if let Ok(n) = plain.parse::<i64>() {
+            return Ok(TomlValue::Int(n));
+        }
+    }
+    if let Ok(f) = plain.parse::<f64>() {
+        return Ok(TomlValue::Float(f));
+    }
+    Err(format!("line {lineno}: unsupported value {text:?}"))
+}
+
+/// Parses a basic string body (opening quote already consumed) and rejects
+/// trailing garbage.
+fn parse_string(body: &str, lineno: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let rest: String = chars.collect();
+                if rest.trim().is_empty() {
+                    return Ok(out);
+                }
+                return Err(format!("line {lineno}: trailing characters after string"));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!("line {lineno}: unsupported escape {other:?}"));
+                }
+            },
+            other => out.push(other),
+        }
+    }
+    Err(format!("line {lineno}: unterminated string"))
+}
+
+/// Splits array items on commas outside strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in inner.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' {
+            items.push(&inner[start..idx]);
+            start = idx + c.len_utf8();
+        }
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_scenario_shape() {
+        let doc = parse(
+            r#"
+            # a scenario
+            name = "steady" # trailing comment
+            seed = 7
+            ratio = 0.25
+            prewarm = true
+            big = 1_000
+
+            [server]
+            workers = 2
+
+            [[tenants]]
+            name = "a"
+            measured = [0, 2, 4]
+
+            [[tenants]]
+            name = "b"
+            weights = [1.5, 2.0]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("name"), Some(&TomlValue::Str("steady".into())));
+        assert_eq!(doc.root.get("seed"), Some(&TomlValue::Int(7)));
+        assert_eq!(doc.root.get("ratio"), Some(&TomlValue::Float(0.25)));
+        assert_eq!(doc.root.get("prewarm"), Some(&TomlValue::Bool(true)));
+        assert_eq!(doc.root.get("big"), Some(&TomlValue::Int(1000)));
+        assert_eq!(doc.table("server").unwrap().get("workers"), Some(&TomlValue::Int(2)));
+        let tenants = doc.array("tenants");
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            tenants[0].get("measured"),
+            Some(&TomlValue::Array(vec![TomlValue::Int(0), TomlValue::Int(2), TomlValue::Int(4)]))
+        );
+        assert_eq!(
+            tenants[1].get("weights"),
+            Some(&TomlValue::Array(vec![TomlValue::Float(1.5), TomlValue::Float(2.0)]))
+        );
+        assert!(doc.array("events").is_empty());
+    }
+
+    #[test]
+    fn strings_keep_hashes_and_escapes() {
+        let doc = parse("s = \"a # not comment \\\" \\n\"").unwrap();
+        assert_eq!(doc.root.get("s"), Some(&TomlValue::Str("a # not comment \" \n".into())));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("x 1", "expected `key = value`"),
+            ("x = ", "missing value"),
+            ("x = \"open", "unterminated string"),
+            ("x = [1,", "must close"),
+            ("a.b = 1", "unsupported key"),
+            ("x = 2024-01-01", "unsupported value"),
+            ("x = 1\nx = 2", "duplicate key"),
+            ("[t]\n[t]", "duplicate table"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+            assert!(err.starts_with("line "), "{err}");
+        }
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let doc = parse("a = -3\nb = 1e-4\nc = -0.5").unwrap();
+        assert_eq!(doc.root.get("a"), Some(&TomlValue::Int(-3)));
+        assert_eq!(doc.root.get("b"), Some(&TomlValue::Float(1e-4)));
+        assert_eq!(doc.root.get("c"), Some(&TomlValue::Float(-0.5)));
+    }
+}

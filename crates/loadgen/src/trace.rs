@@ -1,0 +1,206 @@
+//! Seeded trace generation: the full request stream, materialized before a
+//! single byte hits the server.
+//!
+//! Every request a scenario run will send — which tenant it belongs to,
+//! which qubits it measures, and the exact noisy input distribution — is
+//! drawn here from per-client ChaCha8 streams keyed on `(scenario seed,
+//! client index)`. Nothing about the live run (thread interleaving, wall
+//! time, reconnects) feeds back into generation, so the trace is a pure
+//! function of `(scenario, seed)`: two runs of the same scenario replay
+//! byte-identical requests, and the [`Trace::digest`] proves it.
+
+use crate::scenario::{MeasuredMode, Scenario};
+use qufem_core::digest::{self, Digest64};
+use qufem_device::Device;
+use qufem_types::{ProbDist, QubitSet};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One pre-generated calibrate request.
+#[derive(Debug, Clone)]
+pub struct TraceRequest {
+    /// 1-based round the request is issued in.
+    pub round: usize,
+    /// Issuing client index.
+    pub client: usize,
+    /// Index into [`Scenario::tenants`].
+    pub tenant: usize,
+    /// Measured qubit indices, ascending.
+    pub measured: Vec<usize>,
+    /// The noisy input distribution (width = `measured.len()`).
+    pub dist: ProbDist,
+}
+
+/// A fully materialized request stream plus its digest.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Requests per client, in issue order (round-major).
+    pub per_client: Vec<Vec<TraceRequest>>,
+    /// FNV-1a 64 digest over every request in `(client, issue order)`
+    /// order, hex. Equal digests mean bit-identical traces.
+    pub digest: String,
+    /// Requests per tenant (indexed like [`Scenario::tenants`]).
+    pub per_tenant: Vec<u64>,
+}
+
+/// Generates the trace for `scenario` against its built devices
+/// (`devices[i]` realizes `scenario.devices[i]`).
+pub fn generate(scenario: &Scenario, devices: &[Device]) -> Trace {
+    assert_eq!(devices.len(), scenario.devices.len(), "one built device per spec");
+    let total_weight: u64 = scenario.tenants.iter().map(|t| t.weight).sum();
+    let per_round = scenario.per_client_per_round();
+    let mut per_client = Vec::with_capacity(scenario.clients);
+    let mut per_tenant = vec![0u64; scenario.tenants.len()];
+    let mut fold = Digest64::new();
+    for client in 0..scenario.clients {
+        let mut rng = ChaCha8Rng::seed_from_u64(client_seed(scenario.seed, client));
+        let mut requests = Vec::with_capacity(scenario.rounds * per_round);
+        fold.write_u64(client as u64);
+        for round in 1..=scenario.rounds {
+            for _ in 0..per_round {
+                let tenant = pick_tenant(scenario, total_weight, &mut rng);
+                let spec = &scenario.tenants[tenant];
+                let device = &devices[spec.device];
+                let measured = measured_set(spec.measured, device.n_qubits(), &mut rng);
+                let set: QubitSet = measured.iter().copied().collect();
+                let ideal = qufem_circuits::ghz(set.len());
+                let dist = device.measure_distribution(&ideal, &set, spec.shots, &mut rng);
+                fold.write_u64(round as u64);
+                fold.write_str(&spec.name);
+                fold.write_str(&spec.method);
+                fold.write_str(&scenario.devices[spec.device].id);
+                fold.write_u64(measured.len() as u64);
+                for &q in &measured {
+                    fold.write_u64(q as u64);
+                }
+                digest::fold_prob_dist(&mut fold, &dist);
+                per_tenant[tenant] += 1;
+                requests.push(TraceRequest { round, client, tenant, measured, dist });
+            }
+        }
+        per_client.push(requests);
+    }
+    Trace { per_client, digest: fold.hex(), per_tenant }
+}
+
+/// Stable per-client stream seed: an FNV fold of the scenario seed and the
+/// client index (so adjacent seeds do not produce adjacent streams).
+fn client_seed(seed: u64, client: usize) -> u64 {
+    let mut d = Digest64::new();
+    d.write_u64(seed);
+    d.write_u64(client as u64);
+    d.finish()
+}
+
+/// Weighted tenant draw.
+fn pick_tenant(scenario: &Scenario, total_weight: u64, rng: &mut ChaCha8Rng) -> usize {
+    let mut ticket = rng.next_u64() % total_weight;
+    for (i, t) in scenario.tenants.iter().enumerate() {
+        if ticket < t.weight {
+            return i;
+        }
+        ticket -= t.weight;
+    }
+    scenario.tenants.len() - 1
+}
+
+/// Realizes a measured-subset shape over a `width`-qubit register.
+fn measured_set(mode: MeasuredMode, width: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    match mode {
+        MeasuredMode::Full => (0..width).collect(),
+        MeasuredMode::Evens => (0..width).step_by(2).collect(),
+        MeasuredMode::Odds => (1..width).step_by(2).collect(),
+        MeasuredMode::Sparse { k } => {
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let q = (rng.next_u64() % width as u64) as usize;
+                if !picked.contains(&q) {
+                    picked.push(q);
+                }
+            }
+            picked.sort_unstable();
+            picked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::build_device;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::parse(&format!(
+            r#"
+            name = "trace-test"
+            seed = {seed}
+            rounds = 3
+            clients = 2
+
+            [[devices]]
+            preset = "grid-3"
+
+            [[tenants]]
+            name = "full"
+            weight = 2
+
+            [[tenants]]
+            name = "sparse"
+            measured = "sparse"
+            sparse_k = 2
+            weight = 1
+            shots = 100
+            "#
+        ))
+        .unwrap()
+    }
+
+    fn devices(s: &Scenario) -> Vec<Device> {
+        s.devices.iter().map(|d| build_device(d).unwrap()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_trace_digest() {
+        let s = scenario(11);
+        let a = generate(&s, &devices(&s));
+        let b = generate(&s, &devices(&s));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.per_tenant, b.per_tenant);
+        assert_eq!(a.per_client.len(), 2);
+        assert_eq!(a.per_client[0].len(), 3);
+        assert_eq!(a.per_tenant.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = {
+            let s = scenario(11);
+            generate(&s, &devices(&s)).digest
+        };
+        let b = {
+            let s = scenario(12);
+            generate(&s, &devices(&s)).digest
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn measured_shapes_are_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(measured_set(MeasuredMode::Full, 5, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert_eq!(measured_set(MeasuredMode::Evens, 5, &mut rng), vec![0, 2, 4]);
+        assert_eq!(measured_set(MeasuredMode::Odds, 5, &mut rng), vec![1, 3]);
+        let sparse = measured_set(MeasuredMode::Sparse { k: 3 }, 5, &mut rng);
+        assert_eq!(sparse.len(), 3);
+        assert!(sparse.windows(2).all(|w| w[0] < w[1]), "sorted and distinct: {sparse:?}");
+        assert!(sparse.iter().all(|&q| q < 5));
+    }
+
+    #[test]
+    fn weighted_draw_respects_weights() {
+        let s = scenario(3);
+        let trace = generate(&s, &devices(&s));
+        // Weight 2:1 over 6 draws — both tenants must appear.
+        assert!(trace.per_tenant.iter().all(|&n| n > 0), "{:?}", trace.per_tenant);
+    }
+}

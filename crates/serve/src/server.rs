@@ -103,6 +103,14 @@ pub struct ServeConfig {
     /// [`ServeConfig::plan_cache_capacity`]) sits in front of it, so this
     /// only matters for bypass builds and in-process sharing.
     pub prepared_memo_cap: Option<usize>,
+    /// Deterministic-clock mode for replay harnesses (`qufem-loadgen`):
+    /// every recorded duration (`queue_us`, `prepare_us`, `apply_us`,
+    /// `serialize_us`, `total_us`) is reported as 0, completion timestamps
+    /// are the monotonic request id, and `uptime_us` is 0 — so the
+    /// `metrics` and `trace` commands become pure functions of the request
+    /// sequence instead of wall time. Calibration results are unaffected
+    /// (they are deterministic already). Off for real serving.
+    pub frozen_clock: bool,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +129,7 @@ impl Default for ServeConfig {
             access_log: false,
             device_id: DEFAULT_DEVICE_ID.to_string(),
             prepared_memo_cap: None,
+            frozen_clock: false,
         }
     }
 }
@@ -268,7 +277,8 @@ impl Server {
                 config.flight_recorder,
                 config.slow_threshold.map(|d| d.as_micros() as u64),
                 config.access_log,
-            ),
+            )
+            .with_frozen_clock(config.frozen_clock),
             local_addr,
             requests: AtomicU64::new(0),
             accepted: AtomicU64::new(0),

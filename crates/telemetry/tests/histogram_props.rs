@@ -1,0 +1,121 @@
+//! Property-based tests of [`QuantileHistogram`]: merge must be a lossless
+//! bucket-wise sum, quantiles must be monotone and bounded by the observed
+//! range, and the text rendering must round-trip the count.
+
+use proptest::prelude::*;
+use qufem_telemetry::QuantileHistogram;
+
+/// Positive sample values spanning the histogram's dynamic range (sub-ns
+/// to ~hours when read as seconds), mixing smooth draws with exact bucket
+/// edges and zero (the vendored proptest has no `prop_oneof`, so the pick
+/// is drawn as part of the tuple).
+fn arb_value() -> impl Strategy<Value = f64> {
+    (0usize..4, 1e-10f64..1e4, -40i32..14).prop_map(|(pick, smooth, edge_exp)| match pick {
+        0 => 0.0,
+        1 => f64::powi(2.0, edge_exp),
+        _ => smooth,
+    })
+}
+
+fn filled(values: &[f64]) -> QuantileHistogram {
+    let mut h = QuantileHistogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) is a lossless bucket-wise sum: every bucket, the count,
+    /// and the sum are the element-wise totals, and the extremes are the
+    /// combined extremes — merging loses nothing a histogram stores.
+    #[test]
+    fn merge_is_lossless_bucketwise(
+        xs in proptest::collection::vec(arb_value(), 0..40),
+        ys in proptest::collection::vec(arb_value(), 0..40),
+    ) {
+        let (a, b) = (filled(&xs), filled(&ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count, a.count + b.count);
+        for (i, &c) in merged.buckets.iter().enumerate() {
+            prop_assert_eq!(c, a.buckets[i] + b.buckets[i], "bucket {}", i);
+        }
+        prop_assert!((merged.sum - (a.sum + b.sum)).abs() <= 1e-9 * (1.0 + merged.sum.abs()));
+        // Merging both ways agrees bucket-for-bucket (commutative counts).
+        let mut other_way = b.clone();
+        other_way.merge(&a);
+        prop_assert_eq!(&merged.buckets[..], &other_way.buckets[..]);
+        prop_assert_eq!(merged.count, other_way.count);
+        if !xs.is_empty() && !ys.is_empty() {
+            prop_assert_eq!(merged.min, a.min.min(b.min));
+            prop_assert_eq!(merged.max, a.max.max(b.max));
+        }
+    }
+
+    /// Quantiles of a merged histogram stay inside the union of the two
+    /// observed ranges (merge introduces no values outside its inputs).
+    #[test]
+    fn merged_quantiles_stay_in_bounds(
+        xs in proptest::collection::vec(arb_value(), 1..40),
+        ys in proptest::collection::vec(arb_value(), 1..40),
+        q in 0.0f64..1.0,
+    ) {
+        let (a, b) = (filled(&xs), filled(&ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let (lo, hi) = (a.min.min(b.min), a.max.max(b.max));
+        let value = merged.quantile(q);
+        prop_assert!((lo..=hi).contains(&value), "q={} -> {} outside [{}, {}]", q, value, lo, hi);
+    }
+
+    /// quantile(q) is monotone non-decreasing in q, and pinned to the
+    /// observed extremes at q = 0 and q = 1.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in proptest::collection::vec(arb_value(), 1..60),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..12),
+    ) {
+        let h = filled(&xs);
+        let mut sorted = qs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let estimates: Vec<f64> = sorted.iter().map(|&q| h.quantile(q)).collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantile went down: {:?}", estimates);
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min);
+        prop_assert_eq!(h.quantile(1.0), h.max);
+    }
+
+    /// render_text round-trips the count (`_count` line) and emits the
+    /// stable 6-line shape with every quantile inside [min, max].
+    #[test]
+    fn render_text_roundtrips_counts(
+        xs in proptest::collection::vec(arb_value(), 1..40),
+    ) {
+        let h = filled(&xs);
+        let text = h.render_text("probe.latency");
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 6, "{}", text);
+        let count_line = lines[5];
+        prop_assert!(count_line.starts_with("probe_latency_count "), "{}", count_line);
+        let parsed: u64 = count_line
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("count renders as an integer");
+        prop_assert_eq!(parsed, h.count);
+        prop_assert_eq!(parsed, xs.len() as u64);
+        for line in &lines[..4] {
+            let value: f64 =
+                line.rsplit(' ').next().unwrap().parse().expect("quantile parses");
+            prop_assert!(
+                (h.min..=h.max).contains(&value),
+                "{} outside [{}, {}]", line, h.min, h.max
+            );
+        }
+    }
+}

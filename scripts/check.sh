@@ -59,4 +59,28 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q --release --test cli -- admit_hot_swaps
 done
 
+echo "==> loadgen-scenarios: replay digests must agree across QUFEM_THREADS"
+loadgen_tmp="$(mktemp -d)"
+trap 'rm -rf "$loadgen_tmp"' EXIT
+for s in steady-mix bursty; do
+  ref=""
+  for t in 1 4; do
+    out="$loadgen_tmp/$s-t$t.json"
+    echo "==> QUFEM_THREADS=$t qufem loadgen scenarios/$s.toml"
+    QUFEM_THREADS="$t" target/release/qufem loadgen "scenarios/$s.toml" --out "$out"
+    digest="$(sed -n 's/.*"determinism_digest": "\([0-9a-f]*\)".*/\1/p' "$out")"
+    if [ -z "$digest" ]; then
+      echo "no determinism_digest in $out" >&2
+      exit 1
+    fi
+    if [ -z "$ref" ]; then
+      ref="$digest"
+    elif [ "$digest" != "$ref" ]; then
+      echo "loadgen digest mismatch for $s: $digest != $ref" >&2
+      exit 1
+    fi
+  done
+  echo "    $s determinism digest: $ref"
+done
+
 echo "==> all checks passed"

@@ -72,14 +72,17 @@ def summarize_bench_summary(path, data):
             f"peak {fmt_bytes(entry.get('peak_bytes', 0.0))}"
         )
         # Gauges carried from the sweeps: per-method apply seconds
-        # (table4), serve-layer quantiles (ext_serve), and catalog
-        # hot-swap counters (serve.catalog.*). Names ending in `_secs`
-        # (or the method_apply latencies) are durations; the rest are
-        # counts — devices, versions, swaps.
+        # (table4), serve-layer quantiles (ext_serve), catalog hot-swap
+        # counters (serve.catalog.*), and traffic-replay measurements
+        # (loadgen.*, ext_loadgen). Names ending in `_secs` (or the
+        # method_apply latencies) are durations; the rest are counts and
+        # rates — devices, versions, swaps, requests/s, cache-hit ratio.
         gauges = {
             name: value
             for name, value in entry.items()
-            if name.startswith("method_apply.") or name.startswith("serve.")
+            if name.startswith("method_apply.")
+            or name.startswith("serve.")
+            or name.startswith("loadgen.")
         }
         for name in sorted(gauges):
             if name.endswith("_secs") or name.startswith("method_apply."):

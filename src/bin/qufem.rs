@@ -18,6 +18,7 @@
 //!        [--measured 0,1,2] [--method m3] [--device ibmq-a] [--version 2]
 //! qufem client       --addr HOST:PORT --status | --shutdown
 //! qufem client       --addr HOST:PORT --metrics [--text] | --trace
+//! qufem loadgen      <scenario.toml> [--out report.json] [--telemetry run.json]
 //! ```
 //!
 //! `calibrate --device` without `--params` runs the full pipeline —
@@ -71,7 +72,9 @@ fn usage() -> ! {
          qufem client --addr <host:port> --input <dist.json> --out <out.json> \
          [--measured 0,1,2] [--method M] [--device ID] [--version V]\n  \
          qufem client --addr <host:port> --status | --shutdown\n  \
-         qufem client --addr <host:port> --metrics [--text] | --trace\n\n\
+         qufem client --addr <host:port> --metrics [--text] | --trace\n  \
+         qufem loadgen <scenario.toml> [--out <report.json>] [--telemetry <run.json>] \
+         (deterministic traffic replay; scenarios/ has checked-in mixes)\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>\n\
          methods: qufem, ibu, m3, ctmp, qbeep"
     );
@@ -177,6 +180,16 @@ fn config_from_flags(
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else { usage() };
+    // `loadgen` takes its scenario file as a positional argument; peel it
+    // off before flag parsing, which accepts only `--flag` forms.
+    let (positional, rest) = if command == "loadgen" {
+        match rest.split_first() {
+            Some((p, tail)) if !p.starts_with("--") => (Some(p.clone()), tail),
+            _ => (None, rest),
+        }
+    } else {
+        (None, rest)
+    };
     let (flags, switches) = parse_flags(rest);
     let get = |name: &str| flags.get(name).cloned();
     let require = |name: &str| -> String {
@@ -508,6 +521,47 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     result.support_len(),
                     products
                 );
+            }
+        }
+        "loadgen" => {
+            let telemetry = telemetry_setup(&flags, "loadgen", seed);
+            let scenario_path = positional.or_else(|| get("scenario")).unwrap_or_else(|| {
+                eprintln!("loadgen needs a scenario file (positional or --scenario)");
+                usage();
+            });
+            let scenario = qufem::loadgen::Scenario::load(std::path::Path::new(&scenario_path))?;
+            eprintln!(
+                "replaying scenario {:?}: {} requests ({} rounds x {} clients), \
+                 {} tenant(s), {} device(s)",
+                scenario.name,
+                scenario.total_requests(),
+                scenario.rounds,
+                scenario.clients,
+                scenario.tenants.len(),
+                scenario.devices.len(),
+            );
+            let report = qufem::loadgen::run_scenario(&scenario)?;
+            let json = report.to_json_pretty();
+            match get("out") {
+                Some(out) => {
+                    std::fs::write(&out, &json)?;
+                    eprintln!(
+                        "report written to {out} (determinism digest {})",
+                        report.determinism_digest()
+                    );
+                }
+                None => print!("{json}"),
+            }
+            if let Some(path) = telemetry {
+                telemetry_finish(&path)?;
+            }
+            // Replays are a regression gate: error frames or non-monotone
+            // version echoes fail the command after the report is written.
+            if report.errors > 0 {
+                return Err(format!("{} error frame(s) — see the report", report.errors).into());
+            }
+            if !report.version_echoes_monotone {
+                return Err("version echoes were not monotone".into());
             }
         }
         "inspect" => {

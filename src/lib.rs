@@ -89,6 +89,11 @@ pub mod metrics {
     pub use qufem_metrics::*;
 }
 
+/// Deterministic traffic replay for the serving stack (DESIGN §4.16).
+pub mod loadgen {
+    pub use qufem_loadgen::*;
+}
+
 /// TCP JSON-lines calibration service (server + client).
 pub mod serve {
     pub use qufem_serve::*;

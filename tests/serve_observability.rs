@@ -459,3 +459,92 @@ fn unknown_devices_and_versions_are_rejected_and_counted() {
 
     server.shutdown_and_join();
 }
+
+#[test]
+fn rejected_admits_leave_catalog_and_caches_untouched_under_traffic() {
+    let (device, qufem) = characterized();
+    let lineage = qufem::SnapshotLineage {
+        device_id: "default".to_string(),
+        version: 0,
+        parent_version: None,
+        created_seq: 0,
+    };
+    // A corrupt recalibration: a record whose distribution width disagrees
+    // with its circuit, which `import_versioned` must reject.
+    let mut corrupt = qufem.export_versioned(&lineage);
+    {
+        let record = &mut corrupt.iterations[0].records[0];
+        record.dist = ProbDist::point_mass(qufem::BitString::zeros(
+            record.circuit.measured_qubits().len() + 1,
+        ));
+    }
+    // A width-mismatched recalibration: a 3-qubit snapshot aimed at the
+    // 7-qubit default device.
+    let narrow_device = presets::scale_grid(3, 1);
+    let narrow_config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(300).seed(9).build().unwrap();
+    let narrow =
+        QuFem::characterize(&narrow_device, narrow_config).unwrap().export_versioned(&lineage);
+
+    let device = std::sync::Arc::new(device);
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Warm the single plan the traffic uses, then freeze the baseline the
+    // failed admits must not disturb.
+    {
+        let mut warm = Client::connect(addr).unwrap();
+        let dist = noisy_input(&device, &[0, 1, 2], 77);
+        assert!(warm.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap().ok);
+    }
+    let mut probe = Client::connect(addr).unwrap();
+    let baseline = probe.request(&Request::metrics()).unwrap().metrics.unwrap();
+    assert_eq!(baseline.swaps, 0);
+    assert_eq!(baseline.plan_cache_len, 1);
+
+    // Live traffic on the warmed plan while both bad admits are attempted.
+    const CLIENTS: usize = 2;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(CLIENTS + 1));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let device = std::sync::Arc::clone(&device);
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                for r in 0..6u64 {
+                    let dist = noisy_input(&device, &[0, 1, 2], (c as u64) << 16 | r);
+                    let response =
+                        client.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap();
+                    assert!(response.ok, "traffic failed during admits: {:?}", response.error);
+                    assert_eq!(response.device.as_deref(), Some("default"));
+                    assert_eq!(response.version, Some(0), "failed admit must not bump the head");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+
+    let response = probe.request(&Request::admit(narrow).with_device("default")).unwrap();
+    assert!(!response.ok, "width-mismatched admit must be rejected");
+    assert!(response.error.as_deref().unwrap_or("").contains("qubits"), "{response:?}");
+
+    let response = probe.request(&Request::admit(corrupt).with_device("default")).unwrap();
+    assert!(!response.ok, "corrupt admit must be rejected");
+
+    for w in workers {
+        w.join().expect("traffic thread");
+    }
+
+    // The catalog, plan cache, and swap counter are exactly as before.
+    let metrics = probe.request(&Request::metrics()).unwrap().metrics.unwrap();
+    assert_eq!(metrics.swaps, baseline.swaps, "rejected admits must not count as swaps");
+    assert_eq!(metrics.plan_cache_len, baseline.plan_cache_len, "plan cache grew");
+    let status = probe.request(&Request::status()).unwrap().status.unwrap();
+    assert_eq!(status.devices.len(), 1);
+    assert_eq!(status.devices[0].device, "default");
+    assert_eq!(status.devices[0].head_version, 0, "head moved after rejected admits");
+    assert_eq!(status.devices[0].versions, vec![0], "a rejected admit left a version behind");
+
+    server.shutdown_and_join();
+}
