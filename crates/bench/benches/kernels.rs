@@ -145,6 +145,40 @@ fn bench_plan_execute(c: &mut Criterion) {
     }
 }
 
+/// The zero-allocation apply hot path at the paper's large scale: a warmed
+/// [`ExecArena`] running the plan chain in place (`arena`, sequential) and
+/// over the persistent shard pool (`pooled`). Comparable against the
+/// `engine_136q/execute-*` rows above, which pay per-call buffer setup.
+fn bench_apply_hot_path(c: &mut Criterion) {
+    use qufem_core::ExecArena;
+    use std::sync::Arc;
+    const BETA: f64 = 1e-3;
+    let w = engine_workload(136, 200);
+    let plans = vec![Arc::new(IterationPlan::build(&w.positions, &w.groups, BETA))];
+    let input = SupportIndex::from_dist(&w.dist);
+
+    let mut group = c.benchmark_group("apply_136q");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("arena"), |b| {
+        let mut arena = ExecArena::with_shards(1);
+        arena.run_chain(&plans, &input, 1); // warm the buffers out of the measurement
+        b.iter(|| {
+            arena.run_chain(&plans, &input, 1);
+            arena.out().len()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("pooled"), |b| {
+        let threads = engine::configured_threads().max(4);
+        let mut arena = ExecArena::with_shards(threads);
+        arena.run_chain(&plans, &input, threads);
+        b.iter(|| {
+            arena.run_chain(&plans, &input, threads);
+            arena.out().len()
+        });
+    });
+    group.finish();
+}
+
 /// The characterization→prepare pipeline, sequential vs fanned out. Both
 /// legs are bit-identical by construction (record-and-replay merge), so
 /// this measures pure scheduling overhead vs speedup.
@@ -330,7 +364,8 @@ fn bench_statevector(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_lu, bench_engine, bench_plan_execute, bench_characterize_prepare,
+    targets = bench_lu, bench_engine, bench_plan_execute, bench_apply_hot_path,
+        bench_characterize_prepare,
         bench_matrix_generation, bench_partition,
         bench_interaction_table, bench_bitstring_ops, bench_device_sampling,
         bench_golden_matrix, bench_simplex_projection, bench_statevector

@@ -12,6 +12,12 @@ use qufem_bench::report::Table;
 use qufem_bench::{experiments, RunOptions};
 use serde::Value;
 
+// Counting global allocator so the ext_apply_alloc experiment can attribute
+// heap traffic per apply call; counting is a few relaxed atomic ops per
+// allocation, negligible against the workloads measured here.
+#[global_allocator]
+static ALLOC: qufem_testsupport::CountingAlloc = qufem_testsupport::CountingAlloc;
+
 /// An experiment entry point.
 type Runner = fn(&RunOptions) -> Vec<Table>;
 
@@ -45,6 +51,7 @@ fn main() {
         ("ext_adaption_ablation", experiments::ext_adaption::run),
         ("ext_correlated_noise", experiments::ext_correlated::run),
         ("ext_serve_throughput", experiments::ext_serve::run),
+        ("ext_apply_alloc", experiments::ext_apply::run),
         ("ext_loadgen", experiments::ext_loadgen::run),
         ("ext_parallel_scaling", experiments::ext_parallel::run),
     ];
@@ -114,6 +121,7 @@ fn main() {
             .iter()
             .filter(|(name, _)| {
                 name.starts_with("method_apply.")
+                    || name.starts_with("apply_alloc.")
                     || name.starts_with("serve.catalog.")
                     || (name.starts_with("serve.") && name.ends_with("_secs"))
                     || name.starts_with("loadgen.")

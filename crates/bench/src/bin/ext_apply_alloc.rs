@@ -1,0 +1,15 @@
+//! Binary running the beyond-paper apply hot-path latency/allocation
+//! experiment.
+use qufem_bench::{experiments, RunOptions};
+
+// Counting global allocator: lets the experiment report allocations per
+// apply call (see `qufem_testsupport`).
+#[global_allocator]
+static ALLOC: qufem_testsupport::CountingAlloc = qufem_testsupport::CountingAlloc;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    for table in experiments::ext_apply::run(&opts) {
+        table.emit(&opts.out_dir, "ext_apply_alloc").expect("write results");
+    }
+}

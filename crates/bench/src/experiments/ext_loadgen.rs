@@ -16,7 +16,8 @@ use std::path::Path;
 
 /// The checked-in scenarios, smallest first.
 const SCENARIOS: &[&str] =
-    ["steady-mix", "bursty", "cold-start", "drift-swap", "multi-device-fanout"].as_slice();
+    ["steady-mix", "bursty", "cold-start", "drift-swap", "multi-device-fanout", "large-steady"]
+        .as_slice();
 
 /// Replays the checked-in scenarios and tabulates their reports.
 pub fn run(opts: &RunOptions) -> Vec<Table> {

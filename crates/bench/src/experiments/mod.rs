@@ -5,6 +5,7 @@
 //! printed and archived under `results/`.
 
 pub mod ext_adaption;
+pub mod ext_apply;
 pub mod ext_correlated;
 pub mod ext_loadgen;
 pub mod ext_parallel;

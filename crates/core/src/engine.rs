@@ -104,6 +104,20 @@ impl EngineStats {
         self.peak_output_support = self.peak_output_support.max(other.peak_output_support);
     }
 
+    /// Returns the stats to their freshly-constructed state (all counters
+    /// zero, no per-level history) while keeping `kept_per_level`'s buffer
+    /// capacity — the arena reuse primitive. A reset-then-merged stats
+    /// object compares equal (`PartialEq`, length included) to one built
+    /// from `EngineStats::default()`.
+    pub fn reset(&mut self) {
+        self.products = 0;
+        self.pruned = 0;
+        self.accumulated = 0;
+        self.passthrough = 0;
+        self.kept_per_level.clear();
+        self.peak_output_support = 0;
+    }
+
     /// Publishes these counters into a telemetry sink under the `engine.`
     /// namespace; per-level survivor counts become `engine.kept_level.NNN`
     /// counters (zero-padded so prefix queries return them in chain order).
@@ -277,13 +291,13 @@ impl IterationPlan {
 /// Where the chain walk deposits completed products. [`execute`] wires this
 /// to a [`SupportIndex`] directly; [`execute_sharded`] records the emission
 /// stream for an order-preserving replay at merge time.
-trait EmitSink {
+pub(crate) trait EmitSink {
     fn emit(&mut self, words: &[u64], value: f64);
 }
 
 /// Accumulates straight into the output index (sequential path).
-struct DirectSink<'a> {
-    out: &'a mut SupportIndex,
+pub(crate) struct DirectSink<'a> {
+    pub(crate) out: &'a mut SupportIndex,
 }
 
 impl EmitSink for DirectSink<'_> {
@@ -296,9 +310,27 @@ impl EmitSink for DirectSink<'_> {
 /// Records the uncombined emission stream: keys interned into a shard-local
 /// index (ids in first-emission order), values kept per emission. The merge
 /// replays them in shard order, reproducing the sequential fold exactly.
-struct RecordSink {
-    keys: SupportIndex,
-    emissions: Vec<(u32, f64)>,
+#[derive(Debug)]
+pub(crate) struct RecordSink {
+    pub(crate) keys: SupportIndex,
+    pub(crate) emissions: Vec<(u32, f64)>,
+}
+
+impl RecordSink {
+    pub(crate) fn new(width: usize) -> Self {
+        RecordSink { keys: SupportIndex::new(width), emissions: Vec::new() }
+    }
+
+    /// Empties the sink for a new recording pass over `width`-bit keys,
+    /// keeping both buffers' capacity (allocation-free reuse).
+    pub(crate) fn clear(&mut self, width: usize) {
+        self.keys.reset(width);
+        self.emissions.clear();
+    }
+
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.keys.heap_bytes() + self.emissions.capacity() * std::mem::size_of::<(u32, f64)>()
+    }
 }
 
 impl EmitSink for RecordSink {
@@ -398,8 +430,18 @@ fn chain<S: EmitSink>(
     }
 }
 
-/// [`chain`] without the gather buffer, for groups wider than
-/// [`CHAIN_GATHER`] outcomes. Same order, same floats, same counters.
+/// [`chain`] for groups wider than [`CHAIN_GATHER`] outcomes. Same order,
+/// same floats, same counters.
+///
+/// The `M⁻¹` column is walked in [`CHAIN_GATHER`]-wide slabs — eight `f64`
+/// factors, one 64-byte cache line. Each slab runs the same branch-light
+/// gather pass as [`chain`] (unconditional stores, prune decisions folded
+/// into a survivor bitmask), then descends into its survivors in ascending
+/// `z` order before the next line is touched, so the factor loads for a
+/// slab hit a single resident line instead of interleaving with the
+/// deep-recursion working set. A `std::simd` gather/compare inner loop
+/// would drop in here per slab, but portable SIMD is nightly-only and this
+/// crate builds on stable — revisit if that changes.
 #[cold]
 #[allow(clippy::too_many_arguments)]
 fn chain_spill<S: EmitSink>(
@@ -415,17 +457,30 @@ fn chain_spill<S: EmitSink>(
     let group = &plan.groups[level];
     let x = sub_indices[level];
     let column = &group.columns[x * group.dim..(x + 1) * group.dim];
+    let beta = plan.beta;
+    let scaled_floor = plan.scaled_floor;
+    let mut vals = [0.0f64; CHAIN_GATHER];
     let mut kept_sum = 0.0;
-    for (z, &factor) in column.iter().enumerate() {
-        let v = value * factor;
-        stats.products += 1;
-        if v == 0.0 || v.abs() < plan.beta || (input_prob * v).abs() < plan.scaled_floor {
-            stats.pruned += 1;
-            continue;
+    for (slab, factors) in column.chunks(CHAIN_GATHER).enumerate() {
+        let base = slab * CHAIN_GATHER;
+        let mut mask = 0u32;
+        for (k, &factor) in factors.iter().enumerate() {
+            let v = value * factor;
+            let keep = !(v == 0.0 || v.abs() < beta || (input_prob * v).abs() < scaled_floor);
+            vals[k] = v;
+            mask |= (keep as u32) << k;
         }
-        stats.kept_per_level[level] += 1;
-        group.write_outcome(z, scratch);
-        kept_sum += chain(plan, level + 1, v, input_prob, scratch, sub_indices, stats, sink);
+        let n_kept = mask.count_ones() as usize;
+        stats.products += factors.len() as u64;
+        stats.pruned += (factors.len() - n_kept) as u64;
+        stats.kept_per_level[level] += n_kept as u64;
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            group.write_outcome(base + k, scratch);
+            kept_sum +=
+                chain(plan, level + 1, vals[k], input_prob, scratch, sub_indices, stats, sink);
+        }
     }
     kept_sum
 }
@@ -435,7 +490,7 @@ fn chain_spill<S: EmitSink>(
 /// sub-β strings, expand the rest, compensate the pruned deficit — is the
 /// engine's contract; both the sequential and the sharded path go through
 /// here.
-fn run_range<S: EmitSink>(
+pub(crate) fn run_range<S: EmitSink>(
     plan: &IterationPlan,
     input: &SupportIndex,
     lo: usize,
@@ -443,11 +498,46 @@ fn run_range<S: EmitSink>(
     stats: &mut EngineStats,
     sink: &mut S,
 ) {
+    // The key-scratch and sub-index buffers live in a thread-local arena:
+    // caller threads and pool workers alike pay the allocation once per
+    // thread (and once more per growth to a wider plan), never per call.
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let ScratchBuf { scratch, sub_indices } = &mut *buf;
+        scratch.clear();
+        scratch.resize(input.words_per_key(), 0);
+        sub_indices.clear();
+        sub_indices.resize(plan.groups.len(), 0);
+        run_entries(plan, input, lo, hi, stats, sink, scratch, sub_indices);
+    });
+}
+
+/// Per-thread reusable buffers for [`run_range`]: the packed-key scratch the
+/// chain walk scatters outcomes into, and the per-group input sub-indices.
+struct ScratchBuf {
+    scratch: Vec<u64>,
+    sub_indices: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<ScratchBuf> =
+        const { std::cell::RefCell::new(ScratchBuf { scratch: Vec::new(), sub_indices: Vec::new() }) };
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_entries<S: EmitSink>(
+    plan: &IterationPlan,
+    input: &SupportIndex,
+    lo: usize,
+    hi: usize,
+    stats: &mut EngineStats,
+    sink: &mut S,
+    scratch: &mut [u64],
+    sub_indices: &mut [usize],
+) {
     if stats.kept_per_level.len() < plan.groups.len() {
         stats.kept_per_level.resize(plan.groups.len(), 0);
     }
-    let mut scratch = vec![0u64; input.words_per_key()];
-    let mut sub_indices = vec![0usize; plan.groups.len()];
     for id in lo..hi {
         let p = input.value(id as u32);
         if p == 0.0 {
@@ -469,7 +559,7 @@ fn run_range<S: EmitSink>(
             sub_indices[j] = group.sub_index(words);
         }
         scratch.copy_from_slice(words);
-        let kept = chain(plan, 0, 1.0, p, &mut scratch, &sub_indices, stats, sink);
+        let kept = chain(plan, 0, 1.0, p, scratch, sub_indices, stats, sink);
         // Mass compensation: every column of M⁻¹ sums to exactly 1, so the
         // pruned branches of this string carried `1 − kept` of its mass.
         // Return the deficit to the string's own image, keeping calibration
@@ -502,15 +592,22 @@ pub fn execute(
 
 /// [`execute`] with deterministic intra-distribution parallelism.
 ///
-/// The input support is cut into `threads` contiguous shards. Each worker
-/// runs the same chain walk but *records* its emission stream (shard-local
+/// The input support is cut into `threads.min(n)` contiguous shards and the
+/// shards run on the process-wide persistent worker pool (see
+/// [`crate::arena`]) — no threads are spawned per call. Each worker runs
+/// the same chain walk but *records* its emission stream (shard-local
 /// interned ids + per-emission values) instead of accumulating. The serial
 /// merge then walks the shards in order, translating local ids to global
 /// ones (one hash probe per distinct key) and replaying `values[id] += v`
 /// per emission. Concatenating the shard streams in shard order reproduces
 /// the sequential emission order exactly, so every per-key float fold — and
 /// therefore every output bit and every [`EngineStats`] counter — is
-/// identical to [`execute`] for **any** thread count.
+/// identical to [`execute`] for **any** thread count and **any** pool size.
+///
+/// This entry point stages a fresh arena per call; callers on the hot path
+/// should hold a [`crate::ExecArena`] (see `PreparedCalibration::apply_arena`)
+/// and reuse it, which makes the whole iteration allocation-free in steady
+/// state.
 pub fn execute_sharded(
     plan: &IterationPlan,
     input: &SupportIndex,
@@ -522,43 +619,13 @@ pub fn execute_sharded(
         return execute(plan, input, stats);
     }
     let shards = threads.min(n);
-    let chunk = n.div_ceil(shards);
-    let results: Vec<(RecordSink, EngineStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|s| {
-                let lo = s * chunk;
-                let hi = ((s + 1) * chunk).min(n);
-                scope.spawn(move |_| {
-                    let mut local_stats = EngineStats::default();
-                    let mut sink = RecordSink {
-                        keys: SupportIndex::with_capacity(plan.width, hi - lo),
-                        emissions: Vec::new(),
-                    };
-                    run_range(plan, input, lo, hi, &mut local_stats, &mut sink);
-                    (sink, local_stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("engine shard panicked")).collect()
-    })
-    .expect("engine shard scope never panics");
-    qufem_telemetry::counter_add("engine.shards", shards as u64);
-
-    let mut out = SupportIndex::with_capacity(plan.width, n);
-    let mut translate: Vec<u32> = Vec::new();
-    for (sink, local_stats) in results {
-        stats.merge(&local_stats);
-        translate.clear();
-        translate.reserve(sink.keys.len());
-        for id in 0..sink.keys.len() as u32 {
-            translate.push(out.intern(sink.keys.key_words(id)));
-        }
-        for (local_id, value) in sink.emissions {
-            out.accumulate_id(translate[local_id as usize], value);
-        }
-    }
-    stats.peak_output_support = stats.peak_output_support.max(out.len());
-    out
+    let mut arena = crate::arena::ExecArena::with_shards(shards);
+    arena.stage(input);
+    let plan = std::sync::Arc::new(plan.clone());
+    arena.run_pooled(&plan, shards);
+    stats.merge(arena.local_stats());
+    stats.peak_output_support = stats.peak_output_support.max(arena.out_len());
+    arena.take_out()
 }
 
 pub use crate::parallel::configured_threads;

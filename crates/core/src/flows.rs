@@ -1,6 +1,7 @@
 //! The characterization flow (Algorithm 1) and calibration flow
 //! (Algorithm 2) of the paper, packaged as the [`QuFem`] type.
 
+use crate::arena::{ArenaPool, ExecArena};
 use crate::benchgen::{self, BenchGenReport};
 use crate::config::QuFemConfig;
 use crate::engine::{self, EngineStats, IterationPlan};
@@ -396,9 +397,14 @@ impl QuFem {
                 self.config.joint_group_estimation,
                 inner,
             )?;
-            Ok(IterationPlan::build(&positions, &groups, self.config.beta))
+            Ok(Arc::new(IterationPlan::build(&positions, &groups, self.config.beta)))
         })?;
-        Ok(PreparedCalibration { width: positions.len(), plans })
+        // Seed the arena pool at prepare time so the first apply starts from
+        // a sized arena (and `engine.arena_bytes` lands in the prepare-phase
+        // telemetry manifest, not mid-serving).
+        let arenas = Arc::new(ArenaPool::default());
+        arenas.put_back(ExecArena::with_shards(parallel::configured_threads()));
+        Ok(PreparedCalibration { width: positions.len(), plans, arenas })
     }
 
     /// The memo cap currently in force for [`QuFem::prepared`].
@@ -613,10 +619,17 @@ pub fn calibrate_once(device: &Device, config: QuFemConfig, dist: &ProbDist) -> 
 /// (see [`QuFem::prepare`]): group matrices, bit extraction masks, and
 /// pruning thresholds, shared read-only across every distribution
 /// calibrated against them.
+///
+/// Every apply entry point runs through a pool of warmed [`ExecArena`]s
+/// (shared across clones), so steady-state calibration performs no engine
+/// heap allocations — only the `ProbDist` boundary conversions allocate.
+/// Callers that keep their data indexed can use
+/// [`PreparedCalibration::apply_arena`] and skip those too.
 #[derive(Debug, Clone)]
 pub struct PreparedCalibration {
     width: usize,
-    plans: Vec<IterationPlan>,
+    plans: Vec<Arc<IterationPlan>>,
+    arenas: Arc<ArenaPool>,
 }
 
 impl PreparedCalibration {
@@ -666,10 +679,11 @@ impl PreparedCalibration {
         self.apply_indexed(dist, threads, stats)
     }
 
-    /// Shared implementation: index once, chain the per-iteration plans
-    /// (re-sorting between iterations so each execute consumes canonically
-    /// ordered input — the float-reproducibility contract), convert back
-    /// once.
+    /// Shared implementation: index once, run the plan chain on a pooled
+    /// [`ExecArena`] (re-canonicalizing between iterations so each execute
+    /// consumes sorted input — the float-reproducibility contract), convert
+    /// back once. All engine buffers come from the arena pool, so repeat
+    /// calls allocate only at the `ProbDist` boundary.
     fn apply_indexed(
         &self,
         dist: &ProbDist,
@@ -678,21 +692,51 @@ impl PreparedCalibration {
     ) -> Result<ProbDist> {
         dist.check_width(self.width)?;
         let _span = qufem_telemetry::span!("calibrate", "QuFEM");
-        let mut current = SupportIndex::from_dist(dist);
-        let mut local = EngineStats::default();
-        for (i, plan) in self.plans.iter().enumerate() {
-            if i > 0 {
-                current.sort();
-            }
-            current = if threads > 1 {
-                engine::execute_sharded(plan, &current, threads, &mut local)
-            } else {
-                engine::execute(plan, &current, &mut local)
-            };
+        let input = SupportIndex::from_dist(dist);
+        let mut arena = self.arenas.checkout(threads.max(1));
+        arena.run_chain(&self.plans, &input, threads);
+        arena.local_stats().publish_to(&qufem_telemetry::GlobalSink);
+        stats.merge(arena.local_stats());
+        let out = arena.out().to_dist();
+        self.arenas.put_back(arena);
+        Ok(out)
+    }
+
+    /// The fully zero-allocation apply path: calibrates an already-indexed
+    /// support (canonical sorted order, as produced by
+    /// [`SupportIndex::from_dist`]) through a caller-held [`ExecArena`],
+    /// returning a borrow of the arena's output index. After a warm-up call
+    /// with a representative input, repeat calls perform **zero heap
+    /// allocations** — `crates/core/tests/apply_zero_alloc.rs` pins this.
+    ///
+    /// Bit-identical to [`PreparedCalibration::apply_sharded`] at the same
+    /// `threads` (which is itself bit-identical to the sequential path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the input width differs from the
+    /// measured set size.
+    pub fn apply_arena<'a>(
+        &self,
+        input: &SupportIndex,
+        threads: usize,
+        stats: &mut EngineStats,
+        arena: &'a mut ExecArena,
+    ) -> Result<&'a SupportIndex> {
+        if input.width() != self.width {
+            return Err(Error::WidthMismatch { expected: self.width, actual: input.width() });
         }
-        local.publish_to(&qufem_telemetry::GlobalSink);
-        stats.merge(&local);
-        Ok(current.to_dist())
+        let _span = qufem_telemetry::span!("calibrate", "QuFEM");
+        arena.run_chain(&self.plans, input, threads);
+        arena.local_stats().publish_to(&qufem_telemetry::GlobalSink);
+        stats.merge(arena.local_stats());
+        Ok(arena.out())
+    }
+
+    /// Creates an arena sized for this calibration's configured parallelism,
+    /// for use with [`PreparedCalibration::apply_arena`].
+    pub fn new_arena(&self) -> ExecArena {
+        ExecArena::with_shards(parallel::configured_threads())
     }
 
     /// Calibrates a batch of distributions in parallel with scoped threads.
@@ -750,12 +794,12 @@ impl PreparedCalibration {
 
     /// Total number of group matrices across iterations.
     pub fn n_matrices(&self) -> usize {
-        self.plans.iter().map(IterationPlan::n_groups).sum()
+        self.plans.iter().map(|p| p.n_groups()).sum()
     }
 
     /// Approximate heap usage in bytes (Table 5 memory accounting).
     pub fn heap_bytes(&self) -> usize {
-        self.plans.iter().map(IterationPlan::heap_bytes).sum()
+        self.plans.iter().map(|p| p.heap_bytes()).sum()
     }
 }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod benchgen;
 mod config;
 pub mod digest;
@@ -61,6 +62,7 @@ mod persist;
 mod snapshot;
 mod version;
 
+pub use arena::ExecArena;
 pub use config::{QuFemConfig, QuFemConfigBuilder};
 pub use digest::{digest_bytes, digest_hex, digest_prob_dist, digest_str, Digest64};
 pub use engine::{configured_threads, execute, execute_sharded, EngineStats, IterationPlan};

@@ -19,12 +19,15 @@
 
 /// The pipeline's thread count: `QUFEM_THREADS` when set (values below 1 or
 /// unparsable fall back to 1), otherwise the machine's available
-/// parallelism.
+/// parallelism. Resolved once per process and memoized — the environment
+/// lookup and `available_parallelism` probe both allocate, and this is
+/// called on the zero-allocation apply hot path.
 pub fn configured_threads() -> usize {
-    match std::env::var("QUFEM_THREADS") {
+    static CONFIGURED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CONFIGURED.get_or_init(|| match std::env::var("QUFEM_THREADS") {
         Ok(v) => v.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1),
         Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    }
+    })
 }
 
 /// Splits `threads` over an outer fan-out of `outer_items` work items,
@@ -127,9 +130,80 @@ where
     Ok(out)
 }
 
+/// A bounded multi-producer/multi-consumer job queue for long-lived worker
+/// threads (the persistent shard pool in [`crate::arena`]).
+///
+/// Plain `Mutex<VecDeque>` + two condvars — the vendored `crossbeam` shim
+/// carries no channels and the workspace forbids unsafe code, so a lock-free
+/// ring is off the table; at shard-pool job granularity (one job per shard
+/// per iteration) the lock is nowhere near contention. Neither `push` nor
+/// `pop` allocates once the deque has reached its working capacity, and
+/// poisoned locks are recovered rather than propagated so a panicking job
+/// can never wedge the queue.
+#[derive(Debug)]
+pub(crate) struct WorkQueue<J> {
+    jobs: std::sync::Mutex<std::collections::VecDeque<J>>,
+    not_empty: std::sync::Condvar,
+    not_full: std::sync::Condvar,
+    capacity: usize,
+}
+
+impl<J> WorkQueue<J> {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        WorkQueue {
+            jobs: std::sync::Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+            not_empty: std::sync::Condvar::new(),
+            not_full: std::sync::Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `job`, blocking while the queue is at capacity.
+    pub(crate) fn push(&self, job: J) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while jobs.len() >= self.capacity {
+            jobs = self.not_full.wait(jobs).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the oldest job, blocking while the queue is empty.
+    pub(crate) fn pop(&self) -> J {
+        let mut jobs = self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                drop(jobs);
+                self.not_full.notify_one();
+                return job;
+            }
+            jobs = self.not_empty.wait(jobs).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn work_queue_is_fifo_across_threads() {
+        let queue = std::sync::Arc::new(WorkQueue::with_capacity(4));
+        let producer = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    queue.push(i);
+                }
+            })
+        };
+        let got: Vec<u32> = (0..100).map(|_| queue.pop()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
 
     #[test]
     fn map_preserves_input_order_at_any_thread_count() {

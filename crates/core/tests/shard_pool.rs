@@ -1,0 +1,165 @@
+//! Pins the persistent shard pool's two contracts:
+//!
+//! 1. **Invisibility** — calibrating through the pool (`apply_sharded`,
+//!    `apply_arena`) is bit-identical to the sequential path *and* to the
+//!    pre-refactor `engine::reference` implementation chained over the
+//!    prepared iterations, at thread counts that don't divide the support,
+//!    exceed it, and degenerate to one. Merged `EngineStats` must match
+//!    field-for-field.
+//! 2. **Survival** — a panic inside a pool worker surfaces to the caller
+//!    exactly like the sequential path's panic would, and the long-lived
+//!    workers keep serving jobs afterwards: the next valid pooled call
+//!    still bit-matches the sequential result.
+
+use qufem_core::engine::{self, reference, EngineStats, IterationPlan};
+use qufem_core::{build_group_matrices_with, QuFem, QuFemConfig};
+use qufem_types::{BitString, ProbDist, QubitSet, SupportIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn fast_config() -> QuFemConfig {
+    QuFemConfig::builder().characterization_threshold(5e-4).shots(500).seed(9).build().unwrap()
+}
+
+/// Random quasi-distribution: positive bulk, sub-β dust, and exact zeros,
+/// so pruning, passthrough, and accumulation paths all fire.
+fn random_dist(n: usize, support: usize, rng: &mut ChaCha8Rng) -> ProbDist {
+    let mut dist = ProbDist::new(n);
+    for _ in 0..support {
+        let key = BitString::from_index(rng.gen_range(0..(1usize << n)), n).unwrap();
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let value = if roll < 0.1 {
+            0.0
+        } else if roll < 0.25 {
+            rng.gen_range(1e-9..1e-6)
+        } else {
+            rng.gen_range(0.0..1.0)
+        };
+        dist.set(key, value);
+    }
+    dist
+}
+
+fn assert_dist_bits_equal(a: &ProbDist, b: &ProbDist, context: &str) {
+    assert_eq!(a.support_len(), b.support_len(), "support diverges: {context}");
+    for (k, v) in a.iter() {
+        assert_eq!(b.prob(k).to_bits(), v.to_bits(), "entry {k} diverges: {context}");
+    }
+}
+
+#[test]
+fn pooled_apply_matches_sequential_and_reference_chain() {
+    let device = qufem_device::presets::ibmq_7(3);
+    let qufem = QuFem::characterize(&device, fast_config()).unwrap();
+    let measured = QubitSet::full(7);
+    let prepared = qufem.prepare(&measured).unwrap();
+    let positions: Vec<usize> = measured.iter().collect();
+    let beta = qufem.config().beta;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5A4D);
+    for round in 0..4u64 {
+        let noisy = random_dist(7, rng.gen_range(6usize..=48), &mut rng);
+
+        // Pre-refactor ground truth: fold the reference engine over the
+        // per-iteration group matrices the prepared plans were built from.
+        let mut ref_stats = EngineStats::default();
+        let mut ref_out = noisy.clone();
+        for params in qufem.iterations() {
+            let gms = build_group_matrices_with(
+                params.snapshot(),
+                params.grouping(),
+                &measured,
+                qufem.config().joint_group_estimation,
+            )
+            .unwrap();
+            ref_out = reference::apply_iteration(&ref_out, &positions, &gms, beta, &mut ref_stats);
+        }
+
+        let mut seq_stats = EngineStats::default();
+        let sequential = prepared.apply_with_stats(&noisy, &mut seq_stats).unwrap();
+        assert_eq!(seq_stats, ref_stats, "round {round}: stats diverge from reference");
+        assert_dist_bits_equal(&sequential, &ref_out, &format!("round {round}: vs reference"));
+
+        let input = SupportIndex::from_dist(&noisy);
+        let mut arena = prepared.new_arena();
+        for threads in [1usize, 2, 7, 16] {
+            let context = format!("round {round}, {threads} threads");
+            let mut stats = EngineStats::default();
+            let pooled = prepared.apply_sharded(&noisy, threads, &mut stats).unwrap();
+            assert_eq!(stats, seq_stats, "apply_sharded stats diverge: {context}");
+            assert_dist_bits_equal(&pooled, &sequential, &format!("apply_sharded: {context}"));
+
+            let mut stats = EngineStats::default();
+            let out = prepared.apply_arena(&input, threads, &mut stats, &mut arena).unwrap();
+            assert_eq!(stats, seq_stats, "apply_arena stats diverge: {context}");
+            assert_dist_bits_equal(&out.to_dist(), &sequential, &format!("apply_arena: {context}"));
+        }
+    }
+}
+
+/// Builds a plan whose keys span two 64-bit words (70 qubits) — feeding it
+/// a one-word input makes every worker index past the key slice and panic.
+fn mismatched_plan() -> IterationPlan {
+    let n = 70usize;
+    let snap = qufem_core::BenchmarkSnapshot::new(n);
+    let grouping: Vec<QubitSet> =
+        (0..n / 2).map(|g| [2 * g, 2 * g + 1].into_iter().collect()).collect();
+    let gms = build_group_matrices_with(&snap, &grouping, &QubitSet::full(n), false).unwrap();
+    let positions: Vec<usize> = (0..n).collect();
+    IterationPlan::build(&positions, &gms, 1e-5)
+}
+
+#[test]
+fn worker_panic_surfaces_and_pool_survives() {
+    let bad_plan = mismatched_plan();
+    // Width-7 keys: one word per key, while the plan extracts from two.
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let narrow = random_dist(7, 12, &mut rng);
+    let narrow_index = SupportIndex::from_dist(&narrow);
+
+    // The sequential executor panics on the width mismatch...
+    let seq_panic = catch_unwind(AssertUnwindSafe(|| {
+        let mut stats = EngineStats::default();
+        engine::execute(&bad_plan, &narrow_index, &mut stats)
+    }));
+    assert!(seq_panic.is_err(), "sequential path must reject the width mismatch");
+
+    // ...and the pooled executor surfaces the worker's panic the same way
+    // instead of hanging or poisoning the pool.
+    for _ in 0..3 {
+        let pooled_panic = catch_unwind(AssertUnwindSafe(|| {
+            let mut stats = EngineStats::default();
+            engine::execute_sharded(&bad_plan, &narrow_index, 4, &mut stats)
+        }));
+        assert!(pooled_panic.is_err(), "pooled path must surface the worker panic");
+    }
+
+    // The persistent workers are still alive: a valid pooled execution on
+    // the same process-wide pool remains bit-identical to sequential.
+    let n = 6usize;
+    let snap = qufem_core::BenchmarkSnapshot::new(n);
+    let grouping: Vec<QubitSet> = vec![
+        [0, 1].into_iter().collect(),
+        [2, 3].into_iter().collect(),
+        [4, 5].into_iter().collect(),
+    ];
+    let gms = build_group_matrices_with(&snap, &grouping, &QubitSet::full(n), false).unwrap();
+    let positions: Vec<usize> = (0..n).collect();
+    let good_plan = IterationPlan::build(&positions, &gms, 1e-5);
+    let dist = random_dist(n, 20, &mut rng);
+    let input = SupportIndex::from_dist(&dist);
+
+    let mut s_seq = EngineStats::default();
+    let seq = engine::execute(&good_plan, &input, &mut s_seq);
+    for threads in [2usize, 4, 16] {
+        let mut s_par = EngineStats::default();
+        let par = engine::execute_sharded(&good_plan, &input, threads, &mut s_par);
+        assert_eq!(s_par, s_seq, "stats diverge after worker panic at {threads} threads");
+        assert_eq!(par.len(), seq.len(), "support diverges after worker panic");
+        for id in 0..seq.len() as u32 {
+            assert_eq!(par.key_words(id), seq.key_words(id));
+            assert_eq!(par.value(id).to_bits(), seq.value(id).to_bits());
+        }
+    }
+}

@@ -4,53 +4,15 @@
 //! the histograms fold in place and the flight-recorder ring reuses its
 //! preallocated slots.
 //!
-//! This lives in an integration test because the library forbids unsafe code
-//! and a counting `#[global_allocator]` needs it.
+//! The counting allocator lives in `qufem-testsupport` (the library crates
+//! forbid unsafe code, a `#[global_allocator]` needs it); this test uses the
+//! **per-thread** counter because the request path runs entirely on the
+//! calling thread, which keeps concurrent test-harness allocations from
+//! polluting the measured window.
 
 use qufem_serve::{CacheOutcome, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+use qufem_testsupport::{counting_allocator_installed, thread_allocations, CountingAlloc};
 use std::sync::Arc;
-
-/// System allocator wrapper counting every allocation-path entry **on the
-/// current thread** — the request path runs entirely on the calling thread,
-/// and a per-thread count keeps concurrent test-harness allocations from
-/// polluting the measured window.
-struct CountingAlloc;
-
-thread_local! {
-    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
-}
-
-fn allocations() -> u64 {
-    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
-}
-
-fn count_one() {
-    // `try_with` so late allocations during thread teardown stay safe.
-    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        count_one();
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        count_one();
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        count_one();
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -77,6 +39,7 @@ fn steady_state_request(metrics: &ServeMetrics, key: &Arc<str>, device: &Arc<str
 #[test]
 fn steady_state_request_accounting_does_not_allocate() {
     qufem_telemetry::disable();
+    assert!(counting_allocator_installed(), "counting allocator is live");
     let metrics = ServeMetrics::new(64, Some(1_000_000_000), false);
     // First sight of a method or device interns its key (one-time
     // allocations); the per-request path below reuses the interned
@@ -88,11 +51,11 @@ fn steady_state_request_accounting_does_not_allocate() {
         steady_state_request(&metrics, &key, &device, i);
     }
 
-    let before = allocations();
+    let before = thread_allocations();
     for i in 0..10_000u64 {
         steady_state_request(&metrics, &key, &device, i);
     }
-    let after = allocations();
+    let after = thread_allocations();
     assert_eq!(after - before, 0, "request accounting must not touch the heap");
 
     // The loop really went through the full path.
@@ -102,9 +65,4 @@ fn steady_state_request_accounting_does_not_allocate() {
     assert_eq!(methods[0].1, 10_128);
     assert_eq!(metrics.device_stats(), vec![("ibmq-7".to_string(), 10_128)]);
     assert_eq!(metrics.flight_stats(), (64, 64));
-
-    // Sanity check that the counting allocator is live at all.
-    let probe = Box::new(41u64);
-    assert!(allocations() > after, "counting allocator is live");
-    assert_eq!(*probe + 1, 42);
 }

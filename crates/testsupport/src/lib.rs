@@ -1,0 +1,96 @@
+//! Shared test instrumentation for the workspace's zero-allocation proofs.
+//!
+//! Every library crate in this workspace carries `#![forbid(unsafe_code)]`,
+//! but a counting `#[global_allocator]` necessarily implements the unsafe
+//! [`GlobalAlloc`] trait — so the harness lives here, in a test-support
+//! crate with a single, auditable `unsafe impl`, and the integration tests
+//! install it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: qufem_testsupport::CountingAlloc = qufem_testsupport::CountingAlloc;
+//! ```
+//!
+//! Two counters are maintained on every allocation-path entry (`alloc`,
+//! `alloc_zeroed`, `realloc` — `dealloc` is free and not counted):
+//!
+//! * [`thread_allocations`] — a per-thread count. Right for single-threaded
+//!   hot paths (e.g. the serve request accounting), where it keeps
+//!   concurrent test-harness allocations from polluting the measured
+//!   window.
+//! * [`global_allocations`] — a process-wide count. Required when the
+//!   measured path fans work out to other threads (the engine's persistent
+//!   shard pool): an allocation on a pool worker must fail the proof even
+//!   though it happens off the measuring thread.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+static GLOBAL_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation-path entries observed on the **current thread** since it
+/// started. Subtract two readings to measure a window.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Allocation-path entries observed **process-wide** since startup.
+/// Subtract two readings to measure a window; with worker threads quiescent
+/// between the readings, the delta attributes every allocation in the
+/// window, whichever thread performed it.
+pub fn global_allocations() -> u64 {
+    GLOBAL_ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether a [`CountingAlloc`] is actually installed as the global
+/// allocator in this process: performs a probe allocation and checks the
+/// counters moved. Tests should assert this once so a proof cannot
+/// silently pass because the harness wasn't wired up.
+pub fn counting_allocator_installed() -> bool {
+    let before = global_allocations();
+    // `black_box` keeps release builds from eliding the paired
+    // allocation/free, which would fail the probe under optimization.
+    let probe = std::hint::black_box(Box::new(0xA110Cu64));
+    let moved = global_allocations() > before;
+    assert_eq!(*std::hint::black_box(probe), 0xA110C);
+    moved
+}
+
+fn count_one() {
+    // `try_with` so late allocations during thread teardown stay safe.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    GLOBAL_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// System allocator wrapper counting every allocation-path entry into the
+/// per-thread and process-wide counters. Install with
+/// `#[global_allocator]` in the test binary that measures.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

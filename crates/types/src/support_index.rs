@@ -14,7 +14,34 @@
 //! exact-zero entries), width, and every `f64` bit pattern are preserved.
 
 use crate::{BitString, ProbDist};
-use std::collections::HashMap;
+
+/// Sentinel marking an unoccupied slot of the open-addressing id table.
+/// Ids are capped strictly below it by [`SupportIndex::intern`].
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Deterministic 64-bit hash of a packed key (FNV-1a over the words with a
+/// SplitMix64 finisher so the low bits used by the power-of-two table mask
+/// are well mixed). Purely a probe-start function: interning order — and
+/// therefore every assigned id — is independent of it.
+#[inline]
+fn hash_words(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Table length (a power of two) comfortably holding `entries` ids at a
+/// load factor below 7/8.
+fn table_len_for(entries: usize) -> usize {
+    (entries.max(4) * 2).next_power_of_two()
+}
 
 /// A sparse (quasi-)probability vector with interned keys.
 ///
@@ -23,6 +50,13 @@ use std::collections::HashMap;
 /// order; [`SupportIndex::from_dist`] interns in the distribution's sorted
 /// key order, and [`SupportIndex::sort`] restores that canonical order after
 /// arbitrary interning.
+///
+/// Key lookup runs over a flat open-addressing id table probing the flat key
+/// storage directly — no per-key boxing — so a cleared index
+/// ([`SupportIndex::clear`] / [`SupportIndex::reset`]) re-interns into its
+/// retained buffers **without touching the heap** until it outgrows a
+/// previous high-water mark. This is the allocation contract the engine's
+/// steady-state `apply` path is built on.
 ///
 /// # Example
 ///
@@ -44,9 +78,10 @@ pub struct SupportIndex {
     /// `keys[id * words_per_key .. (id + 1) * words_per_key]`.
     keys: Vec<u64>,
     values: Vec<f64>,
-    /// Key words → id. Boxed slices so lookups borrow as `&[u64]` — the hot
-    /// path probes with a scratch word buffer, never a `BitString`.
-    lookup: HashMap<Box<[u64]>, u32>,
+    /// Open-addressing id table: power-of-two length, [`EMPTY_SLOT`]-marked
+    /// free slots, linear probing. Probes compare candidate ids' words in
+    /// `keys` against the query slice, so lookups allocate nothing.
+    table: Vec<u32>,
 }
 
 impl SupportIndex {
@@ -63,7 +98,7 @@ impl SupportIndex {
             words_per_key,
             keys: Vec::with_capacity(capacity * words_per_key),
             values: Vec::with_capacity(capacity),
-            lookup: HashMap::with_capacity(capacity),
+            table: vec![EMPTY_SLOT; table_len_for(capacity)],
         }
     }
 
@@ -163,24 +198,35 @@ impl SupportIndex {
     /// The id of `words`, if interned.
     #[inline]
     pub fn get(&self, words: &[u64]) -> Option<u32> {
-        self.lookup.get(words).copied()
+        if self.table.is_empty() {
+            return None;
+        }
+        probe(&self.table, &self.keys, self.words_per_key, words).1
     }
 
     /// Interns `words`, returning its id. New entries start at amplitude
-    /// `0.0`; the key is copied only on first insertion.
+    /// `0.0`; the key is copied only on first insertion. Allocation-free
+    /// while the entry count stays within retained capacity.
     ///
     /// # Panics
     ///
     /// Panics if `words.len()` differs from [`SupportIndex::words_per_key`].
     pub fn intern(&mut self, words: &[u64]) -> u32 {
         assert_eq!(words.len(), self.words_per_key, "key word count mismatch");
-        if let Some(&id) = self.lookup.get(words) {
+        // Keep the load factor below 7/8 so probe chains stay short and the
+        // insert probe below always finds an empty slot.
+        if (self.values.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow_table();
+        }
+        let (slot, found) = probe(&self.table, &self.keys, self.words_per_key, words);
+        if let Some(id) = found {
             return id;
         }
         let id = u32::try_from(self.values.len()).expect("support exceeds u32 ids");
+        assert!(id != EMPTY_SLOT, "support exceeds u32 ids");
         self.keys.extend_from_slice(words);
         self.values.push(0.0);
-        self.lookup.insert(words.into(), id);
+        self.table[slot] = id;
         id
     }
 
@@ -189,8 +235,8 @@ impl SupportIndex {
     /// the key is new.
     #[inline]
     pub fn accumulate(&mut self, words: &[u64], delta: f64) {
-        match self.lookup.get(words) {
-            Some(&id) => self.values[id as usize] += delta,
+        match self.get(words) {
+            Some(id) => self.values[id as usize] += delta,
             None => {
                 let id = self.intern(words);
                 self.values[id as usize] = delta;
@@ -224,12 +270,99 @@ impl SupportIndex {
             keys.extend_from_slice(self.key_words(id));
             values.push(self.values[id as usize]);
         }
-        for rank in 0..n {
-            let words = &keys[rank * self.words_per_key..(rank + 1) * self.words_per_key];
-            *self.lookup.get_mut(words).expect("sorted keys stay interned") = rank as u32;
-        }
         self.keys = keys;
         self.values = values;
+        self.rebuild_table();
+    }
+
+    /// Writes the canonically sorted copy of `self` into `dest`, reusing
+    /// `dest`'s retained buffers and the caller-provided `order` scratch.
+    /// Produces exactly the state [`SupportIndex::sort`] would leave `self`
+    /// in, but allocation-free once `dest`/`order` capacity covers `self` —
+    /// the engine's between-iteration re-canonicalization primitive.
+    pub fn sorted_copy_into(&self, dest: &mut SupportIndex, order: &mut Vec<u32>) {
+        dest.reset(self.width);
+        order.clear();
+        order.extend(0..self.len() as u32);
+        // Interned keys are distinct, so the comparator never returns
+        // `Equal` and the unstable sort yields the same permutation the
+        // stable sort in `sort` would.
+        order.sort_unstable_by(|&a, &b| self.key_words(a).cmp(self.key_words(b)));
+        dest.keys.reserve(self.keys.len());
+        dest.values.reserve(self.values.len());
+        for &id in order.iter() {
+            dest.keys.extend_from_slice(self.key_words(id));
+            dest.values.push(self.values[id as usize]);
+        }
+        dest.rebuild_table();
+    }
+
+    /// Removes every entry while keeping the key width and all retained
+    /// buffer capacity — subsequent interning is allocation-free up to the
+    /// previous high-water mark.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+        self.table.fill(EMPTY_SLOT);
+    }
+
+    /// [`SupportIndex::clear`] plus a key-width change (capacity is still
+    /// retained across widths).
+    pub fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.words_per_key = BitString::words_for_width(width);
+        self.clear();
+    }
+
+    /// Makes `self` an id-for-id copy of `other` (keys, amplitudes, and the
+    /// probe table), reusing retained buffers — allocation-free once `self`'s
+    /// capacity covers `other`.
+    pub fn copy_from(&mut self, other: &SupportIndex) {
+        self.width = other.width;
+        self.words_per_key = other.words_per_key;
+        self.keys.clear();
+        self.keys.extend_from_slice(&other.keys);
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+        self.table.clear();
+        self.table.extend_from_slice(&other.table);
+    }
+
+    /// Rebuilds the probe table for the current `keys`/`values`, reusing the
+    /// existing table buffer when its **capacity** still covers the need —
+    /// the current length may be smaller (e.g. after [`SupportIndex::copy_from`]
+    /// of a smaller index) without forcing a reallocation.
+    fn rebuild_table(&mut self) {
+        let needed = table_len_for(self.values.len());
+        if self.table.capacity() < needed {
+            self.table = Vec::with_capacity(needed);
+        }
+        self.table.clear();
+        self.table.resize(needed, EMPTY_SLOT);
+        self.fill_table();
+    }
+
+    /// Doubles (at least) the probe table and re-inserts every id.
+    #[cold]
+    fn grow_table(&mut self) {
+        let new_len = table_len_for(self.values.len() + 1).max(self.table.len() * 2);
+        self.table = vec![EMPTY_SLOT; new_len];
+        self.fill_table();
+    }
+
+    /// Inserts every current id into the (all-empty) probe table.
+    fn fill_table(&mut self) {
+        let (table, keys) = (&mut self.table, &self.keys);
+        let mask = table.len() - 1;
+        for id in 0..self.values.len() as u32 {
+            let start = id as usize * self.words_per_key;
+            let words = &keys[start..start + self.words_per_key];
+            let mut slot = (hash_words(words) as usize) & mask;
+            while table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id;
+        }
     }
 
     /// Sum of all amplitudes.
@@ -244,11 +377,30 @@ impl SupportIndex {
 
     /// Approximate heap usage in bytes (benchmark memory accounting).
     pub fn heap_bytes(&self) -> usize {
-        let word = std::mem::size_of::<u64>();
-        self.keys.capacity() * word
+        self.keys.capacity() * std::mem::size_of::<u64>()
             + self.values.capacity() * std::mem::size_of::<f64>()
-            + self.lookup.len()
-                * (self.words_per_key * word + std::mem::size_of::<(Box<[u64]>, u32)>())
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Linear probe over the id table: returns the slot the probe ended on and,
+/// if the key is present, its id. The table must be non-empty and below full
+/// load (both invariants are maintained by `intern`).
+#[inline]
+fn probe(table: &[u32], keys: &[u64], words_per_key: usize, words: &[u64]) -> (usize, Option<u32>) {
+    debug_assert!(table.len().is_power_of_two());
+    let mask = table.len() - 1;
+    let mut slot = (hash_words(words) as usize) & mask;
+    loop {
+        let id = table[slot];
+        if id == EMPTY_SLOT {
+            return (slot, None);
+        }
+        let start = id as usize * words_per_key;
+        if &keys[start..start + words_per_key] == words {
+            return (slot, Some(id));
+        }
+        slot = (slot + 1) & mask;
     }
 }
 
@@ -320,6 +472,74 @@ mod tests {
             assert_eq!(idx.value(id), canonical.value(id));
             assert_eq!(idx.get(idx.key_words(id)), Some(id), "lookup must follow the sort");
         }
+    }
+
+    #[test]
+    fn sorted_copy_into_matches_sort() {
+        let mut idx = SupportIndex::new(3);
+        for key in ["110", "001", "111", "000", "010"] {
+            idx.accumulate(bs(key).as_words(), 0.125);
+        }
+        let mut dest = SupportIndex::new(0);
+        let mut order = Vec::new();
+        idx.sorted_copy_into(&mut dest, &mut order);
+        let mut sorted = idx.clone();
+        sorted.sort();
+        assert_eq!(dest.width(), sorted.width());
+        assert_eq!(dest.len(), sorted.len());
+        for id in 0..sorted.len() as u32 {
+            assert_eq!(dest.key(id), sorted.key(id));
+            assert_eq!(dest.value(id).to_bits(), sorted.value(id).to_bits());
+            assert_eq!(dest.get(dest.key_words(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn clear_reset_and_copy_from_reuse_buffers() {
+        let mut idx = SupportIndex::new(2);
+        for key in ["11", "00", "01"] {
+            idx.accumulate(bs(key).as_words(), 1.0);
+        }
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(bs("11").as_words()), None);
+        idx.accumulate(bs("10").as_words(), 2.0);
+        assert_eq!(idx.get(bs("10").as_words()), Some(0));
+
+        idx.reset(3);
+        assert_eq!(idx.width(), 3);
+        idx.accumulate(bs("101").as_words(), 0.5);
+        assert_eq!(idx.len(), 1);
+
+        let src = SupportIndex::from_dist(
+            &ProbDist::from_pairs(2, [(bs("01"), 0.25), (bs("10"), 0.75)]).unwrap(),
+        );
+        let mut copy = SupportIndex::new(0);
+        copy.copy_from(&src);
+        assert_eq!(copy.width(), 2);
+        assert_eq!(copy.len(), 2);
+        for id in 0..src.len() as u32 {
+            assert_eq!(copy.key(id), src.key(id));
+            assert_eq!(copy.value(id).to_bits(), src.value(id).to_bits());
+            assert_eq!(copy.get(src.key_words(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn intern_survives_table_growth() {
+        let mut idx = SupportIndex::new(10);
+        let mut ids = Vec::new();
+        for i in 0..300u64 {
+            let mut key = BitString::zeros(10);
+            for bit in 0..10 {
+                key.set(bit, (i >> bit) & 1 == 1);
+            }
+            ids.push((key.clone(), idx.intern(key.as_words())));
+        }
+        for (key, id) in &ids {
+            assert_eq!(idx.get(key.as_words()), Some(*id));
+        }
+        assert_eq!(idx.len(), 300);
     }
 
     #[test]

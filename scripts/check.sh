@@ -59,6 +59,15 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q --release --test cli -- admit_hot_swaps
 done
 
+echo "==> QUFEM_THREADS matrix: apply hot path must stay allocation-free"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t counting-allocator apply proofs"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-core --test apply_zero_alloc
+  QUFEM_THREADS="$t" cargo test -q -p qufem-serve --test zero_alloc
+  echo "==> QUFEM_THREADS=$t shard-pool differential and panic-recovery tests"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-core --test shard_pool
+done
+
 echo "==> loadgen-scenarios: replay digests must agree across QUFEM_THREADS"
 loadgen_tmp="$(mktemp -d)"
 trap 'rm -rf "$loadgen_tmp"' EXIT
