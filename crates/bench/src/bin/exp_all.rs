@@ -114,8 +114,9 @@ fn main() {
         // Per-method apply latency from the registry sweeps (table4,
         // `method_apply.secs.<id>` gauges), serve-layer latency
         // quantiles from the throughput sweep (ext_serve,
-        // `serve.w<workers>.*_secs` gauges), and catalog/hot-swap
-        // counters (`serve.catalog.*`). Sorted for a stable summary.
+        // `serve.w<workers>.*_secs` gauges), catalog/hot-swap
+        // counters (`serve.catalog.*`), and the wire-dialect shoot-out
+        // (`serve.binary.*`). Sorted for a stable summary.
         let mut extra: Vec<(String, f64)> = snapshot
             .gauges
             .iter()
@@ -123,6 +124,7 @@ fn main() {
                 name.starts_with("method_apply.")
                     || name.starts_with("apply_alloc.")
                     || name.starts_with("serve.catalog.")
+                    || name.starts_with("serve.binary.")
                     || (name.starts_with("serve.") && name.ends_with("_secs"))
                     || name.starts_with("loadgen.")
             })

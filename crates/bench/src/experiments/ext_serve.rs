@@ -263,7 +263,81 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     swap_table.note("The drifted phase serves a re-characterization of device.drifted(1) admitted over the wire mid-traffic.");
     swap_table.note("Pinned check: a version-0 request after the swap returns bit-identical output to before the swap.");
 
-    vec![table, latency, swap_table]
+    // Wire dialect shoot-out: the same calibrate frame over NDJSON vs the
+    // length-prefixed binary dialect, lockstep (depth 1) vs pipelined
+    // (depth N) on a single connection. The request repeats verbatim so the
+    // plan and memo caches stay hot and the framing + dispatch layer — not
+    // the engine — dominates what the clock sees.
+    let mut wire_table = Table::new(
+        "Extension: wire dialect frames/sec (JSON vs binary, lockstep vs pipelined)",
+        &["Dialect", "Depth", "Frames", "Wall secs", "Frames/s"],
+    );
+    {
+        let depth: usize = 32;
+        let frames: usize = if opts.quick { 96 } else { 512 };
+        let config = ServeConfig {
+            workers: 4,
+            queue_depth: depth * 2,
+            prewarm: false,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(qufem.clone(), "127.0.0.1:0", config).expect("server starts");
+        let addr = server.local_addr();
+        // The half-prefix subset: small enough that apply costs almost
+        // nothing once its plan is cached, leaving the wire on the clock.
+        let (measured, dist) = &mix[3];
+        let request = Request::calibrate(dist.clone(), Some(measured.clone()));
+        let mut json_depth1 = f64::NAN;
+        let mut binary_deep = f64::NAN;
+        for (dialect, binary) in [("json", false), ("binary", true)] {
+            for d in [1usize, depth] {
+                let mut client = if binary {
+                    Client::connect_binary(addr).expect("binary client connects")
+                } else {
+                    Client::connect(addr).expect("client connects")
+                };
+                // Warm the plan and memo caches outside the timed window.
+                let warm = client.request(&request).expect("warmup round-trips");
+                assert!(warm.ok, "warmup error: {:?}", warm.error);
+                let start = Instant::now();
+                let mut remaining = frames;
+                while remaining > 0 {
+                    let burst = d.min(remaining);
+                    for _ in 0..burst {
+                        client.send(&request).expect("send frame");
+                    }
+                    for _ in 0..burst {
+                        let (_, response) = client.recv().expect("recv frame");
+                        assert!(response.ok, "serve error: {:?}", response.error);
+                    }
+                    remaining -= burst;
+                }
+                let secs = start.elapsed().as_secs_f64();
+                let fps = frames as f64 / secs;
+                if binary && d == depth {
+                    binary_deep = fps;
+                } else if !binary && d == 1 {
+                    json_depth1 = fps;
+                }
+                wire_table.push_row(vec![
+                    dialect.to_string(),
+                    d.to_string(),
+                    frames.to_string(),
+                    format!("{secs:.3}"),
+                    format!("{fps:.1}"),
+                ]);
+            }
+        }
+        server.shutdown_and_join();
+        qufem_telemetry::gauge_set("serve.binary.frames_per_sec", binary_deep);
+        qufem_telemetry::gauge_set("serve.binary.json_frames_per_sec", json_depth1);
+        qufem_telemetry::gauge_set("serve.binary.speedup", binary_deep / json_depth1);
+        qufem_telemetry::gauge_set("serve.binary.depth", depth as f64);
+    }
+    wire_table.note("Depth 1 pays a full round trip per frame; depth N keeps N frames in flight so the workers and the wire overlap.");
+    wire_table.note("JSON connections dispatch serially (ordering guarantee); binary connections complete out of order, tagged by request id.");
+
+    vec![table, latency, swap_table, wire_table]
 }
 
 #[cfg(test)]
@@ -293,5 +367,18 @@ mod tests {
         assert_eq!(tables[2].rows[1][4], "head v0 -> v1");
         assert_eq!(tables[2].rows[2][1], "drift-7@v1");
         assert_eq!(tables[2].rows[2][4], "pinned v0 bit-identical");
+        // Wire dialect shoot-out: json/binary at depth 1 and depth N.
+        assert_eq!(tables[3].rows.len(), 4);
+        let fps = |row: &Vec<String>| row[4].parse::<f64>().unwrap();
+        for row in &tables[3].rows {
+            assert!(fps(row) > 0.0, "frames/sec must be positive: {row:?}");
+        }
+        assert_eq!(tables[3].rows[0][0], "json");
+        assert_eq!(tables[3].rows[0][1], "1");
+        assert_eq!(tables[3].rows[3][0], "binary");
+        assert!(
+            fps(&tables[3].rows[3]) > fps(&tables[3].rows[0]),
+            "pipelined binary must beat lockstep JSON"
+        );
     }
 }

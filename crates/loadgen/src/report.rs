@@ -117,6 +117,8 @@ pub struct Report {
     pub clients: usize,
     /// Arrival process (`"closed"` / `"open"`).
     pub arrival: String,
+    /// Wire dialect the clients spoke (`"json"` / `"binary"`).
+    pub protocol: String,
     /// Whether the server started prewarmed.
     pub prewarm: bool,
     /// Digest of the scenario file text, hex.
@@ -213,6 +215,7 @@ impl Report {
             ("rounds".to_string(), Value::UInt(self.rounds as u64)),
             ("clients".to_string(), Value::UInt(self.clients as u64)),
             ("arrival".to_string(), Value::Str(self.arrival.clone())),
+            ("protocol".to_string(), Value::Str(self.protocol.clone())),
             ("prewarm".to_string(), Value::Bool(self.prewarm)),
             ("scenario_digest".to_string(), Value::Str(self.scenario_digest.clone())),
             ("trace_digest".to_string(), Value::Str(self.trace_digest.clone())),
@@ -288,6 +291,7 @@ mod tests {
             rounds: 2,
             clients: 2,
             arrival: "closed".into(),
+            protocol: "json".into(),
             prewarm: true,
             scenario_digest: "aa".into(),
             trace_digest: "bb".into(),

@@ -24,13 +24,13 @@
 //!
 //! ## Sizing
 //!
-//! Serve workers hold a connection for its lifetime, so the runner raises
-//! the worker count to `clients + 2` (persistent clients + the control
-//! connection + reconnect slack) — a smaller value would deadlock the round
-//! barrier, not shed load.
+//! The server's connection budget is `workers + queue_depth`, so the runner
+//! raises both to at least `clients + 2` (persistent clients + the control
+//! connection + reconnect slack) — a smaller value would shed lockstep
+//! connects nondeterministically.
 
 use crate::report::{BytePercentiles, CacheModel, DeviceReport, EventReport, Report, TenantReport};
-use crate::scenario::{build_device, EventKind, Scenario};
+use crate::scenario::{build_device, EventKind, Protocol, Scenario};
 use crate::trace::{self, Trace, TraceRequest};
 use crate::{Error, Result};
 use qufem_core::digest::{digest_prob_dist, Digest64};
@@ -52,8 +52,9 @@ struct Outcome {
     version: Option<u64>,
     /// Digest of the response distribution (0 for error frames).
     dist_digest: u64,
-    /// Exact response line size in bytes (serialization is deterministic,
-    /// so re-serializing the parsed response reproduces the wire size).
+    /// Exact response wire size in bytes — the NDJSON line or the binary
+    /// frame, per the scenario's protocol (serialization is deterministic,
+    /// so re-encoding the parsed response reproduces the wire size).
     response_bytes: u64,
 }
 
@@ -255,8 +256,29 @@ pub fn run_scenario(scenario: &Scenario) -> Result<Report> {
         metrics.swaps,
         wall_secs,
     );
-    emit_measured(scenario, &report, &clients_results, setup_started.elapsed().as_secs_f64());
+    let p99_ms =
+        emit_measured(scenario, &report, &clients_results, setup_started.elapsed().as_secs_f64());
+    // Latency-budget assertion mode: the replay itself fails on a
+    // regression, after the measured numbers have been reported.
+    if let Some(budget) = &scenario.budget {
+        if p99_ms > budget.p99_ms {
+            return Err(Error::new(format!(
+                "latency budget exceeded: scenario {:?} measured exchange p99 {p99_ms:.3}ms \
+                 over its {:.3}ms budget",
+                scenario.name, budget.p99_ms
+            )));
+        }
+        eprintln!("loadgen: budget ok: exchange p99 {p99_ms:.3}ms within {:.3}ms", budget.p99_ms);
+    }
     Ok(report)
+}
+
+/// Connects one client in the scenario's wire dialect.
+fn connect(addr: std::net::SocketAddr, protocol: Protocol) -> std::io::Result<Client> {
+    match protocol {
+        Protocol::Json => Client::connect(addr),
+        Protocol::Binary => Client::connect_binary(addr),
+    }
 }
 
 /// One client's whole run: reconnects when flagged, sends its rounds'
@@ -271,8 +293,9 @@ fn client_loop(
     reconnect: &AtomicBool,
 ) -> Result<ClientResult> {
     let per_round = scenario.per_client_per_round();
-    let mut client =
-        Some(Client::connect(addr).map_err(|e| Error::new(format!("client connect: {e}")))?);
+    let mut client = Some(
+        connect(addr, scenario.protocol).map_err(|e| Error::new(format!("client connect: {e}")))?,
+    );
     let mut outcomes = Vec::with_capacity(requests.len());
     let mut latencies_us = Vec::new();
     let mut monotone = true;
@@ -283,7 +306,7 @@ fn client_loop(
         barrier.wait();
         if reconnect.swap(false, Ordering::SeqCst) {
             drop(client.take());
-            match Client::connect(addr) {
+            match connect(addr, scenario.protocol) {
                 Ok(fresh) => client = Some(fresh),
                 Err(_) => client = None,
             }
@@ -303,7 +326,7 @@ fn client_loop(
                         }
                         *last = version;
                     }
-                    outcome_of(req, &response)
+                    outcome_of(req, &response, scenario.protocol)
                 }
                 Err(message) => Outcome {
                     tenant: req.tenant,
@@ -352,21 +375,42 @@ fn exchange(
             .collect(),
         crate::scenario::Arrival::Open { .. } => {
             let started = Instant::now();
-            let mut frames = String::new();
+            // Write the whole burst before reading any response. On the
+            // binary dialect responses may complete out of order; pairing
+            // by request id restores issue order, so the report stays a
+            // pure function of the trace.
+            let mut ids = Vec::with_capacity(batch.len());
             for req in batch {
-                match serde_json::to_string(&wire(req)) {
-                    Ok(line) => {
-                        frames.push_str(&line);
-                        frames.push('\n');
-                    }
+                match client.send(&wire(req)) {
+                    Ok(id) => ids.push(id),
                     Err(e) => return batch.iter().map(|_| Err(e.to_string())).collect(),
                 }
             }
-            if let Err(e) = client.send_raw(frames.as_bytes()) {
-                return batch.iter().map(|_| Err(e.to_string())).collect();
+            let mut by_id: HashMap<u64, std::result::Result<Response, String>> = HashMap::new();
+            for _ in 0..batch.len() {
+                match client.recv() {
+                    Ok((id, response)) => {
+                        by_id.insert(id, Ok(response));
+                    }
+                    Err(e) => {
+                        // A dead read ends the burst: everything still
+                        // outstanding failed with the same transport error.
+                        let message = e.to_string();
+                        for id in &ids {
+                            by_id.entry(*id).or_insert_with(|| Err(message.clone()));
+                        }
+                        break;
+                    }
+                }
             }
-            let out: Vec<_> =
-                batch.iter().map(|_| client.read_response().map_err(|e| e.to_string())).collect();
+            let out: Vec<_> = ids
+                .iter()
+                .map(|id| {
+                    by_id
+                        .remove(id)
+                        .unwrap_or_else(|| Err(format!("no response for request id {id}")))
+                })
+                .collect();
             // Open mode measures the pipelined burst as one exchange.
             latencies_us.push(started.elapsed().as_micros() as u64);
             out
@@ -375,8 +419,13 @@ fn exchange(
 }
 
 /// Folds a successful (or error-frame) response into an [`Outcome`].
-fn outcome_of(req: &TraceRequest, response: &Response) -> Outcome {
-    let response_bytes = serde_json::to_string(response).map(|s| s.len() as u64 + 1).unwrap_or(0);
+fn outcome_of(req: &TraceRequest, response: &Response, protocol: Protocol) -> Outcome {
+    let response_bytes = match protocol {
+        Protocol::Json => serde_json::to_string(response).map(|s| s.len() as u64 + 1).unwrap_or(0),
+        // Frame length is independent of the request id, so re-encoding
+        // under id 0 reproduces the exact wire size.
+        Protocol::Binary => qufem_serve::wire::encode_response(response, 0).len() as u64,
+    };
     Outcome {
         tenant: req.tenant,
         ok: response.ok,
@@ -474,6 +523,7 @@ fn assemble_report(
         rounds: scenario.rounds,
         clients: scenario.clients,
         arrival: scenario.arrival.as_str().to_string(),
+        protocol: scenario.protocol.as_str().to_string(),
         prewarm: scenario.prewarm,
         scenario_digest: scenario.source_digest.clone(),
         trace_digest: trace.digest.clone(),
@@ -540,7 +590,14 @@ fn model_cache(scenario: &Scenario, trace: &Trace) -> CacheModel {
 
 /// Prints the measured (nondeterministic) side of the run to stderr and
 /// exports it as `loadgen.*` telemetry gauges for the bench harness.
-fn emit_measured(scenario: &Scenario, report: &Report, clients: &[ClientResult], total_secs: f64) {
+/// Returns the measured p99 exchange latency in milliseconds, for the
+/// budget gate.
+fn emit_measured(
+    scenario: &Scenario,
+    report: &Report,
+    clients: &[ClientResult],
+    total_secs: f64,
+) -> f64 {
     let mut latency = QuantileHistogram::default();
     for result in clients {
         for &us in &result.latencies_us {
@@ -582,4 +639,5 @@ fn emit_measured(scenario: &Scenario, report: &Report, clients: &[ClientResult],
             }
         }
     }
+    latency.quantile(0.99) * 1e3
 }

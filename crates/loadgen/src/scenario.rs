@@ -49,6 +49,35 @@ impl Arrival {
     }
 }
 
+/// Wire dialect the scenario's clients speak (see `qufem_serve::wire`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Newline-delimited JSON (the historical protocol; the default).
+    Json,
+    /// Length-prefixed binary frames, pipelined by request id.
+    Binary,
+}
+
+impl Protocol {
+    /// The scenario-file spelling (`"json"` / `"binary"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Protocol::Json => "json",
+            Protocol::Binary => "binary",
+        }
+    }
+}
+
+/// A latency budget the replay asserts after the run: exceeding it fails
+/// the replay (regression-gate mode). Budgets compare *measured* wall
+/// time, so they belong in dedicated budget scenarios with generous
+/// margins, not in digest-comparison scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSpec {
+    /// Maximum allowed 99th-percentile exchange latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// Which qubits of a tenant's device each request measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeasuredMode {
@@ -156,9 +185,13 @@ pub struct Scenario {
     pub clients: usize,
     /// Arrival process.
     pub arrival: Arrival,
+    /// Wire dialect the clients speak.
+    pub protocol: Protocol,
     /// Start with the default method's full-register plan prewarmed
     /// (`false` = cold-cache start).
     pub prewarm: bool,
+    /// Optional latency budget asserted after the replay.
+    pub budget: Option<BudgetSpec>,
     /// Server tuning.
     pub server: ServerSpec,
     /// Hosted devices; index 0 is the server's startup/default device,
@@ -208,9 +241,33 @@ impl Scenario {
                 )))
             }
         };
+        let protocol = match opt_str(root, "scenario", "protocol", "json")?.as_str() {
+            "json" => Protocol::Json,
+            "binary" => Protocol::Binary,
+            other => {
+                return Err(Error::new(format!(
+                    "scenario: protocol must be \"json\" or \"binary\", got {other:?}"
+                )))
+            }
+        };
         let prewarm = opt_bool(root, "scenario", "prewarm", true)?;
 
         let empty = TomlTable::default();
+        let budget = match doc.table("budget") {
+            None => None,
+            Some(t) => {
+                let p99_ms = match t.get("p99_ms") {
+                    Some(TomlValue::Float(f)) => *f,
+                    Some(TomlValue::Int(n)) => *n as f64,
+                    Some(other) => return Err(type_err("budget", "p99_ms", "number", other)),
+                    None => return Err(Error::new("budget: missing required key \"p99_ms\"")),
+                };
+                if p99_ms <= 0.0 || p99_ms.is_nan() {
+                    return Err(Error::new(format!("budget: p99_ms must be > 0, got {p99_ms}")));
+                }
+                Some(BudgetSpec { p99_ms })
+            }
+        };
         let server_table = doc.table("server").unwrap_or(&empty);
         let server = ServerSpec {
             workers: opt_usize(server_table, "server", "workers", 2)?,
@@ -350,7 +407,9 @@ impl Scenario {
             rounds,
             clients,
             arrival,
+            protocol,
             prewarm,
+            budget,
             server,
             devices,
             tenants,
@@ -521,6 +580,8 @@ mod tests {
         assert_eq!(s.name, "mini");
         assert_eq!(s.seed, 3);
         assert_eq!(s.arrival, Arrival::Closed);
+        assert_eq!(s.protocol, Protocol::Json, "NDJSON is the default dialect");
+        assert_eq!(s.budget, None, "no budget unless asked for");
         assert!(s.prewarm);
         assert_eq!(s.server.queue_depth, 10, "clients + 8");
         assert_eq!(s.devices[0].id, "grid-3", "id defaults to the preset name");
@@ -540,7 +601,11 @@ mod tests {
             clients = 3
             arrival = "open"
             burst = 2
+            protocol = "binary"
             prewarm = false
+
+            [budget]
+            p99_ms = 250.5
 
             [server]
             workers = 4
@@ -580,6 +645,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.arrival, Arrival::Open { burst: 2 });
+        assert_eq!(s.protocol, Protocol::Binary);
+        assert_eq!(s.budget, Some(BudgetSpec { p99_ms: 250.5 }));
         assert_eq!(s.per_client_per_round(), 2);
         assert_eq!(s.total_requests(), 30);
         assert_eq!(s.tenants[0].device, 1);
@@ -607,6 +674,11 @@ mod tests {
             ("clients = 0", "", "clients must be"),
             ("arrival = \"poisson\"", "", "closed"),
             ("arrival = \"open\"\nburst = 0", "", "burst must be"),
+            ("protocol = \"grpc\"", "", "json"),
+            ("", "[budget]\np99_ms = 0", "p99_ms must be"),
+            ("", "[budget]\np99_ms = -3.5", "p99_ms must be"),
+            ("", "[budget]\nceiling = 9", "missing required key"),
+            ("", "[budget]\np99_ms = \"fast\"", "expected number"),
             ("", "[[events]]\nround = 9\nkind = \"reconnect\"", "round must be in"),
             ("", "[[events]]\nround = 1\nkind = \"reconnect\"\nclients = [5]", "out of range"),
             (

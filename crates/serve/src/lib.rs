@@ -8,16 +8,19 @@
 //! of devices — each a lineage of versioned snapshots with a per-version
 //! LRU cache of prepared mitigations keyed by `(method, measured qubit
 //! set)` and a [`qufem_core::MethodRegistry`] of alternative methods —
-//! and answers newline-delimited JSON requests from a bounded worker pool.
+//! and answers newline-delimited JSON requests from a bounded worker pool —
+//! or, negotiated per connection by the first byte, length-prefixed binary
+//! frames that pipeline freely and pack distributions bit-exactly
+//! (see [`wire`] and DESIGN §4.18).
 //! Requests may pin a `device`/`version`; `admit` publishes a
 //! re-characterization as a device's next version atomically under live
 //! traffic (DESIGN §4.15), and every response echoes the serving identity.
 //!
 //! ```text
-//! → {"cmd":"calibrate","measured":[0,1,2],"dist":[3,["000",0.9],["111",0.1]]}
-//! ← {"ok":true,"dist":[3,…],"stats":{…}}
-//! → {"cmd":"calibrate","method":"m3","dist":[3,["000",0.9],["111",0.1]]}
-//! ← {"ok":true,"dist":[3,…]}
+//! → {"cmd":"calibrate","measured":[0,1],"dist":[2,[{"width":2,"words":[0]},0.9],[{"width":2,"words":[3]},0.1]]}
+//! ← {"ok":true,"dist":[2,…],"stats":{…}}
+//! → {"cmd":"calibrate","method":"m3","dist":[2,[{"width":2,"words":[0]},1.0]]}
+//! ← {"ok":true,"dist":[2,…]}
 //! → {"cmd":"admit","params":{…},"device":"ibmq-a"}
 //! ← {"ok":true,"device":"ibmq-a","version":1}
 //! → {"cmd":"calibrate","device":"ibmq-a","version":0,"dist":[3,…]}
@@ -69,6 +72,7 @@ mod catalog;
 mod observability;
 mod protocol;
 mod server;
+pub mod wire;
 
 pub use cache::PlanCache;
 pub use catalog::{Catalog, DeviceSummary, ResolveError, VersionEntry};

@@ -292,6 +292,7 @@ pub struct ServeMetrics {
     unknown_method: AtomicU64,
     unknown_device: AtomicU64,
     swaps: AtomicU64,
+    binary_requests: AtomicU64,
     slow: AtomicU64,
     /// Slow-request threshold in microseconds (`u64::MAX` = off).
     slow_threshold_us: u64,
@@ -317,6 +318,7 @@ impl ServeMetrics {
             unknown_method: AtomicU64::new(0),
             unknown_device: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            binary_requests: AtomicU64::new(0),
             slow: AtomicU64::new(0),
             slow_threshold_us: slow_threshold_us.unwrap_or(u64::MAX),
             access_log,
@@ -396,6 +398,16 @@ impl ServeMetrics {
     /// version.
     pub fn unknown_device_count(&self) -> u64 {
         self.unknown_device.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request that arrived over the binary frame dialect.
+    pub fn record_binary(&self) {
+        self.binary_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests received over the binary frame dialect since startup.
+    pub fn binary_requests(&self) -> u64 {
+        self.binary_requests.load(Ordering::Relaxed)
     }
 
     /// Folds one finished request into the histograms, counters, and flight

@@ -300,7 +300,11 @@ pub struct MetricsInfo {
     pub unknown_method: u64,
     /// Requests at or over the slow threshold (0 when no threshold is set).
     pub slow: u64,
-    /// Connections currently waiting for a worker.
+    /// Requests received over the binary frame dialect (any command); the
+    /// remainder arrived as NDJSON. Absent in pre-binary servers.
+    #[serde(default)]
+    pub binary_requests: u64,
+    /// Requests decoded but not yet answered (dispatch backlog).
     pub queue_depth: u64,
     /// Prepared plans currently cached.
     pub plan_cache_len: usize,
@@ -657,6 +661,7 @@ mod tests {
             oversized: 0,
             unknown_method: 2,
             slow: 1,
+            binary_requests: 3,
             queue_depth: 0,
             plan_cache_len: 1,
             plan_cache_capacity: 8,

@@ -1,16 +1,31 @@
-//! The calibration server: TCP accept loop, bounded worker pool, and the
-//! per-connection request loop.
+//! The calibration server: TCP accept loop, a non-blocking readiness event
+//! loop that owns every connection, and a bounded worker pool executing
+//! decoded requests.
 //!
 //! ## Concurrency model
 //!
-//! One acceptor thread pushes accepted connections into a **bounded**
-//! queue; `workers` threads pop connections and serve them to completion.
-//! When the queue is full the acceptor answers the connection with a
-//! `server busy` error frame and closes it immediately — load sheds at the
-//! edge instead of buffering without bound. A graceful shutdown (the
-//! `shutdown` command or [`ServeHandle::shutdown`]) stops the acceptor,
-//! then lets the workers drain every already-accepted connection: requests
-//! whose bytes reached the server are answered, never dropped.
+//! One acceptor thread accepts connections and hands them to a single
+//! **event-loop thread** (`qufem-serve-loop`); the loop owns each
+//! connection's read/write buffers, extracts frames in either wire dialect
+//! (NDJSON or the binary format of [`crate::wire`], negotiated by the
+//! connection's first byte), and dispatches decoded frames to `workers`
+//! threads over a bounded channel. The loop runs on non-blocking sockets
+//! (`TcpStream::set_nonblocking`) with an adaptive park/unpark wake
+//! protocol — no `libc`, no polling syscall wrappers — so one process holds
+//! many connections without pinning a thread per connection.
+//!
+//! NDJSON connections are served **strictly in order**: one request is in
+//! flight at a time, exactly like the historical thread-per-connection
+//! loop, so every PR 3–8 client works unmodified. Binary connections may
+//! **pipeline**: many frames in flight at once, responses tagged with the
+//! request id from the frame header and written in completion order.
+//!
+//! Backpressure sheds load at the edge: the acceptor answers connections
+//! beyond `workers + queue_depth` with a `server busy` error frame and
+//! closes them immediately. A graceful shutdown (the `shutdown` command or
+//! [`ServeHandle::shutdown`]) stops the acceptor, then lets the loop drain
+//! every accepted connection: requests whose bytes reached the server are
+//! answered, never dropped.
 //!
 //! ## Methods
 //!
@@ -35,8 +50,8 @@
 //! `QUFEM_THREADS` setting for every method (the baselines are sequential
 //! by construction), and preparations are cached per `(method, measured
 //! set)` ([`PlanCache`]) — so a response is byte-for-byte reproducible no
-//! matter which worker serves it, how many clients are connected, or
-//! whether the preparation was cached.
+//! matter which worker serves it, which dialect carried it, how many
+//! clients are connected, or whether the preparation was cached.
 
 use crate::catalog::{Catalog, VersionEntry};
 use crate::observability::{CacheOutcome, RequestCmd, RequestOutcome, RequestRecord, ServeMetrics};
@@ -44,28 +59,32 @@ use crate::protocol::{
     DeviceStatusInfo, HistogramSummary, MethodMetrics, MetricsInfo, Request, Response, StatusInfo,
     CMD_ADMIT, CMD_CALIBRATE, CMD_METRICS, CMD_SHUTDOWN, CMD_STATUS, CMD_TRACE,
 };
+use crate::wire;
 use qufem_core::{engine, EngineStats, MethodRegistry, QuFem, DEFAULT_DEVICE_ID};
 use qufem_types::{Error, QubitSet};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads serving connections concurrently.
+    /// Worker threads executing decoded requests concurrently.
     pub workers: usize,
-    /// Accepted connections waiting for a worker; beyond this the acceptor
-    /// rejects with an error frame.
+    /// Connection budget beyond the worker count: up to
+    /// `workers + queue_depth` connections are held open at once; beyond
+    /// that the acceptor rejects with an error frame.
     pub queue_depth: usize,
-    /// Maximum bytes in one request line (JSON frame + newline).
+    /// Maximum bytes in one request frame: an NDJSON line (without the
+    /// newline) or a binary frame payload.
     pub max_request_bytes: usize,
-    /// Idle time after which a connection holding a worker is closed.
+    /// Idle time after which a connection with no request in flight is
+    /// closed.
     pub read_timeout: Option<Duration>,
     /// Prepared-plan LRU capacity (distinct measured sets kept hot).
     pub plan_cache_capacity: usize,
@@ -198,11 +217,48 @@ impl Inner {
     }
 }
 
+/// State shared between the acceptor, the event loop, and the workers.
+#[derive(Debug)]
+struct LoopShared {
+    /// Accepted connections waiting for the loop to adopt them.
+    registrations: Mutex<Vec<(TcpStream, Instant)>>,
+    /// Finished work waiting for the loop to write it out.
+    completions: Mutex<Vec<Completion>>,
+    /// The event-loop thread, for `unpark` wakes.
+    waker: OnceLock<std::thread::Thread>,
+    /// Connections currently alive (claimed by the acceptor, released by
+    /// the loop on close) — the backpressure budget.
+    live_conns: AtomicUsize,
+    /// Set when the acceptor has exited; the loop only stops once no
+    /// further registrations can arrive.
+    acceptor_done: AtomicBool,
+}
+
+impl LoopShared {
+    fn new() -> Self {
+        LoopShared {
+            registrations: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker: OnceLock::new(),
+            live_conns: AtomicUsize::new(0),
+            acceptor_done: AtomicBool::new(false),
+        }
+    }
+
+    /// Wakes the event loop (no-op until the loop registers itself).
+    fn wake(&self) {
+        if let Some(t) = self.waker.get() {
+            t.unpark();
+        }
+    }
+}
+
 /// A running calibration server (see the module docs for the model).
 #[derive(Debug)]
 pub struct Server {
     inner: Arc<Inner>,
     acceptor: JoinHandle<()>,
+    event_loop: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     prewarm: Mutex<Option<JoinHandle<()>>>,
 }
@@ -226,8 +282,8 @@ impl ServeHandle {
         self.inner.requests.load(Ordering::Relaxed)
     }
 
-    /// Connections accepted into the queue so far (tests synchronize on
-    /// this to know a written request will be drained by a shutdown).
+    /// Connections accepted so far (tests synchronize on this to know a
+    /// written request will be drained by a shutdown).
     pub fn accepted(&self) -> u64 {
         self.inner.accepted.load(Ordering::Relaxed)
     }
@@ -246,7 +302,8 @@ impl ServeHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// the acceptor and worker threads over a characterized calibrator.
+    /// the acceptor, event-loop, and worker threads over a characterized
+    /// calibrator.
     ///
     /// # Errors
     ///
@@ -313,16 +370,26 @@ impl Server {
                 .expect("spawn prewarm thread")
         });
 
-        let (tx, rx) =
-            std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(inner.config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(LoopShared::new());
+        let (work_tx, work_rx) =
+            std::sync::mpsc::sync_channel::<Work>(workers + inner.config.queue_depth.max(1));
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let event_loop = {
+            let inner = Arc::clone(&inner);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qufem-serve-loop".to_string())
+                .spawn(move || event_loop(&inner, &shared, work_tx))
+                .expect("spawn event-loop thread")
+        };
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                let rx = Arc::clone(&rx);
+                let rx = Arc::clone(&work_rx);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qufem-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, &rx))
+                    .spawn(move || worker_loop(&inner, &rx, &shared))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -330,11 +397,17 @@ impl Server {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("qufem-serve-acceptor".to_string())
-                .spawn(move || accept_loop(&inner, &listener, &tx))
+                .spawn(move || accept_loop(&inner, &listener, &shared))
                 .expect("spawn acceptor thread")
         };
 
-        Ok(Server { inner, acceptor, workers: worker_handles, prewarm: Mutex::new(prewarm_handle) })
+        Ok(Server {
+            inner,
+            acceptor,
+            event_loop,
+            workers: worker_handles,
+            prewarm: Mutex::new(prewarm_handle),
+        })
     }
 
     /// Blocks until the startup prewarm (if configured) has finished, so a
@@ -355,14 +428,15 @@ impl Server {
         ServeHandle { inner: Arc::clone(&self.inner) }
     }
 
-    /// Blocks until the server has fully stopped (acceptor and workers
-    /// exited). Call [`ServeHandle::shutdown`] — or send the `shutdown`
-    /// command — to make that happen.
+    /// Blocks until the server has fully stopped (acceptor, event loop, and
+    /// workers exited). Call [`ServeHandle::shutdown`] — or send the
+    /// `shutdown` command — to make that happen.
     pub fn join(self) {
         if let Some(h) = self.prewarm.lock().expect("prewarm handle lock").take() {
             let _ = h.join();
         }
         let _ = self.acceptor.join();
+        let _ = self.event_loop.join();
         for w in self.workers {
             let _ = w.join();
         }
@@ -375,177 +449,568 @@ impl Server {
     }
 }
 
-/// Accept loop: enqueue connections (stamped with their enqueue time so the
-/// dequeueing worker can attribute queue wait), shed load when the queue is
-/// full.
-fn accept_loop(inner: &Inner, listener: &TcpListener, tx: &SyncSender<(TcpStream, Instant)>) {
+/// Accept loop: claim a connection slot against the `workers +
+/// queue_depth` budget and hand the stream to the event loop, or shed load
+/// with an error frame when the budget is spent.
+fn accept_loop(inner: &Inner, listener: &TcpListener, shared: &LoopShared) {
+    let budget = inner.config.workers.max(1) + inner.config.queue_depth.max(1);
     for stream in listener.incoming() {
         if inner.shutting_down() {
             break;
         }
         let Ok(stream) = stream else { continue };
-        // Count the enqueue *before* try_send: a worker may dequeue (and
-        // decrement) the instant the send succeeds, so incrementing after
-        // the fact would race the counter below zero.
-        let depth = inner.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
-        match tx.try_send((stream, Instant::now())) {
-            Ok(()) => {
-                inner.accepted.fetch_add(1, Ordering::Relaxed);
-                qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
-                qufem_telemetry::gauge_max("serve.queue_depth.peak", depth as f64);
+        // Claim the slot *before* deciding: the loop may release other
+        // slots concurrently, but a claim past the budget is always
+        // detected and rolled back.
+        let live = shared.live_conns.fetch_add(1, Ordering::SeqCst) + 1;
+        if live > budget || inner.shutting_down() {
+            shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            qufem_telemetry::counter_add("serve.rejected", 1);
+            let reason = if inner.shutting_down() {
+                "server shutting down"
+            } else {
+                "server busy: connection queue full, retry later"
+            };
+            // Rejections are always one NDJSON error line: the client has
+            // not sent its first byte yet, so no dialect was negotiated.
+            let _ = stream.set_write_timeout(inner.config.read_timeout);
+            let _ = write_response(&stream, &Response::err(reason));
+            drop(stream);
+        } else {
+            inner.accepted.fetch_add(1, Ordering::Relaxed);
+            qufem_telemetry::gauge_set("serve.queue_depth", live as f64);
+            qufem_telemetry::gauge_max("serve.queue_depth.peak", live as f64);
+            shared.registrations.lock().expect("registrations lock").push((stream, Instant::now()));
+            shared.wake();
+        }
+    }
+    shared.acceptor_done.store(true, Ordering::SeqCst);
+    shared.wake();
+}
+
+/// Wire dialect a connection negotiated with its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dialect {
+    /// No bytes received yet.
+    Undecided,
+    /// Newline-delimited JSON (anything whose first byte is not the binary
+    /// magic — `{`, whitespace, a bare keep-alive newline).
+    Json,
+    /// Length-prefixed binary frames ([`crate::wire`]).
+    Binary,
+}
+
+/// One decoded unit waiting in a connection's dispatch queue.
+#[derive(Debug)]
+enum Pending {
+    /// One NDJSON request line (newline stripped).
+    Line(String),
+    /// One binary request frame.
+    Frame(wire::Frame),
+    /// A frame over the byte limit: answer once (echoing the declared id
+    /// on binary connections), then close — an over-limit stream cannot be
+    /// re-synchronized cheaply.
+    Oversized { id: u64 },
+    /// Binary framing lost (bad magic mid-stream): answer once, then
+    /// close.
+    Desync { message: String },
+}
+
+/// One connection owned by the event loop.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against slot reuse: stale generations are
+    /// discarded.
+    gen: u64,
+    dialect: Dialect,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    pending: VecDeque<Pending>,
+    /// Requests dispatched to workers and not yet completed.
+    in_flight: usize,
+    /// Responses written (or queued for write) on this connection.
+    answered: u64,
+    /// Accept-queue wait, attributed to the connection's first request.
+    queue_us: u64,
+    last_activity: Instant,
+    /// No more bytes will be read (EOF, read error, or a poisoned frame).
+    read_closed: bool,
+    /// A terminal error frame was emitted: close once writes drain.
+    closing: bool,
+    /// The socket failed: drop the connection without further ceremony.
+    dead: bool,
+}
+
+impl Conn {
+    /// Whether every queued byte has been written to the socket.
+    fn writes_drained(&self) -> bool {
+        self.write_pos == self.write_buf.len()
+    }
+
+    /// Whether no request is queued or executing and writes are drained.
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0 && self.writes_drained()
+    }
+}
+
+/// One finished request on its way back to the event loop.
+#[derive(Debug)]
+struct Completion {
+    slot: usize,
+    gen: u64,
+    /// The encoded response (JSON line or binary frame).
+    bytes: Vec<u8>,
+    /// The request asked for a server shutdown.
+    shutdown: bool,
+}
+
+/// One decoded request on its way to a worker.
+#[derive(Debug)]
+struct Work {
+    slot: usize,
+    gen: u64,
+    queue_us: u64,
+    item: Pending,
+}
+
+/// Frames a connection may queue before the loop stops reading from it
+/// (per-connection decode backpressure; the bounded work channel is the
+/// global one).
+const PENDING_HIGH_WATER: usize = 128;
+/// Read granularity for the shared scratch buffer.
+const READ_CHUNK: usize = 64 * 1024;
+/// Shortest idle park; doubles up to [`MAX_PARK`] while nothing happens.
+const MIN_PARK: Duration = Duration::from_micros(20);
+/// Longest idle park (wakes still arrive instantly via `unpark`).
+const MAX_PARK: Duration = Duration::from_millis(1);
+/// How long a drain waits for a silent connection to say something before
+/// closing it (connections that answered at least once close as soon as
+/// they go idle).
+const DRAIN_GRACE: Duration = Duration::from_millis(1000);
+
+/// The event loop: adopt registrations, write out completions, pump every
+/// connection's socket, and dispatch decoded frames to the worker pool.
+fn event_loop(inner: &Arc<Inner>, shared: &Arc<LoopShared>, work_tx: SyncSender<Work>) {
+    let _ = shared.waker.set(std::thread::current());
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u64 = 0;
+    let mut drain_since: Option<Instant> = None;
+    let mut park = MIN_PARK;
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let mut progress = false;
+
+        // Adopt newly accepted connections.
+        let regs: Vec<(TcpStream, Instant)> =
+            std::mem::take(&mut *shared.registrations.lock().expect("registrations lock"));
+        for (stream, accepted_at) in regs {
+            progress = true;
+            if stream.set_nonblocking(true).is_err() {
+                shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+                continue;
             }
-            Err(TrySendError::Full((stream, _))) | Err(TrySendError::Disconnected((stream, _))) => {
-                inner.queue_len.fetch_sub(1, Ordering::Relaxed);
-                inner.rejected.fetch_add(1, Ordering::Relaxed);
-                qufem_telemetry::counter_add("serve.rejected", 1);
-                let reason = if inner.shutting_down() {
-                    "server shutting down"
-                } else {
-                    "server busy: connection queue full, retry later"
-                };
-                let _ = stream.set_write_timeout(inner.config.read_timeout);
-                let _ = write_response(&stream, &Response::err(reason));
-                drop(stream);
+            let _ = stream.set_nodelay(true);
+            next_gen += 1;
+            let conn = Conn {
+                stream,
+                gen: next_gen,
+                dialect: Dialect::Undecided,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                write_pos: 0,
+                pending: VecDeque::new(),
+                in_flight: 0,
+                answered: 0,
+                queue_us: accepted_at.elapsed().as_micros() as u64,
+                last_activity: Instant::now(),
+                read_closed: false,
+                closing: false,
+                dead: false,
+            };
+            let slot = free.pop().unwrap_or_else(|| {
+                conns.push(None);
+                conns.len() - 1
+            });
+            conns[slot] = Some(conn);
+        }
+
+        // Fold in finished work.
+        let comps: Vec<Completion> =
+            std::mem::take(&mut *shared.completions.lock().expect("completions lock"));
+        for completion in comps {
+            progress = true;
+            if completion.shutdown {
+                inner.begin_shutdown();
+            }
+            if let Some(conn) = conns.get_mut(completion.slot).and_then(Option::as_mut) {
+                if conn.gen == completion.gen {
+                    conn.in_flight -= 1;
+                    conn.answered += 1;
+                    conn.write_buf.extend_from_slice(&completion.bytes);
+                    conn.last_activity = Instant::now();
+                }
+            }
+        }
+
+        let shutting_down = inner.shutting_down();
+        if shutting_down && drain_since.is_none() {
+            drain_since = Some(Instant::now());
+        }
+        let grace_over = drain_since.is_some_and(|t| t.elapsed() >= DRAIN_GRACE);
+
+        // Pump sockets, extract frames, dispatch, decide closes.
+        let mut backlog = 0usize;
+        for (slot, entry) in conns.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else { continue };
+            progress |= service_conn(inner, conn, slot, &work_tx, &mut chunk);
+            backlog += conn.pending.len() + conn.in_flight;
+            let timed_out = inner.config.read_timeout.is_some_and(|t| {
+                conn.pending.is_empty() && conn.in_flight == 0 && conn.last_activity.elapsed() >= t
+            });
+            let close = conn.dead
+                || (conn.closing && conn.in_flight == 0 && conn.writes_drained())
+                || (conn.read_closed && conn.idle())
+                || (shutting_down && conn.idle() && (conn.answered > 0 || grace_over))
+                || timed_out;
+            if close {
+                progress = true;
+                *entry = None;
+                free.push(slot);
+                shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        inner.queue_len.store(backlog, Ordering::Relaxed);
+
+        // Exit once shut down and fully drained: the acceptor has stopped
+        // (no new registrations can appear) and every connection closed.
+        if shutting_down
+            && shared.acceptor_done.load(Ordering::SeqCst)
+            && conns.iter().all(Option::is_none)
+            && shared.registrations.lock().expect("registrations lock").is_empty()
+        {
+            break;
+        }
+
+        if progress {
+            park = MIN_PARK;
+        } else {
+            // `unpark` from the acceptor or a worker returns immediately,
+            // including wakes that landed between the sweep and this park.
+            std::thread::park_timeout(park);
+            park = (park * 4).min(MAX_PARK);
+        }
+    }
+    // Dropping `work_tx` closes the channel; workers exit once it drains.
+}
+
+/// Pumps one connection: flush queued writes, read available bytes,
+/// extract frames, and dispatch them. Returns whether anything happened.
+fn service_conn(
+    inner: &Inner,
+    conn: &mut Conn,
+    slot: usize,
+    work_tx: &SyncSender<Work>,
+    chunk: &mut [u8],
+) -> bool {
+    let mut progress = false;
+
+    // Flush queued response bytes.
+    while conn.write_pos < conn.write_buf.len() {
+        match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.write_pos += n;
+                conn.last_activity = Instant::now();
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
             }
         }
     }
-    // Dropping the sender lets workers drain the queue and then exit.
+    if conn.write_pos > 0 && conn.writes_drained() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+
+    // Read what the socket has, up to the decode backpressure limits.
+    if !conn.read_closed && !conn.closing && conn.pending.len() < PENDING_HIGH_WATER {
+        loop {
+            if conn.read_buf.len() > inner.config.max_request_bytes + READ_CHUNK {
+                break; // oversized detection below will deal with it
+            }
+            match (&conn.stream).read(chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.read_closed = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    extract_frames(inner, conn);
+    progress |= dispatch_pending(inner, conn, slot, work_tx);
+    progress
 }
 
-/// Worker loop: serve queued connections until the queue closes empty.
-fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<(TcpStream, Instant)>>>) {
+/// Negotiates the dialect on the first byte, then slices the read buffer
+/// into [`Pending`] units.
+fn extract_frames(inner: &Inner, conn: &mut Conn) {
+    if conn.closing || conn.read_buf.is_empty() {
+        return;
+    }
+    if conn.dialect == Dialect::Undecided {
+        conn.dialect =
+            if conn.read_buf[0] == wire::MAGIC[0] { Dialect::Binary } else { Dialect::Json };
+    }
+    let max = inner.config.max_request_bytes;
+    let mut consumed = 0usize;
+    match conn.dialect {
+        Dialect::Undecided => unreachable!("dialect decided above"),
+        Dialect::Json => {
+            while let Some(nl) = conn.read_buf[consumed..].iter().position(|&b| b == b'\n') {
+                let bytes = &conn.read_buf[consumed..consumed + nl];
+                if bytes.len() > max {
+                    conn.pending.push_back(Pending::Oversized { id: 0 });
+                    conn.read_closed = true;
+                    consumed = conn.read_buf.len();
+                    break;
+                }
+                let line = match std::str::from_utf8(bytes) {
+                    Ok(s) => s.trim_end_matches('\r').to_string(),
+                    // An undecodable line still fails as one malformed
+                    // request downstream instead of killing the stream.
+                    Err(_) => String::from("\u{FFFD}"),
+                };
+                consumed += nl + 1;
+                if line.is_empty() {
+                    continue; // tolerate blank keepalive lines
+                }
+                conn.pending.push_back(Pending::Line(line));
+            }
+            // A partial line past the limit can never complete validly.
+            if !conn.read_closed && conn.read_buf.len() - consumed > max {
+                conn.pending.push_back(Pending::Oversized { id: 0 });
+                conn.read_closed = true;
+                consumed = conn.read_buf.len();
+            }
+        }
+        Dialect::Binary => loop {
+            match wire::try_parse_frame(&conn.read_buf[consumed..], max) {
+                Ok(None) => break,
+                Ok(Some((frame, used))) => {
+                    consumed += used;
+                    conn.pending.push_back(Pending::Frame(frame));
+                }
+                Err(wire::WireError::Oversized { id, .. }) => {
+                    conn.pending.push_back(Pending::Oversized { id });
+                    conn.read_closed = true;
+                    consumed = conn.read_buf.len();
+                    break;
+                }
+                Err(e) => {
+                    conn.pending.push_back(Pending::Desync { message: e.to_string() });
+                    conn.read_closed = true;
+                    consumed = conn.read_buf.len();
+                    break;
+                }
+            }
+        },
+    }
+    if consumed > 0 {
+        conn.read_buf.drain(..consumed);
+    }
+}
+
+/// Feeds a connection's pending queue to the worker channel under the
+/// ordering policy: NDJSON strictly serial (one in flight), binary freely
+/// pipelined. Terminal markers are answered inline once earlier work
+/// drains, then the connection closes.
+fn dispatch_pending(
+    inner: &Inner,
+    conn: &mut Conn,
+    slot: usize,
+    work_tx: &SyncSender<Work>,
+) -> bool {
+    let mut progress = false;
+    loop {
+        match conn.pending.front() {
+            None => break,
+            Some(Pending::Oversized { .. }) | Some(Pending::Desync { .. }) => {
+                if conn.in_flight > 0 {
+                    break; // answer strictly after everything before it
+                }
+                let marker = conn.pending.pop_front().expect("front checked");
+                emit_terminal(inner, conn, marker);
+                conn.closing = true;
+                conn.read_closed = true;
+                conn.pending.clear();
+                return true;
+            }
+            Some(Pending::Line(_)) => {
+                if conn.in_flight > 0 {
+                    break; // NDJSON answers in request order
+                }
+            }
+            Some(Pending::Frame(_)) => {}
+        }
+        let queue_us = std::mem::take(&mut conn.queue_us);
+        let item = conn.pending.pop_front().expect("front checked");
+        match work_tx.try_send(Work { slot, gen: conn.gen, queue_us, item }) {
+            Ok(()) => {
+                conn.in_flight += 1;
+                progress = true;
+            }
+            Err(TrySendError::Full(w)) | Err(TrySendError::Disconnected(w)) => {
+                conn.queue_us = w.queue_us;
+                conn.pending.push_front(w.item);
+                break;
+            }
+        }
+    }
+    progress
+}
+
+/// Answers a terminal marker (oversized frame or lost framing) in the
+/// connection's dialect, with full request accounting, on the loop thread.
+fn emit_terminal(inner: &Inner, conn: &mut Conn, marker: Pending) {
+    let started = Instant::now();
+    let mut rec = RequestRecord::new(inner.metrics.begin());
+    rec.queue_us = std::mem::take(&mut conn.queue_us);
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    qufem_telemetry::counter_add("serve.requests", 1);
+    let (id, response) = match marker {
+        Pending::Oversized { id } => {
+            rec.outcome = RequestOutcome::Oversized;
+            qufem_telemetry::counter_add("serve.oversized", 1);
+            let limit = inner.config.max_request_bytes;
+            (id, Response::err(format!("request exceeds the {limit} byte frame limit")))
+        }
+        Pending::Desync { message } => {
+            rec.outcome = RequestOutcome::Malformed;
+            qufem_telemetry::counter_add("serve.malformed", 1);
+            (0, Response::err(format!("malformed request: {message}")))
+        }
+        Pending::Line(_) | Pending::Frame(_) => unreachable!("not a terminal marker"),
+    };
+    let serialize_start = Instant::now();
+    let bytes = match conn.dialect {
+        Dialect::Binary => wire::encode_response(&response, id),
+        Dialect::Json | Dialect::Undecided => encode_json_response(&response),
+    };
+    rec.serialize_us = serialize_start.elapsed().as_micros() as u64;
+    rec.response_bytes = bytes.len() as u64;
+    conn.write_buf.extend_from_slice(&bytes);
+    conn.answered += 1;
+    rec.total_us = started.elapsed().as_micros() as u64;
+    inner.metrics.finish(rec);
+}
+
+/// Serializes a response as one JSON line (newline included).
+fn encode_json_response(response: &Response) -> Vec<u8> {
+    let mut line = serde_json::to_string(response)
+        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"serialize failed: {e}\"}}"));
+    line.push('\n');
+    line.into_bytes()
+}
+
+/// Worker loop: execute decoded requests until the work channel closes.
+fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<Work>>>, shared: &LoopShared) {
     loop {
         // Holding the lock across the blocking `recv` is intentional: only
         // one idle worker waits on the channel at a time, the rest wait on
-        // the mutex, and every worker still serves its own connection with
-        // the lock released.
+        // the mutex, and every worker executes with the lock released.
         let next = {
             let guard = rx.lock().expect("worker queue lock");
             guard.recv()
         };
-        let Ok((stream, enqueued)) = next else { break };
-        let queue_us = enqueued.elapsed().as_micros() as u64;
-        let depth = inner.queue_len.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
-        qufem_telemetry::gauge_set("serve.queue_depth", depth as f64);
-        serve_connection(inner, stream, queue_us);
+        let Ok(work) = next else { break };
+        let completion = execute(inner, work);
+        shared.completions.lock().expect("completions lock").push(completion);
+        shared.wake();
     }
 }
 
-/// Outcome of reading one frame off a connection.
-enum Frame {
-    /// A complete request line (without the trailing newline).
-    Line(String),
-    /// The line exceeded `max_request_bytes`; the stream can no longer be
-    /// re-synchronized to a frame boundary.
-    Oversized,
-    /// Clean end of stream, timeout, or I/O failure — close quietly.
-    Closed,
+/// Executes one decoded request end to end on a worker thread: parse,
+/// dispatch, encode in the request's dialect, and fold the request record
+/// into the metrics. The returned completion carries the encoded bytes.
+fn execute(inner: &Inner, work: Work) -> Completion {
+    let started = Instant::now();
+    let mut rec = RequestRecord::new(inner.metrics.begin());
+    rec.queue_us = work.queue_us;
+    let (bytes, shutdown) = match work.item {
+        Pending::Line(line) => {
+            rec.request_bytes = line.len() as u64;
+            let (response, shutdown) = handle_request(inner, &line, &mut rec);
+            let serialize_start = Instant::now();
+            let bytes = encode_json_response(&response);
+            rec.serialize_us = serialize_start.elapsed().as_micros() as u64;
+            rec.response_bytes = bytes.len() as u64;
+            (bytes, shutdown)
+        }
+        Pending::Frame(frame) => {
+            let _span = qufem_telemetry::span!("serve.request");
+            rec.request_bytes = (wire::HEADER_LEN + frame.payload.len()) as u64;
+            inner.requests.fetch_add(1, Ordering::Relaxed);
+            qufem_telemetry::counter_add("serve.requests", 1);
+            inner.metrics.record_binary();
+            let (response, shutdown) = match wire::decode_request(&frame) {
+                Ok(request) => dispatch_request(inner, request, &mut rec),
+                Err(e) => {
+                    qufem_telemetry::counter_add("serve.malformed", 1);
+                    rec.outcome = RequestOutcome::Malformed;
+                    (Response::err(format!("malformed request: {e}")), false)
+                }
+            };
+            let serialize_start = Instant::now();
+            let bytes = wire::encode_response(&response, frame.id);
+            rec.serialize_us = serialize_start.elapsed().as_micros() as u64;
+            rec.response_bytes = bytes.len() as u64;
+            (bytes, shutdown)
+        }
+        Pending::Oversized { .. } | Pending::Desync { .. } => {
+            unreachable!("terminal markers are answered on the loop thread")
+        }
+    };
+    rec.total_us = started.elapsed().as_micros() as u64;
+    inner.metrics.finish(rec);
+    Completion { slot: work.slot, gen: work.gen, bytes, shutdown }
 }
 
-/// Reads one newline-delimited frame, never buffering more than the
-/// configured byte limit.
-fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
-    let mut buf = Vec::new();
-    // `take` caps what a single oversized frame can make the server buffer;
-    // +1 distinguishes "exactly max_bytes plus newline" from "too long".
-    let mut limited = reader.take(max_bytes as u64 + 1);
-    match limited.read_until(b'\n', &mut buf) {
-        Ok(0) => Frame::Closed,
-        Ok(_) if buf.last() != Some(&b'\n') && buf.len() > max_bytes => Frame::Oversized,
-        Ok(_) => match String::from_utf8(buf) {
-            Ok(line) => Frame::Line(line.trim_end_matches(['\r', '\n']).to_string()),
-            Err(_) => Frame::Line(String::from("\u{FFFD}")), // fails JSON parse downstream
-        },
-        Err(_) => Frame::Closed,
-    }
-}
-
-/// Serializes a response as one JSON line onto the stream.
-fn write_response(stream: &TcpStream, response: &Response) -> io::Result<()> {
-    let mut rec = RequestRecord::new(0);
-    write_response_recorded(stream, response, &mut rec)
-}
-
-/// Serializes a response as one JSON line onto the stream, recording the
-/// serialization time and response size into `rec`.
-fn write_response_recorded(
-    mut stream: &TcpStream,
-    response: &Response,
-    rec: &mut RequestRecord,
-) -> io::Result<()> {
-    let serialize_start = Instant::now();
-    let mut line = serde_json::to_string(response)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    line.push('\n');
-    rec.serialize_us = serialize_start.elapsed().as_micros() as u64;
-    rec.response_bytes = line.len() as u64;
-    stream.write_all(line.as_bytes())?;
+/// Serializes a response as one JSON line onto a (blocking) stream — the
+/// acceptor's rejection path.
+fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
+    let line = encode_json_response(response);
+    stream.write_all(&line)?;
     stream.flush()
 }
 
-/// Serves every request on one connection, in order. `queue_us` is the
-/// connection's accept-queue wait, attributed to its first request.
-fn serve_connection(inner: &Inner, stream: TcpStream, mut queue_us: u64) {
-    let _ = stream.set_read_timeout(inner.config.read_timeout);
-    let _ = stream.set_write_timeout(inner.config.read_timeout);
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    loop {
-        match read_frame(&mut reader, inner.config.max_request_bytes) {
-            Frame::Closed => break,
-            Frame::Oversized => {
-                // A frame past the limit cannot be skipped reliably (its
-                // tail would parse as garbage requests), so answer once and
-                // drop the connection.
-                let started = Instant::now();
-                let mut rec = RequestRecord::new(inner.metrics.begin());
-                rec.queue_us = std::mem::take(&mut queue_us);
-                rec.outcome = RequestOutcome::Oversized;
-                inner.requests.fetch_add(1, Ordering::Relaxed);
-                qufem_telemetry::counter_add("serve.requests", 1);
-                qufem_telemetry::counter_add("serve.oversized", 1);
-                let _ = write_response_recorded(
-                    &stream,
-                    &Response::err(format!(
-                        "request exceeds the {} byte frame limit",
-                        inner.config.max_request_bytes
-                    )),
-                    &mut rec,
-                );
-                rec.total_us = started.elapsed().as_micros() as u64;
-                inner.metrics.finish(rec);
-                break;
-            }
-            Frame::Line(line) => {
-                if line.is_empty() {
-                    continue; // tolerate blank keepalive lines
-                }
-                let started = Instant::now();
-                let mut rec = RequestRecord::new(inner.metrics.begin());
-                rec.queue_us = std::mem::take(&mut queue_us);
-                rec.request_bytes = line.len() as u64;
-                let (response, shutdown) = handle_request(inner, &line, &mut rec);
-                let write_ok = write_response_recorded(&stream, &response, &mut rec).is_ok();
-                rec.total_us = started.elapsed().as_micros() as u64;
-                inner.metrics.finish(rec);
-                if !write_ok {
-                    break;
-                }
-                if shutdown {
-                    inner.begin_shutdown();
-                }
-                if inner.shutting_down() {
-                    break; // drained: the current request was answered
-                }
-            }
-        }
-    }
-}
-
-/// Parses and executes one request line, filling `rec` as it learns what
-/// the request is. Returns the response and whether the request asked for a
-/// server shutdown.
+/// Parses and executes one NDJSON request line, filling `rec` as it learns
+/// what the request is. Returns the response and whether the request asked
+/// for a server shutdown.
 fn handle_request(inner: &Inner, line: &str, rec: &mut RequestRecord) -> (Response, bool) {
     let _span = qufem_telemetry::span!("serve.request");
     inner.requests.fetch_add(1, Ordering::Relaxed);
@@ -558,6 +1023,13 @@ fn handle_request(inner: &Inner, line: &str, rec: &mut RequestRecord) -> (Respon
             return (Response::err(format!("malformed request: {e}")), false);
         }
     };
+    dispatch_request(inner, request, rec)
+}
+
+/// Executes one decoded request — the shared dispatch for both wire
+/// dialects, so binary and NDJSON answers are built by the exact same
+/// code.
+fn dispatch_request(inner: &Inner, request: Request, rec: &mut RequestRecord) -> (Response, bool) {
     match request.cmd.as_str() {
         CMD_CALIBRATE => {
             rec.cmd = RequestCmd::Calibrate;
@@ -777,6 +1249,7 @@ fn metrics_info(inner: &Inner) -> MetricsInfo {
         oversized,
         unknown_method,
         slow,
+        binary_requests: inner.metrics.binary_requests(),
         queue_depth: inner.queue_len.load(Ordering::Relaxed) as u64,
         plan_cache_len,
         plan_cache_capacity: inner.catalog.plan_cache_capacity(),
@@ -807,6 +1280,7 @@ fn metrics_text(inner: &Inner) -> String {
     let _ = writeln!(out, "qufem_serve_oversized {}", info.oversized);
     let _ = writeln!(out, "qufem_serve_unknown_method {}", info.unknown_method);
     let _ = writeln!(out, "qufem_serve_slow_requests {}", info.slow);
+    let _ = writeln!(out, "qufem_serve_binary_requests {}", info.binary_requests);
     let _ = writeln!(out, "qufem_serve_queue_depth {}", info.queue_depth);
     let _ = writeln!(out, "qufem_serve_plan_cache_len {}", info.plan_cache_len);
     let _ = writeln!(out, "qufem_serve_plan_cache_hits {}", info.plan_cache_hits);
@@ -833,24 +1307,53 @@ fn metrics_text(inner: &Inner) -> String {
 // Client side
 // ---------------------------------------------------------------------------
 
-/// A blocking client connection speaking the JSON-lines protocol.
+/// A blocking client connection speaking either wire dialect.
+///
+/// [`Client::connect`] negotiates NDJSON (the historical protocol);
+/// [`Client::connect_binary`] negotiates the binary frame format of
+/// [`crate::wire`]. Either way, [`Client::request`] does one lockstep
+/// round-trip, and [`Client::send`] / [`Client::recv`] pipeline many
+/// requests with explicit ids — on binary connections responses may
+/// complete out of order and are paired by id.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    binary: bool,
+    next_id: u64,
+    /// Ids of pipelined NDJSON sends, answered strictly in order.
+    json_inflight: VecDeque<u64>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server, speaking NDJSON.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with(addr, false)
+    }
+
+    /// Connects to a running server, speaking the binary frame dialect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with(addr, true)
+    }
+
+    fn connect_with(addr: impl ToSocketAddrs, binary: bool) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        Ok(Client { stream, reader, binary, next_id: 1, json_inflight: VecDeque::new() })
+    }
+
+    /// Whether this connection negotiated the binary dialect.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     /// Sends one request and waits for its response.
@@ -861,14 +1364,59 @@ impl Client {
     /// [`io::ErrorKind::UnexpectedEof`] and an unparseable response as
     /// [`io::ErrorKind::InvalidData`]. A `Response { ok: false, .. }` is
     /// returned as `Ok` — protocol-level failures are the caller's to
-    /// inspect.
+    /// inspect. Must not be interleaved with outstanding pipelined
+    /// [`Client::send`]s: their responses arrive first.
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
-        let mut line = serde_json::to_string(request)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        line.push('\n');
-        self.stream.write_all(line.as_bytes())?;
+        let id = self.send(request)?;
+        let (got, response) = self.recv()?;
+        if got != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {got} does not match lockstep request id {id}"),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Sends one request without waiting, returning the id its response
+    /// will carry. Pair with [`Client::recv`]; responses on binary
+    /// connections may arrive out of order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.binary {
+            self.stream.write_all(&wire::encode_request(request, id))?;
+        } else {
+            let mut line = serde_json::to_string(request)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            line.push('\n');
+            self.stream.write_all(line.as_bytes())?;
+            self.json_inflight.push_back(id);
+        }
         self.stream.flush()?;
-        self.read_response()
+        Ok(id)
+    }
+
+    /// Receives the next response, tagged with the id of the request it
+    /// answers (NDJSON responses arrive in send order).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        if self.binary {
+            let frame = self.read_binary_frame()?;
+            let response = wire::decode_response(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Ok((frame.id, response))
+        } else {
+            let id = self.json_inflight.pop_front().unwrap_or(0);
+            Ok((id, self.read_json_response()?))
+        }
     }
 
     /// Sends raw bytes (tests use this for malformed/oversized frames).
@@ -881,18 +1429,48 @@ impl Client {
         self.stream.flush()
     }
 
-    /// Reads the next response line.
+    /// Reads the next response, discarding its request id.
     ///
     /// # Errors
     ///
     /// See [`Client::request`].
     pub fn read_response(&mut self) -> io::Result<Response> {
+        if self.binary {
+            return Ok(self.recv()?.1);
+        }
+        self.read_json_response()
+    }
+
+    fn read_json_response(&mut self) -> io::Result<Response> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
         }
         serde_json::from_str(line.trim_end())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn read_binary_frame(&mut self) -> io::Result<wire::Frame> {
+        let mut header = [0u8; wire::HEADER_LEN];
+        if let Err(e) = self.reader.read_exact(&mut header) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+            } else {
+                e
+            });
+        }
+        // Parse just the header: payload length is known afterwards.
+        match wire::try_parse_frame(&header, usize::MAX) {
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Ok(_) => {
+                let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+                let id = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+                let code = header[16];
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                Ok(wire::Frame { id, code, payload })
+            }
+        }
     }
 }
 

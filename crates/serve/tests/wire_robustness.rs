@@ -1,0 +1,248 @@
+//! Robustness of the live binary frame decoder against hostile bytes: a
+//! truncated, bit-flipped, oversized, or dialect-confused stream must be
+//! answered with an error frame or a clean connection close — never a
+//! panic, and never a wedged server. The suite is fuzz-ish rather than
+//! exhaustive (mirroring `qufem-core`'s `persist_robustness`): mutants are
+//! derived from one valid frame with sampled positions and a seeded RNG,
+//! so failures reproduce deterministically.
+//!
+//! Every scenario ends with a health probe on a fresh connection: whatever
+//! the damaged stream did, the server must still answer.
+
+use qufem_core::{QuFem, QuFemConfig};
+use qufem_serve::wire;
+use qufem_serve::{Client, Request, Response, ServeConfig, Server};
+use qufem_types::ProbDist;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn started_server(max_request_bytes: usize) -> Server {
+    let device = qufem_device::presets::ibmq_7(1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    let serve_config = ServeConfig {
+        read_timeout: Some(Duration::from_secs(5)),
+        max_request_bytes,
+        prewarm: false,
+        ..ServeConfig::default()
+    };
+    Server::start(qufem, "127.0.0.1:0", serve_config).unwrap()
+}
+
+/// A valid binary calibrate frame to derive mutants from.
+fn valid_calibrate_frame(id: u64) -> Vec<u8> {
+    let mut dist = ProbDist::new(3);
+    dist.add("010".parse().unwrap(), 0.75);
+    dist.add("101".parse().unwrap(), 0.25);
+    wire::encode_request(&Request::calibrate(dist, Some(vec![0, 1, 2])), id)
+}
+
+/// Writes `bytes`, closes the write half, and drains everything the server
+/// says before it closes the connection. Returns the response bytes.
+fn exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+/// Splits a byte stream back into decoded binary responses; panics on
+/// malformed server output (the server must never emit garbage).
+fn parse_responses(mut bytes: &[u8]) -> Vec<(u64, Response)> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        match wire::try_parse_frame(bytes, usize::MAX) {
+            Ok(Some((frame, used))) => {
+                let response = wire::decode_response(&frame)
+                    .unwrap_or_else(|e| panic!("server emitted an undecodable frame: {e}"));
+                out.push((frame.id, response));
+                bytes = &bytes[used..];
+            }
+            Ok(None) => panic!("server emitted a truncated frame ({} bytes left)", bytes.len()),
+            Err(e) => panic!("server lost framing on its own output: {e}"),
+        }
+    }
+    out
+}
+
+/// The server must answer a fresh connection after every abuse scenario.
+fn assert_healthy(addr: SocketAddr) {
+    let response = qufem_serve::request_once(addr, &Request::status()).unwrap();
+    assert!(response.ok, "health probe failed: {:?}", response.error);
+}
+
+#[test]
+fn truncated_binary_frames_are_dropped_cleanly() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    let frame = valid_calibrate_frame(9);
+    // A spread of cut points plus the boundary cases: nothing, a magic
+    // prefix, a full header, one byte short of complete.
+    let mut cuts: Vec<usize> = (0..frame.len()).step_by(frame.len() / 23 + 1).collect();
+    cuts.extend([0, 1, 3, wire::HEADER_LEN - 1, wire::HEADER_LEN, frame.len() - 1]);
+    for cut in cuts {
+        let answers = parse_responses(&exchange(addr, &frame[..cut]));
+        // An incomplete frame is not a request: the server closes without
+        // inventing an answer for bytes that never finished arriving.
+        assert!(answers.is_empty(), "truncation at byte {cut} produced {answers:?}");
+        assert_healthy(addr);
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn corrupted_binary_frames_error_or_close_but_never_panic() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    let frame = valid_calibrate_frame(17);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0);
+    // Sampled single-byte corruptions across the whole frame (header and
+    // payload), plus a burst of fully random mutants.
+    let mut positions: Vec<usize> = (0..frame.len()).step_by(frame.len() / 61 + 1).collect();
+    positions.extend(0..wire::HEADER_LEN.min(frame.len()));
+    for pos in positions {
+        let mut mutant = frame.clone();
+        mutant[pos] ^= 1 << (pos % 8);
+        if mutant[..4.min(pos + 1)] != wire::MAGIC[..4.min(pos + 1)] {
+            // Magic damage: the server may close without a frame.
+            let _ = exchange(addr, &mutant);
+        } else {
+            // Framing intact: every answer must be a well-formed frame
+            // (possibly an error, possibly a calibration of the altered
+            // payload — both are fine; a panic or garbage bytes are not).
+            parse_responses(&exchange(addr, &mutant));
+        }
+        assert_healthy(addr);
+    }
+    for _ in 0..32 {
+        let blob: Vec<u8> =
+            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(0..=255) as u8).collect();
+        let _ = exchange(addr, &blob);
+        assert_healthy(addr);
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_binary_frames_get_an_error_frame_echoing_the_id() {
+    let server = started_server(4096);
+    let addr = server.local_addr();
+    // A header declaring a payload far over the limit; the body never
+    // arrives — the server must answer from the header alone and close.
+    let huge = wire::encode_frame(0xdead_beef, wire::CODE_CALIBRATE, &[]);
+    let mut header = huge[..wire::HEADER_LEN].to_vec();
+    header[4..8].copy_from_slice(&(64u32 << 20).to_le_bytes());
+    let answers = parse_responses(&exchange(addr, &header));
+    assert_eq!(answers.len(), 1, "expected exactly one error frame: {answers:?}");
+    let (id, response) = &answers[0];
+    assert_eq!(*id, 0xdead_beef, "the declared request id must be echoed");
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("frame limit"), "{response:?}");
+    assert_healthy(addr);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn json_bytes_on_a_binary_connection_desync_after_inflight_answers() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    // A valid binary frame followed by an NDJSON line on the same
+    // connection: the dialect is fixed at negotiation, so the JSON bytes
+    // are lost framing — answered once as malformed, then the stream ends.
+    let mut bytes = valid_calibrate_frame(5);
+    bytes.extend_from_slice(b"{\"cmd\":\"status\"}\n");
+    let answers = parse_responses(&exchange(addr, &bytes));
+    assert_eq!(answers.len(), 2, "one calibration + one desync error: {answers:?}");
+    assert_eq!(answers[0].0, 5);
+    assert!(answers[0].1.ok, "the in-flight frame must still be answered: {:?}", answers[0].1);
+    assert!(!answers[1].1.ok);
+    assert!(answers[1].1.error.as_deref().unwrap().contains("malformed"), "{:?}", answers[1].1);
+    assert_healthy(addr);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn binary_bytes_on_a_json_connection_fail_as_malformed_lines() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    // A JSON line first fixes the dialect; raw binary frame bytes after it
+    // are junk lines (however many newline bytes they happen to contain) —
+    // each must come back as a malformed-request error, never a panic.
+    let mut bytes = Vec::from(&b"{\"cmd\":\"status\"}\n"[..]);
+    bytes.extend_from_slice(&valid_calibrate_frame(1));
+    bytes.push(b'\n'); // terminate whatever trailing junk line remains
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(&bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut raw = String::new();
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf).map(|_| raw = String::from_utf8_lossy(&buf).into_owned());
+    let lines: Vec<&str> = raw.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "the leading status request must be answered");
+    let first: Response = serde_json::from_str(lines[0]).unwrap();
+    assert!(first.ok && first.status.is_some(), "{first:?}");
+    for line in &lines[1..] {
+        let response: Response = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("server emitted a non-JSON line {line:?}: {e}"));
+        assert!(!response.ok, "junk lines must fail: {response:?}");
+    }
+    assert_healthy(addr);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn pipelined_mutants_do_not_poison_earlier_frames() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    // Two good frames, then a corrupted one, all written in one burst: the
+    // good frames answer normally and the bad one fails alone — responses
+    // may complete out of order, paired by id.
+    let mut bytes = valid_calibrate_frame(1);
+    bytes.extend_from_slice(&valid_calibrate_frame(2));
+    let mut bad = valid_calibrate_frame(3);
+    let len = bad.len();
+    bad[len - 1] ^= 0xff; // corrupt the last probability byte to a NaN-ish bit pattern
+    bad.truncate(len - 4); // and truncate it so the payload under-runs
+    bad[4..8].copy_from_slice(&((len - 4 - wire::HEADER_LEN) as u32).to_le_bytes());
+    bytes.extend_from_slice(&bad);
+    let answers = parse_responses(&exchange(addr, &bytes));
+    assert_eq!(answers.len(), 3, "{answers:?}");
+    let mut ok_ids: Vec<u64> = answers.iter().filter(|(_, r)| r.ok).map(|(id, _)| *id).collect();
+    ok_ids.sort_unstable();
+    assert_eq!(ok_ids, vec![1, 2], "both good frames must be answered: {answers:?}");
+    let poisoned = answers.iter().find(|(id, _)| *id == 3).expect("the bad frame is answered");
+    assert!(!poisoned.1.ok, "the poisoned frame must fail: {answers:?}");
+    assert!(poisoned.1.error.as_deref().unwrap().contains("malformed"), "{answers:?}");
+    assert_healthy(addr);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn a_binary_client_survives_a_malformed_payload_mid_stream() {
+    let server = started_server(8 << 20);
+    let addr = server.local_addr();
+    let mut client = Client::connect_binary(addr).unwrap();
+    // A structurally valid frame whose payload fails decoding (unknown
+    // flag bits) is one failed request, not a dead connection.
+    let mut payload = vec![0x80u8];
+    payload.extend_from_slice(&valid_calibrate_frame(1)[wire::HEADER_LEN + 1..]);
+    client.send_raw(&wire::encode_frame(41, wire::CODE_CALIBRATE, &payload)).unwrap();
+    let (id, response) = client.recv().unwrap();
+    assert_eq!(id, 41);
+    assert!(!response.ok);
+    assert!(response.error.as_deref().unwrap().contains("malformed"), "{response:?}");
+    // Same connection, next frame: served normally.
+    let mut dist = ProbDist::new(3);
+    dist.add("000".parse().unwrap(), 1.0);
+    let response = client.request(&Request::calibrate(dist, Some(vec![0, 1, 2]))).unwrap();
+    assert!(response.ok, "connection must survive a malformed payload: {:?}", response.error);
+    server.shutdown_and_join();
+}

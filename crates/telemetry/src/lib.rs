@@ -803,12 +803,34 @@ pub fn render_text() -> String {
     out
 }
 
+/// Raw-span cap per distinct span name in the manifest. Aggregates
+/// (counters, gauges, histogram quantiles) always cover every sample; the
+/// raw span list exists for timeline inspection, and a handful of examples
+/// per name is enough for that. Without the cap, benchmark manifests that
+/// loop over thousands of requests checked in at tens of thousands of
+/// lines of near-identical spans.
+pub const MANIFEST_SPAN_CAP: usize = 48;
+
 /// Builds the manifest JSON value: run metadata + metrics + spans + a
 /// `traceEvents` array in Chrome trace-event format. The whole object loads
 /// directly in `chrome://tracing` / Perfetto (extra keys are ignored).
+///
+/// Raw spans are capped at [`MANIFEST_SPAN_CAP`] per span name (earliest
+/// kept, spillover dropped from both `spans` and `traceEvents`); the
+/// `spans_total` / `spans_dropped` keys record how much was elided.
+/// Counters, gauges, and histograms are never truncated.
 pub fn manifest(extra_meta: &[(String, serde::Value)]) -> serde::Value {
     use serde::Value;
-    let snap = snapshot();
+    let mut snap = snapshot();
+    let spans_total = snap.spans.len();
+    let mut per_name: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    snap.spans.retain(|s| {
+        let seen = per_name.entry(s.name).or_insert(0);
+        *seen += 1;
+        *seen <= MANIFEST_SPAN_CAP
+    });
+    let spans_dropped = spans_total - snap.spans.len();
     let guard = STATE.lock();
     let mut meta: Vec<(String, Value)> = guard.as_ref().map(|s| s.meta.clone()).unwrap_or_default();
     drop(guard);
@@ -906,6 +928,8 @@ pub fn manifest(extra_meta: &[(String, serde::Value)]) -> serde::Value {
         ("counters", Value::Map(counters)),
         ("gauges", Value::Map(gauges)),
         ("histograms", Value::Map(histograms)),
+        ("spans_total", Value::UInt(spans_total as u64)),
+        ("spans_dropped", Value::UInt(spans_dropped as u64)),
         ("spans", Value::Seq(spans)),
         ("traceEvents", Value::Seq(events)),
     ])
@@ -1108,6 +1132,41 @@ mod tests {
             Some(10)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_caps_raw_spans_per_name_but_keeps_aggregates() {
+        let _guard = fresh();
+        for i in 0..(MANIFEST_SPAN_CAP + 25) {
+            let _s = span!("iteration", i);
+            histogram_record("iter.secs", 0.001);
+        }
+        {
+            let _s = span!("characterize");
+        }
+        let value = manifest(&[]);
+        let spans = value.get("spans").and_then(|v| v.as_seq()).unwrap();
+        // Cap applies per name: the lone characterize span survives even
+        // though iteration overflowed.
+        assert_eq!(spans.len(), MANIFEST_SPAN_CAP + 1);
+        let total = value.get("spans_total").and_then(|v| v.as_u64()).unwrap();
+        let dropped = value.get("spans_dropped").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(total, (MANIFEST_SPAN_CAP + 26) as u64);
+        assert_eq!(dropped, 25);
+        // Earliest spans kept, so the retained list starts at iteration 0.
+        assert_eq!(spans[0].get("label").and_then(|v| v.as_str()), Some("0"));
+        // traceEvents mirror the capped list: process_name meta + spans +
+        // the histogram counter sample.
+        let events = value.get("traceEvents").and_then(|v| v.as_seq()).unwrap();
+        assert_eq!(events.len(), 1 + MANIFEST_SPAN_CAP + 1 + 1);
+        // Aggregates are never truncated: every sample is in the histogram.
+        let count = value
+            .get("histograms")
+            .and_then(|v| v.get("iter.secs"))
+            .and_then(|v| v.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert_eq!(count, (MANIFEST_SPAN_CAP + 25) as u64);
     }
 
     #[test]

@@ -68,6 +68,16 @@ for t in 1 4; do
   QUFEM_THREADS="$t" cargo test -q -p qufem-core --test shard_pool
 done
 
+echo "==> QUFEM_THREADS matrix: binary dialect must match NDJSON bit-for-bit"
+for t in 1 4; do
+  echo "==> QUFEM_THREADS=$t JSON-vs-binary differential tests"
+  QUFEM_THREADS="$t" cargo test -q --test serve_binary
+  echo "==> QUFEM_THREADS=$t frame codec unit tests"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-serve --lib wire::
+  echo "==> QUFEM_THREADS=$t decoder robustness tests"
+  QUFEM_THREADS="$t" cargo test -q -p qufem-serve --test wire_robustness
+done
+
 echo "==> loadgen-scenarios: replay digests must agree across QUFEM_THREADS"
 loadgen_tmp="$(mktemp -d)"
 trap 'rm -rf "$loadgen_tmp"' EXIT

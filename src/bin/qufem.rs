@@ -19,7 +19,14 @@
 //! qufem client       --addr HOST:PORT --status | --shutdown
 //! qufem client       --addr HOST:PORT --metrics [--text] | --trace
 //! qufem loadgen      <scenario.toml> [--out report.json] [--telemetry run.json]
+//!        [--binary] [--depth N]
 //! ```
+//!
+//! `client`/`loadgen` speak NDJSON by default; `--binary` switches to the
+//! length-prefixed binary frame dialect (same answers, packed encoding).
+//! `client --depth N` pipelines N copies of a calibrate request on one
+//! connection and reports the measured frame rate; `loadgen --depth N`
+//! overrides the scenario to open-loop arrival with burst N.
 //!
 //! `calibrate --device` without `--params` runs the full pipeline —
 //! characterize, synthesize a noisy input (unless `--input` is given),
@@ -70,10 +77,12 @@ fn usage() -> ! {
          [--device-id ID] [--memo-cap N] [--telemetry <run.json>]\n  \
          qufem admit --addr <host:port> --params <recal.json> [--device ID]\n  \
          qufem client --addr <host:port> --input <dist.json> --out <out.json> \
-         [--measured 0,1,2] [--method M] [--device ID] [--version V]\n  \
-         qufem client --addr <host:port> --status | --shutdown\n  \
-         qufem client --addr <host:port> --metrics [--text] | --trace\n  \
+         [--measured 0,1,2] [--method M] [--device ID] [--version V] \
+         [--binary] [--depth N]\n  \
+         qufem client --addr <host:port> [--binary] --status | --shutdown\n  \
+         qufem client --addr <host:port> [--binary] --metrics [--text] | --trace\n  \
          qufem loadgen <scenario.toml> [--out <report.json>] [--telemetry <run.json>] \
+         [--binary] [--depth N] \
          (deterministic traffic replay; scenarios/ has checked-in mixes)\n\n\
          presets: ibmq-7, quafu-18, custom-36, rigetti-79, quafu-136, grid-<N>\n\
          methods: qufem, ibu, m3, ctmp, qbeep"
@@ -129,6 +138,20 @@ fn algorithm_by_name(name: &str) -> Option<Algorithm> {
         "hs" => Some(Algorithm::HamiltonianSimulation),
         _ => None,
     }
+}
+
+/// One request over a fresh connection in the chosen wire dialect.
+fn request_via(
+    addr: &str,
+    binary: bool,
+    request: &qufem::serve::Request,
+) -> std::io::Result<qufem::serve::Response> {
+    let mut client = if binary {
+        qufem::serve::Client::connect_binary(addr)?
+    } else {
+        qufem::serve::Client::connect(addr)?
+    };
+    client.request(request)
 }
 
 /// Enables the telemetry collector and stamps run metadata when
@@ -429,16 +452,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "client" => {
             let addr = require("addr");
+            let binary = switches.contains(&"binary".to_string());
             if switches.contains(&"shutdown".to_string()) {
                 let response =
-                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::shutdown())?;
+                    request_via(addr.as_str(), binary, &qufem::serve::Request::shutdown())?;
                 if !response.ok {
                     return Err(response.error.unwrap_or_else(|| "shutdown failed".into()).into());
                 }
                 eprintln!("server at {addr} shutting down");
             } else if switches.contains(&"status".to_string()) {
                 let response =
-                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::status())?;
+                    request_via(addr.as_str(), binary, &qufem::serve::Request::status())?;
                 let status = match (response.ok, response.status) {
                     (true, Some(status)) => status,
                     _ => {
@@ -453,7 +477,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     qufem::serve::Request::metrics()
                 };
-                let response = qufem::serve::request_once(addr.as_str(), &request)?;
+                let response = request_via(addr.as_str(), binary, &request)?;
                 if !response.ok {
                     return Err(response.error.unwrap_or_else(|| "metrics failed".into()).into());
                 }
@@ -466,8 +490,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     println!("{}", serde_json::to_string_pretty(&metrics)?);
                 }
             } else if switches.contains(&"trace".to_string()) {
-                let response =
-                    qufem::serve::request_once(addr.as_str(), &qufem::serve::Request::trace())?;
+                let response = request_via(addr.as_str(), binary, &qufem::serve::Request::trace())?;
                 let trace = match (response.ok, response.trace) {
                     (true, Some(trace)) => trace,
                     _ => {
@@ -501,7 +524,36 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 if let Some(version) = get("version") {
                     request = request.with_version(version.parse()?);
                 }
-                let response = qufem::serve::request_once(addr.as_str(), &request)?;
+                // --depth N pipelines N copies of the request on one
+                // connection (responses pair by id on the binary dialect),
+                // checks they agree, and reports the measured frame rate —
+                // a quick serving smoke-benchmark from the shell.
+                let depth: usize = match get("depth") {
+                    Some(v) => v.parse()?,
+                    None => 1,
+                };
+                if depth == 0 {
+                    return Err("--depth must be >= 1".into());
+                }
+                let mut client = if binary {
+                    qufem::serve::Client::connect_binary(addr.as_str())?
+                } else {
+                    qufem::serve::Client::connect(addr.as_str())?
+                };
+                let started = std::time::Instant::now();
+                let mut ids = Vec::with_capacity(depth);
+                for _ in 0..depth {
+                    ids.push(client.send(&request)?);
+                }
+                let mut responses = std::collections::HashMap::with_capacity(depth);
+                for _ in 0..depth {
+                    let (id, response) = client.recv()?;
+                    responses.insert(id, response);
+                }
+                let elapsed = started.elapsed();
+                let response = responses
+                    .remove(&ids[0])
+                    .ok_or("server never answered the first request id")?;
                 if !response.ok {
                     return Err(response
                         .error
@@ -509,6 +561,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         .into());
                 }
                 let result = response.dist.ok_or("server response carried no distribution")?;
+                for id in &ids[1..] {
+                    let echo = responses
+                        .remove(id)
+                        .ok_or("server never answered a pipelined request id")?;
+                    if echo.dist.as_ref() != Some(&result) {
+                        return Err("pipelined responses diverged for identical requests".into());
+                    }
+                }
+                if depth > 1 {
+                    eprintln!(
+                        "pipelined {depth} {} frames in {:.3}s ({:.1} frames/s)",
+                        if binary { "binary" } else { "json" },
+                        elapsed.as_secs_f64(),
+                        depth as f64 / elapsed.as_secs_f64().max(1e-9),
+                    );
+                }
                 std::fs::write(&out, serde_json::to_string(&result)?)?;
                 let products = response.stats.as_ref().map(|s| s.products).unwrap_or_default();
                 let identity = match (&response.device, response.version) {
@@ -529,7 +597,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!("loadgen needs a scenario file (positional or --scenario)");
                 usage();
             });
-            let scenario = qufem::loadgen::Scenario::load(std::path::Path::new(&scenario_path))?;
+            let mut scenario =
+                qufem::loadgen::Scenario::load(std::path::Path::new(&scenario_path))?;
+            // Command-line overrides for quick protocol / pipelining
+            // experiments without editing the scenario file.
+            if switches.contains(&"binary".to_string()) {
+                scenario.protocol = qufem::loadgen::scenario::Protocol::Binary;
+            }
+            if let Some(depth) = get("depth") {
+                let depth: usize = depth.parse()?;
+                if depth == 0 {
+                    return Err("--depth must be >= 1".into());
+                }
+                scenario.arrival = qufem::loadgen::scenario::Arrival::Open { burst: depth };
+            }
             eprintln!(
                 "replaying scenario {:?}: {} requests ({} rounds x {} clients), \
                  {} tenant(s), {} device(s)",

@@ -143,3 +143,54 @@ fn different_seeds_change_the_trace_but_not_the_shape() {
     assert_eq!(a.requests, b.requests, "same scenario shape");
     assert_eq!(b.errors, 0);
 }
+
+#[test]
+fn binary_pipelined_replays_clean_and_deterministic() {
+    let scenario = load("binary-pipelined.toml");
+    let a = run_scenario(&scenario).unwrap();
+    assert_eq!(a.errors, 0, "error frames over the binary dialect");
+    assert_eq!(a.requests, 3 * 2 * 6, "rounds x clients x burst");
+    assert_eq!(a.protocol, "binary");
+    assert!(a.version_echoes_monotone);
+    assert!(a.response_bytes.p50 > 0, "binary frame sizes recorded");
+    let b = run_scenario(&scenario).unwrap();
+    assert_eq!(a.determinism_digest(), b.determinism_digest());
+}
+
+#[test]
+fn binary_and_json_replays_serve_identical_distributions() {
+    // The same scenario text with only the wire dialect flipped: the
+    // per-tenant response digests fold nothing but distribution bits and
+    // identity echoes, so they must agree across dialects exactly.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/binary-pipelined.toml");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let binary = Scenario::parse(&text).unwrap();
+    let json =
+        Scenario::parse(&text.replace("protocol = \"binary\"", "protocol = \"json\"")).unwrap();
+    let a = run_scenario(&binary).unwrap();
+    let b = run_scenario(&json).unwrap();
+    assert_eq!(a.trace_digest, b.trace_digest, "same trace either way");
+    assert_eq!(a.response_digest, b.response_digest, "dialect changed the served bytes");
+    for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(ta.response_digest, tb.response_digest, "tenant {} diverged", ta.name);
+    }
+    assert_eq!(a.errors, 0);
+    assert_eq!(b.errors, 0);
+    // Binary calibrate frames undercut the JSON lines for the same payload.
+    assert!(
+        a.response_bytes.p50 < b.response_bytes.p50,
+        "binary p50 {} should be smaller than JSON p50 {}",
+        a.response_bytes.p50,
+        b.response_bytes.p50
+    );
+}
+
+#[test]
+fn an_impossible_latency_budget_fails_the_replay() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/binary-pipelined.toml");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let strangled =
+        Scenario::parse(&text.replace("p99_ms = 30000.0", "p99_ms = 0.000001")).unwrap();
+    let err = run_scenario(&strangled).unwrap_err();
+    assert!(err.to_string().contains("latency budget exceeded"), "{err}");
+}

@@ -1,0 +1,264 @@
+//! Differential tests for the binary wire dialect: every response a binary
+//! client receives must be **bit-identical** to the NDJSON answer for the
+//! same request — distributions, `EngineStats`, and `(device, version)`
+//! identity echoes included — across every registry method and across a
+//! live hot-swap. The binary protocol changes transport, never numerics.
+//!
+//! The CI matrix runs this file under `QUFEM_THREADS ∈ {1, 4}`.
+
+use qufem::device::presets;
+use qufem::serve::{Client, Request, ServeConfig, Server};
+use qufem::{ProbDist, QuFem, QuFemConfig, QubitSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn characterized() -> (qufem::device::Device, QuFem) {
+    let device = presets::ibmq_7(1);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    let qufem = QuFem::characterize(&device, config).unwrap();
+    (device, qufem)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig { read_timeout: Some(Duration::from_secs(10)), ..ServeConfig::default() }
+}
+
+fn registry_config(qufem: &QuFem) -> ServeConfig {
+    ServeConfig {
+        registry: std::sync::Arc::new(qufem::baselines::standard_registry(qufem.config().clone())),
+        ..test_config()
+    }
+}
+
+/// A deterministic noisy input over `measured`, distinct per `seed`.
+fn noisy_input(device: &qufem::device::Device, measured: &[usize], seed: u64) -> ProbDist {
+    let set: QubitSet = measured.iter().copied().collect();
+    let ideal = qufem::circuits::ghz(measured.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    device.measure_distribution(&ideal, &set, 600, &mut rng)
+}
+
+fn assert_bit_identical(a: &ProbDist, b: &ProbDist, context: &str) {
+    let (pa, pb) = (a.sorted_pairs(), b.sorted_pairs());
+    assert_eq!(pa.len(), pb.len(), "support diverges: {context}");
+    for ((ka, va), (kb, vb)) in pa.iter().zip(&pb) {
+        assert_eq!(ka, kb, "key diverges: {context}");
+        assert_eq!(va.to_bits(), vb.to_bits(), "value at {ka} diverges: {context}");
+    }
+}
+
+fn recalibrated_params(device: &qufem::device::Device, step: u64) -> qufem::QuFemData {
+    let drifted = device.drifted(step);
+    let config =
+        QuFemConfig::builder().characterization_threshold(5e-4).shots(400).seed(3).build().unwrap();
+    QuFem::characterize(&drifted, config).unwrap().export()
+}
+
+/// Every registry method, served over both dialects, must return the same
+/// bytes: same distribution bits, same `EngineStats`, same identity echo.
+#[test]
+fn binary_dialect_matches_json_for_every_registry_method() {
+    let (device, qufem) = characterized();
+    let registry = qufem::baselines::standard_registry(qufem.config().clone());
+    let config = registry_config(&qufem);
+    let server = Server::start(qufem, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let mut json = Client::connect(addr).unwrap();
+    let mut binary = Client::connect_binary(addr).unwrap();
+    assert!(binary.is_binary() && !json.is_binary());
+
+    let ids = registry.ids();
+    assert!(ids.len() >= 4, "expected at least 4 registered methods, got {ids:?}");
+    for id in &ids {
+        for measured in [vec![0usize, 1, 2, 3, 4, 5, 6], vec![0, 2, 4]] {
+            let dist = noisy_input(&device, &measured, 0xb1);
+            let request = Request::calibrate(dist, Some(measured.clone())).with_method(id);
+            let via_json = json.request(&request).unwrap();
+            let via_binary = binary.request(&request).unwrap();
+            let context = format!("method {id}, measured {measured:?}");
+            assert!(via_json.ok, "{context}: {:?}", via_json.error);
+            assert!(via_binary.ok, "{context}: {:?}", via_binary.error);
+            assert_bit_identical(
+                via_json.dist.as_ref().unwrap(),
+                via_binary.dist.as_ref().unwrap(),
+                &context,
+            );
+            assert_eq!(via_json.stats, via_binary.stats, "EngineStats diverge: {context}");
+            assert_eq!(via_json.device, via_binary.device, "device echo diverges: {context}");
+            assert_eq!(via_json.version, via_binary.version, "version echo diverges: {context}");
+        }
+    }
+
+    // The control-plane commands answer identically too (modulo live
+    // counters, which the calibrate comparison above cannot freeze).
+    let status_json = json.request(&Request::status()).unwrap().status.unwrap();
+    let status_binary = binary.request(&Request::status()).unwrap().status.unwrap();
+    assert_eq!(status_json.n_qubits, status_binary.n_qubits);
+    assert_eq!(status_json.methods, status_binary.methods);
+    assert_eq!(status_json.default_method, status_binary.default_method);
+    assert_eq!(status_json.default_device, status_binary.default_device);
+
+    let metrics = binary.request(&Request::metrics()).unwrap().metrics.unwrap();
+    assert!(metrics.binary_requests > ids.len() as u64 * 2, "{metrics:?}");
+    let text = binary.request(&Request::metrics_text()).unwrap().metrics_text.unwrap();
+    assert!(text.contains("qufem_serve_binary_requests"), "{text}");
+
+    let trace = binary.request(&Request::trace()).unwrap().trace.unwrap();
+    assert!(!trace.is_empty(), "flight recorder should capture binary requests");
+
+    server.shutdown_and_join();
+}
+
+/// Both dialects observe the same hot-swap: the same version echoes before
+/// and after an `admit` (itself sent over the binary dialect), and pinned
+/// reads of the old version stay bit-identical across dialects.
+#[test]
+fn binary_dialect_tracks_a_live_hot_swap_identically_to_json() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut json = Client::connect(addr).unwrap();
+    let mut binary = Client::connect_binary(addr).unwrap();
+
+    let measured = vec![0usize, 1, 2];
+    let dist = noisy_input(&device, &measured, 0x5a);
+    let request = Request::calibrate(dist.clone(), Some(measured.clone()));
+
+    let before_json = json.request(&request).unwrap();
+    let before_binary = binary.request(&request).unwrap();
+    assert_eq!(before_json.version, Some(0));
+    assert_eq!(before_binary.version, Some(0));
+    assert_bit_identical(
+        before_json.dist.as_ref().unwrap(),
+        before_binary.dist.as_ref().unwrap(),
+        "pre-swap",
+    );
+
+    // Admit a recalibration over the *binary* dialect.
+    let ack = binary.request(&Request::admit(recalibrated_params(&device, 1))).unwrap();
+    assert!(ack.ok, "admit over binary failed: {:?}", ack.error);
+    assert_eq!(ack.device.as_deref(), Some("default"));
+    assert_eq!(ack.version, Some(1));
+
+    // Head traffic now serves version 1 on both dialects, bit-identically.
+    let after_json = json.request(&request).unwrap();
+    let after_binary = binary.request(&request).unwrap();
+    assert_eq!(after_json.version, Some(1));
+    assert_eq!(after_binary.version, Some(1));
+    assert_bit_identical(
+        after_json.dist.as_ref().unwrap(),
+        after_binary.dist.as_ref().unwrap(),
+        "post-swap",
+    );
+    assert_eq!(after_json.stats, after_binary.stats, "post-swap EngineStats diverge");
+
+    // Pinned reads of the superseded version still answer, identically.
+    let pinned = request.clone().with_version(0);
+    let pinned_json = json.request(&pinned).unwrap();
+    let pinned_binary = binary.request(&pinned).unwrap();
+    assert_eq!(pinned_json.version, Some(0));
+    assert_eq!(pinned_binary.version, Some(0));
+    assert_bit_identical(
+        pinned_json.dist.as_ref().unwrap(),
+        pinned_binary.dist.as_ref().unwrap(),
+        "pinned v0",
+    );
+    assert_bit_identical(
+        pinned_binary.dist.as_ref().unwrap(),
+        before_json.dist.as_ref().unwrap(),
+        "pinned v0 vs pre-swap",
+    );
+
+    server.shutdown_and_join();
+}
+
+/// Pipelined binary requests complete tagged by id: a deep burst of sends
+/// followed by a burst of receives pairs every response with its request,
+/// and each response is bit-identical to the lockstep JSON answer.
+#[test]
+fn pipelined_binary_responses_pair_by_request_id() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let addr = server.local_addr();
+    let mut json = Client::connect(addr).unwrap();
+    let mut binary = Client::connect_binary(addr).unwrap();
+
+    const DEPTH: usize = 12;
+    let sets = [
+        vec![0usize, 1, 2, 3, 4, 5, 6],
+        vec![0, 2, 4, 6],
+        vec![1, 3, 5],
+        vec![0, 1],
+        vec![2, 3, 4],
+    ];
+    let requests: Vec<Request> = (0..DEPTH)
+        .map(|i| {
+            let measured = sets[i % sets.len()].clone();
+            let dist = noisy_input(&device, &measured, i as u64);
+            Request::calibrate(dist, Some(measured))
+        })
+        .collect();
+
+    let mut ids = Vec::new();
+    for request in &requests {
+        ids.push(binary.send(request).unwrap());
+    }
+    let mut answers: std::collections::HashMap<u64, qufem::serve::Response> =
+        std::collections::HashMap::new();
+    for _ in 0..DEPTH {
+        let (id, response) = binary.recv().unwrap();
+        assert!(answers.insert(id, response).is_none(), "duplicate response id {id}");
+    }
+    for (i, (request, id)) in requests.iter().zip(&ids).enumerate() {
+        let pipelined = answers.get(id).unwrap_or_else(|| panic!("no response for id {id}"));
+        assert!(pipelined.ok, "request {i}: {:?}", pipelined.error);
+        let lockstep = json.request(request).unwrap();
+        assert_bit_identical(
+            lockstep.dist.as_ref().unwrap(),
+            pipelined.dist.as_ref().unwrap(),
+            &format!("pipelined request {i}"),
+        );
+        assert_eq!(lockstep.stats, pipelined.stats, "EngineStats diverge on request {i}");
+    }
+
+    server.shutdown_and_join();
+}
+
+/// Hand-written NDJSON frames exactly as pre-registry, pre-catalog clients
+/// (PRs 3–7) emitted them — no `method`, no `device`, no `version`, no
+/// request id — must keep parsing and answering.
+#[test]
+fn legacy_ndjson_frames_still_parse() {
+    let (device, qufem) = characterized();
+    let server = Server::start(qufem, "127.0.0.1:0", test_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A calibrate frame with the historical field set only, written by hand
+    // so no current-day serializer choice can leak in.
+    let measured = vec![0usize, 1, 2];
+    let dist = noisy_input(&device, &measured, 7);
+    let dist_json = serde_json::to_string(&dist).unwrap();
+    let line = format!("{{\"cmd\":\"calibrate\",\"measured\":[0,1,2],\"dist\":{dist_json}}}\n");
+    client.send_raw(line.as_bytes()).unwrap();
+    let response = client.read_response().unwrap();
+    assert!(response.ok, "legacy calibrate failed: {:?}", response.error);
+    let expected = client.request(&Request::calibrate(dist, Some(measured))).unwrap();
+    assert_bit_identical(
+        expected.dist.as_ref().unwrap(),
+        response.dist.as_ref().unwrap(),
+        "legacy calibrate",
+    );
+
+    // Method-less bare control frames, with a blank keep-alive line mixed in.
+    client.send_raw(b"{\"cmd\":\"status\"}\n\n{\"cmd\":\"metrics\"}\n").unwrap();
+    let status = client.read_response().unwrap();
+    assert!(status.ok && status.status.is_some(), "legacy status failed: {status:?}");
+    let metrics = client.read_response().unwrap();
+    assert!(metrics.ok && metrics.metrics.is_some(), "legacy metrics failed: {metrics:?}");
+    // Pre-binary servers never set the field; the default must deserialize.
+    assert_eq!(metrics.metrics.unwrap().binary_requests, 0);
+
+    server.shutdown_and_join();
+}
